@@ -1,0 +1,75 @@
+// Figure 6 — "Sorting Time Comparisons" (paper §5).
+//
+// The paper times S_NR, S_FT and a host sequential sort for 32-bit integers
+// on 4, 8, 16 and 32 Ncube nodes (one element per node) and finds the host
+// sort still ahead at those sizes, with the measured points matching the
+// fitted component model.  This harness regenerates the same series on the
+// simulated multicomputer — in calibrated logical clock ticks — and extends
+// the sweep a little beyond 32 nodes to make the approaching crossover
+// visible (the full projection is bench/fig7_projection).
+
+#include <cmath>
+#include <iostream>
+
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+// The paper overlays a "(Theoretical)" line computed from its fitted
+// component table; we overlay the same forms with the paper's constants.
+double paper_sft_model(double n) {
+  const double l = std::log2(n);
+  return 8.0 * l * l + 0.05 * n * l + 11.5 * n;
+}
+double paper_seq_model(double n) {
+  return 14.0 * n + 0.45 * n * std::log2(n);
+}
+
+}  // namespace
+
+int main() {
+  using namespace aoft;
+
+  std::cout << "Figure 6 reproduction: observed sorting time (logical clock ticks)\n"
+            << "one 32-bit key per node, uniform random input\n"
+            << "(model) columns are the paper's own fitted forms, its constants\n\n";
+
+  util::Table table({"nodes", "S_NR", "S_FT", "S_FT(model)", "host-seq",
+                     "seq(model)", "host-verified", "S_FT/host"});
+  // The paper measures 4..32 nodes; rows beyond 32 extend the same
+  // experiment toward the crossover region.
+  for (int dim = 2; dim <= 8; ++dim) {
+    const std::size_t n = std::size_t{1} << dim;
+    const auto input = util::random_keys(1989 + static_cast<std::uint64_t>(dim), n);
+
+    const auto snr = sort::run_snr(dim, input);
+    const auto sft = sort::run_sft(dim, input);
+    const auto host = sort::run_host_sort(dim, input);
+    const auto verified = sort::run_host_verified_snr(dim, input);
+
+    table.add_row({util::fmt_int(static_cast<long long>(n)),
+                   util::fmt_double(snr.summary.elapsed, 1),
+                   util::fmt_double(sft.summary.elapsed, 1),
+                   util::fmt_double(paper_sft_model(static_cast<double>(n)), 1),
+                   util::fmt_double(host.summary.elapsed, 1),
+                   util::fmt_double(paper_seq_model(static_cast<double>(n)), 1),
+                   util::fmt_double(verified.summary.elapsed, 1),
+                   util::fmt_double(sft.summary.elapsed / host.summary.elapsed, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper's qualitative findings to compare against:\n"
+            << "  * S_NR is far cheapest (no reliability, O(log^2 N) time),\n"
+            << "  * host sequential sort beats S_FT at 4..32 nodes (constant\n"
+            << "    multiplier dominates at small N; S_FT/host > 1 there),\n"
+            << "  * the S_FT/host ratio falls as N grows - the crossover is\n"
+            << "    approaching (Figure 7 carries it to large systems).\n\n";
+
+  std::cout << "CSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

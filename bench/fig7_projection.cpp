@@ -1,0 +1,84 @@
+// Figure 7 — "Projected Sorting Time Comparisons - Large Systems".
+//
+// The paper could run at most 32 nodes, so it fitted the §5 component table
+// and projected run times out to the cube sizes a "real multicomputer
+// application" would use, concluding (1) S_FT rapidly overtakes the host
+// sequential sort, and (2) in the limit reliable parallel sorting costs ~11%
+// of sequential sorting.  We do the same: fit the models on simulated
+// measurements (dims 2..11, sizes the paper could not reach), then project
+// to 2^20 nodes, locate the crossover and report the asymptotic ratio.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/models.h"
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aoft;
+
+  std::cout << "Figure 7 reproduction: projected run times for large systems\n\n";
+
+  // --- measure -------------------------------------------------------------
+  std::vector<double> ns, sft_comm, sft_comp, seq_comm, seq_comp;
+  std::vector<double> sft_total_measured, seq_total_measured;
+  for (int dim = 2; dim <= 11; ++dim) {
+    const std::size_t n = std::size_t{1} << dim;
+    const auto input = util::random_keys(7 + static_cast<std::uint64_t>(dim), n);
+    const auto sft = sort::run_sft(dim, input);
+    const auto host = sort::run_host_sort(dim, input);
+    ns.push_back(static_cast<double>(n));
+    sft_comm.push_back(sft.summary.max_comm);
+    sft_comp.push_back(sft.summary.max_comp);
+    seq_comm.push_back(host.summary.host_comm);
+    seq_comp.push_back(host.summary.host_comp);
+    sft_total_measured.push_back(sft.summary.elapsed);
+    seq_total_measured.push_back(host.summary.elapsed);
+  }
+
+  // --- fit -----------------------------------------------------------------
+  analysis::TimeModel sft_model, seq_model;
+  sft_model.comm_basis = analysis::sft_comm_basis();
+  sft_model.comm = analysis::fit(sft_model.comm_basis, ns, sft_comm);
+  sft_model.comp_basis = analysis::sft_comp_basis();
+  sft_model.comp = analysis::fit(sft_model.comp_basis, ns, sft_comp);
+  seq_model.comm_basis = analysis::seq_comm_basis();
+  seq_model.comm = analysis::fit(seq_model.comm_basis, ns, seq_comm);
+  seq_model.comp_basis = analysis::seq_comp_basis();
+  seq_model.comp = analysis::fit(seq_model.comp_basis, ns, seq_comp);
+
+  std::cout << "fitted on dims 2..11:\n"
+            << "  S_FT: " << sft_model.comm.to_string(sft_model.comm_basis)
+            << "  +  " << sft_model.comp.to_string(sft_model.comp_basis) << "\n"
+            << "  seq:  " << seq_model.comm.to_string(seq_model.comm_basis)
+            << "  +  " << seq_model.comp.to_string(seq_model.comp_basis) << "\n\n";
+
+  // --- project -------------------------------------------------------------
+  util::Table table({"nodes", "S_FT (model)", "seq (model)", "ratio",
+                     "S_FT measured", "seq measured"});
+  for (int dim = 2; dim <= 20; ++dim) {
+    const double n = std::ldexp(1.0, dim);
+    const double a = sft_model.total(n);
+    const double b = seq_model.total(n);
+    const std::size_t idx = static_cast<std::size_t>(dim - 2);
+    const bool measured = idx < sft_total_measured.size();
+    table.add_row({util::fmt_int(1LL << dim), util::fmt_sci(a, 3),
+                   util::fmt_sci(b, 3), util::fmt_double(a / b, 3),
+                   measured ? util::fmt_sci(sft_total_measured[idx], 3) : "-",
+                   measured ? util::fmt_sci(seq_total_measured[idx], 3) : "-"});
+  }
+  table.print(std::cout);
+
+  const auto cross = analysis::crossover_nodes(sft_model, seq_model, 2, 24);
+  std::cout << "\ncrossover (model): S_FT overtakes the host sort at "
+            << cross << " nodes (paper: beyond its 32-node testbed, within\n"
+            << "the sizes 'we are concerned with in a real multicomputer "
+               "application')\n";
+  std::cout << "asymptotic ratio S_FT/seq: "
+            << util::fmt_double(analysis::asymptotic_ratio(sft_model, seq_model), 4)
+            << "  (paper: 'in the limit ... 11%' = 0.111)\n";
+  return 0;
+}

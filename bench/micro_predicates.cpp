@@ -1,0 +1,107 @@
+// Lemmas 7-9 — asymptotic costs of the checking machinery, measured.
+//
+//   Lemma 7: vect_mask(i, j) runs in O(2^{i-j})           (the recursion)
+//   Lemma 8: bit_compare runs in O(2^i) at stage i        (Φ_P + Φ_F scans)
+//   Lemma 9: Φ_C runs in O(2^{j+1} + 2^{i-j}) per message (merge + mask)
+//
+// google-benchmark over the (i, j) grid; the per-item complexities are
+// visible in how time scales with the reported window/coverage sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "hypercube/masks.h"
+#include "sort/predicates.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aoft;
+
+void BM_VectMaskRecursive(benchmark::State& state) {
+  const int i = static_cast<int>(state.range(0));
+  const int j = static_cast<int>(state.range(1));
+  cube::Topology topo(12);
+  for (auto _ : state) {
+    auto m = cube::vect_mask_recursive(topo, i, j, 1234 & (topo.num_nodes() - 1));
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetComplexityN(1 << (i - j));
+}
+
+void BM_VectMaskClosedForm(benchmark::State& state) {
+  const int i = static_cast<int>(state.range(0));
+  const int j = static_cast<int>(state.range(1));
+  cube::Topology topo(12);
+  for (auto _ : state) {
+    auto m = cube::vect_mask(topo, i, j, 1234 & (topo.num_nodes() - 1));
+    benchmark::DoNotOptimize(m);
+  }
+}
+
+// Lemma 7 grid: fixed i = 11, j sweeping down — work doubles per step.
+BENCHMARK(BM_VectMaskRecursive)
+    ->Args({11, 11})->Args({11, 9})->Args({11, 7})->Args({11, 5})
+    ->Args({11, 3})->Args({11, 1})->Args({11, 0})
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_VectMaskClosedForm)
+    ->Args({11, 7})->Args({11, 3})->Args({11, 0});
+
+void BM_BitCompare(benchmark::State& state) {
+  const int i = static_cast<int>(state.range(0));
+  // Build a valid stage-i check instance: full-cube arrays for dim i+1.
+  // lbs: lower dim-i window sorted ascending, upper sorted descending
+  // (what stage i-1 produced); llbs over the lower window: the bitonic
+  // sequence stage i-1 started from (evens ascending, then odds descending).
+  const std::size_t n = std::size_t{1} << (i + 1);
+  auto keys = util::random_keys(1, n);
+  std::vector<sort::Key> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<sort::Key> lbs(n), llbs(n);
+  for (std::size_t k = 0; k < n / 2; ++k) lbs[k] = sorted[k];
+  for (std::size_t k = 0; k < n / 2; ++k) lbs[n / 2 + k] = sorted[n - 1 - k];
+  const std::size_t half = n / 2;
+  for (std::size_t k = 0; k < half / 2; ++k) llbs[k] = sorted[2 * k];
+  for (std::size_t k = 0; k < half / 2; ++k)
+    llbs[half / 2 + k] = sorted[half - 1 - 2 * k];
+  for (std::size_t k = half; k < n; ++k) llbs[k] = sorted[k];
+  const cube::Subcube outer{0, static_cast<cube::NodeId>(n - 1), i + 1};
+  const cube::Subcube inner{0, static_cast<cube::NodeId>(n / 2 - 1), i};
+  for (auto _ : state) {
+    auto v = sort::bit_compare(llbs, lbs, outer, inner, true, false, 1);
+    if (v.has_value()) state.SkipWithError("unexpected violation");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitCompare)->DenseRange(3, 12, 3)->Complexity(benchmark::oN);
+
+void BM_PhiCMerge(benchmark::State& state) {
+  const int i = static_cast<int>(state.range(0));
+  const int j = static_cast<int>(state.range(1));
+  cube::Topology topo(12);
+  const cube::NodeId me = 0;
+  const cube::NodeId partner = cube::NodeId{1} << j;
+  const auto window = cube::home_subcube(i + 1, me);
+  const auto sender_cover = cube::pre_mask(topo, i, j, partner);
+  const auto my_cover = cube::pre_mask(topo, i, j, me);
+  auto keys = util::random_keys(2, topo.num_nodes());
+  std::vector<sort::Key> slice(window.size());
+  for (cube::NodeId p = window.start; p <= window.end; ++p)
+    slice[p - window.start] = keys[p];
+  std::vector<sort::Key> local = keys;
+  for (auto _ : state) {
+    state.PauseTiming();  // reset the coverage outside the measured region
+    util::BitVec cover = my_cover;
+    state.ResumeTiming();
+    auto v = sort::phi_c_merge(local, cover, slice, sender_cover, window, 1);
+    if (v.has_value()) state.SkipWithError("unexpected violation");
+    benchmark::DoNotOptimize(local);
+  }
+  state.SetComplexityN(1 << (i - j));
+}
+// Lemma 9 grid: i fixed, j sweeping — sender coverage 2^{i-j} dominates.
+BENCHMARK(BM_PhiCMerge)
+    ->Args({11, 11})->Args({11, 8})->Args({11, 5})->Args({11, 2})->Args({11, 0})
+    ->Complexity(benchmark::oN);
+
+}  // namespace

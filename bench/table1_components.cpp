@@ -1,0 +1,80 @@
+// §5 component table — "Measurement of the running time for each component
+// of the two algorithms yields the following table (measured in clock ticks)":
+//
+//     Algorithm    Communication Time          Computation Time
+//     S_FT         8·log2²N + .05·N·log2 N     11.5·N
+//     Sequential   14·N                        0.45·N·log2 N
+//
+// This harness measures the per-component tick totals on the simulator over
+// a sweep of cube sizes, fits the paper's model forms by least squares, and
+// prints the recovered coefficients next to the paper's.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/models.h"
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace aoft;
+
+  std::cout << "Section 5 component-model reproduction\n\n";
+
+  std::vector<double> ns;
+  std::vector<double> sft_comm, sft_comp, seq_comm, seq_comp;
+  util::Table raw({"nodes", "S_FT comm", "S_FT comp", "seq comm", "seq comp"});
+  for (int dim = 2; dim <= 10; ++dim) {
+    const std::size_t n = std::size_t{1} << dim;
+    const auto input = util::random_keys(42 + static_cast<std::uint64_t>(dim), n);
+    const auto sft = sort::run_sft(dim, input);
+    const auto host = sort::run_host_sort(dim, input);
+    ns.push_back(static_cast<double>(n));
+    // Communication of S_FT: the per-node maximum (the paper times the node
+    // program); sequential communication/computation happen at the host.
+    sft_comm.push_back(sft.summary.max_comm);
+    sft_comp.push_back(sft.summary.max_comp);
+    seq_comm.push_back(host.summary.host_comm);
+    seq_comp.push_back(host.summary.host_comp);
+    raw.add_row({util::fmt_int(static_cast<long long>(n)),
+                 util::fmt_double(sft.summary.max_comm, 1),
+                 util::fmt_double(sft.summary.max_comp, 1),
+                 util::fmt_double(host.summary.host_comm, 1),
+                 util::fmt_double(host.summary.host_comp, 1)});
+  }
+  std::cout << "measured component totals (ticks):\n";
+  raw.print(std::cout);
+
+  const auto sft_comm_b = analysis::sft_comm_basis();
+  const auto sft_comp_b = analysis::sft_comp_basis();
+  const auto seq_comm_b = analysis::seq_comm_basis();
+  const auto seq_comp_b = analysis::seq_comp_basis();
+  const auto f_sft_comm = analysis::fit(sft_comm_b, ns, sft_comm);
+  const auto f_sft_comp = analysis::fit(sft_comp_b, ns, sft_comp);
+  const auto f_seq_comm = analysis::fit(seq_comm_b, ns, seq_comm);
+  const auto f_seq_comp = analysis::fit(seq_comp_b, ns, seq_comp);
+
+  std::cout << "\nfitted model forms (paper's values in brackets):\n\n";
+  util::Table fits({"component", "fitted", "paper", "R^2"});
+  fits.add_row({"S_FT communication", f_sft_comm.to_string(sft_comm_b),
+                "8·log2²N + 0.05·N·log2 N", util::fmt_double(f_sft_comm.r_squared, 4)});
+  fits.add_row({"S_FT computation", f_sft_comp.to_string(sft_comp_b), "11.5·N",
+                util::fmt_double(f_sft_comp.r_squared, 4)});
+  fits.add_row({"sequential communication", f_seq_comm.to_string(seq_comm_b),
+                "14·N", util::fmt_double(f_seq_comm.r_squared, 4)});
+  fits.add_row({"sequential computation", f_seq_comp.to_string(seq_comp_b),
+                "0.45·N·log2 N", util::fmt_double(f_seq_comp.r_squared, 4)});
+  fits.print(std::cout);
+
+  std::cout << "\nshape checks:\n"
+            << "  S_FT comm N·log2 N coefficient: "
+            << util::fmt_double(f_sft_comm.coeffs[1], 4) << " (paper 0.05)\n"
+            << "  seq comp N·log2 N coefficient:  "
+            << util::fmt_double(f_seq_comp.coeffs[0], 4) << " (paper 0.45)\n"
+            << "  their ratio (the paper's limit): "
+            << util::fmt_double(f_sft_comm.coeffs[1] / f_seq_comp.coeffs[0], 4)
+            << " (paper 0.05/0.45 = 0.111)\n";
+  return 0;
+}

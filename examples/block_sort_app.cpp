@@ -1,0 +1,64 @@
+// Block-sorting application: an external-sort-style workload.
+//
+// Build & run:   ./build/examples/block_sort_app
+//
+// The paper's motivating setting (§1) is sorting as a *sub-problem* of a
+// larger parallel application: the data already lives in the node
+// processors, so shipping everything through the host defeats the point.
+// Here a 64-node cube holds 128 keys per node (a pre-partitioned index-build
+// shard, say).  We sort the whole 8K-key dataset in place three ways and
+// compare cost — the Figure-8 scenario as an application, not a bench.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aoft;
+
+  const int dim = 6;            // 64 nodes
+  const std::size_t m = 128;    // keys per node
+  const std::size_t total = (std::size_t{1} << dim) * m;
+  const auto input = util::random_keys(77, total);
+
+  std::printf("dataset: %zu keys, %u nodes, %zu keys/node\n\n", total,
+              1u << dim, m);
+
+  sort::SnrOptions snr_opts;
+  snr_opts.block = m;
+  sort::SftOptions sft_opts;
+  sft_opts.block = m;
+  sort::HostSortOptions host_opts;
+  host_opts.block = m;
+
+  const auto snr = sort::run_snr(dim, input, snr_opts);
+  const auto sft = sort::run_sft(dim, input, sft_opts);
+  const auto host = sort::run_host_sort(dim, input, host_opts);
+
+  auto report = [&](const char* name, const sort::SortRun& run) {
+    std::printf("%-22s elapsed %10.0f ticks   comm(max/node) %9.0f   "
+                "outcome %s\n",
+                name, run.summary.elapsed, run.summary.max_comm,
+                sort::to_string(sort::classify(run, input)));
+  };
+  report("S_NR (unprotected)", snr);
+  report("S_FT (fault-tolerant)", sft);
+  report("host sequential sort", host);
+
+  std::vector<sort::Key> expect(input.begin(), input.end());
+  std::sort(expect.begin(), expect.end());
+  const bool all_match = snr.output == expect && sft.output == expect &&
+                         host.output == expect;
+
+  std::printf("\nwith %zu keys per node the reliability overhead is already\n"
+              "cheaper than funnelling the data through the host: S_FT/host = "
+              "%.2f\n",
+              m, sft.summary.elapsed / host.summary.elapsed);
+  std::printf("all three outputs identical and sorted: %s\n",
+              all_match ? "yes" : "NO");
+  return all_match ? 0 : 1;
+}

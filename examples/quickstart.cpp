@@ -1,0 +1,39 @@
+// Quickstart: reliably sort a list on a simulated hypercube multicomputer.
+//
+// Build & run:   ./build/examples/quickstart
+//
+// This is the paper's own worked example (Figure 5): the list
+// {10, 8, 3, 9, 4, 2, 7, 5} distributed one key per node on a 3-cube,
+// sorted by the fault-tolerant bitonic sort S_FT.  Every intermediate
+// bitonic sequence is checked by the peers; with no faults injected the run
+// completes without a single alarm.
+
+#include <cstdio>
+
+#include "sort/sft.h"
+
+int main() {
+  using namespace aoft;
+
+  // The input, flattened: node p holds input[p].
+  const std::vector<sort::Key> input{10, 8, 3, 9, 4, 2, 7, 5};
+  const int dim = 3;  // 2^3 = 8 nodes
+
+  sort::SftOptions opts;  // defaults: every predicate enabled, no faults
+  const auto run = sort::run_sft(dim, input, opts);
+
+  std::printf("input :");
+  for (auto k : input) std::printf(" %lld", static_cast<long long>(k));
+  std::printf("\noutput:");
+  for (auto k : run.output) std::printf(" %lld", static_cast<long long>(k));
+  std::printf("\n\n");
+
+  std::printf("outcome            : %s\n", sort::to_string(sort::classify(run, input)));
+  std::printf("error reports      : %zu\n", run.errors.size());
+  std::printf("elapsed (ticks)    : %.1f\n", run.summary.elapsed);
+  std::printf("messages exchanged : %llu\n",
+              static_cast<unsigned long long>(run.summary.total_msgs));
+  std::printf("key words on wire  : %llu\n",
+              static_cast<unsigned long long>(run.summary.total_words));
+  return run.errors.empty() ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "analysis/fit.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace aoft::analysis {
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  assert(a.size() == n * n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    if (std::fabs(a[pivot * n + col]) < 1e-12)
+      throw std::runtime_error("solve_linear: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri * n + c] * x[c];
+    x[ri] = s / a[ri * n + ri];
+  }
+  return x;
+}
+
+FitResult fit(std::span<const Basis> basis, std::span<const double> xs,
+              std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= basis.size());
+  const std::size_t k = basis.size();
+  const std::size_t n = xs.size();
+
+  // Design matrix rows f_j(x_i); normal equations (FᵀF)c = Fᵀy.
+  std::vector<double> f(n * k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) f[i * k + j] = basis[j].fn(xs[i]);
+
+  std::vector<double> ftf(k * k, 0.0), fty(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      fty[j] += f[i * k + j] * ys[i];
+      for (std::size_t l = 0; l < k; ++l)
+        ftf[j * k + l] += f[i * k + j] * f[i * k + l];
+    }
+  }
+
+  FitResult r;
+  r.coeffs = solve_linear(std::move(ftf), std::move(fty));
+
+  double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < k; ++j) pred += r.coeffs[j] * f[i * k + j];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  r.rms_residual = std::sqrt(ss_res / static_cast<double>(n));
+  r.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return r;
+}
+
+double FitResult::eval(std::span<const Basis> basis, double x) const {
+  double y = 0.0;
+  for (std::size_t j = 0; j < basis.size(); ++j) y += coeffs[j] * basis[j].fn(x);
+  return y;
+}
+
+std::string FitResult::to_string(std::span<const Basis> basis, int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, coeffs[j]);
+    if (j > 0) out += coeffs[j] < 0 ? " " : " + ";
+    out += buf;
+    out += "·";
+    out += basis[j].name;
+  }
+  return out;
+}
+
+}  // namespace aoft::analysis

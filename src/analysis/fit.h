@@ -1,0 +1,45 @@
+// Linear least-squares fitting for run-time component models.
+//
+// The paper's §5 table expresses each measured component as a small linear
+// combination of basis functions of the problem size (8·log²N + 0.05·N·log N,
+// 11.5·N, ...).  We recover such coefficients from simulator measurements by
+// ordinary least squares over arbitrary user-supplied bases, solving the
+// normal equations directly — the bases have at most a handful of terms, so
+// numerical sophistication beyond partial pivoting is unnecessary.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aoft::analysis {
+
+// One basis function of the problem size with a printable name, e.g.
+// {"N·log2 N", [](double n){ return n * std::log2(n); }}.
+struct Basis {
+  std::string name;
+  std::function<double(double)> fn;
+};
+
+struct FitResult {
+  std::vector<double> coeffs;  // one per basis term
+  double rms_residual = 0.0;   // sqrt(mean squared residual)
+  double r_squared = 1.0;      // 1 - SS_res / SS_tot
+
+  double eval(std::span<const Basis> basis, double x) const;
+  // "8.13·log²N + 0.049·N·log2 N" style rendering.
+  std::string to_string(std::span<const Basis> basis, int precision = 3) const;
+};
+
+// Fit y ≈ Σ c_i · basis_i(x) by least squares.  xs.size() == ys.size() and
+// must be at least basis.size().
+FitResult fit(std::span<const Basis> basis, std::span<const double> xs,
+              std::span<const double> ys);
+
+// Solve the square system a·x = b by Gaussian elimination with partial
+// pivoting (a is row-major, size n*n).  Exposed for tests.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b);
+
+}  // namespace aoft::analysis

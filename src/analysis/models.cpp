@@ -1,0 +1,73 @@
+#include "analysis/models.h"
+
+#include <cmath>
+
+namespace aoft::analysis {
+
+Basis basis_const() {
+  return {"1", [](double) { return 1.0; }};
+}
+Basis basis_n() {
+  return {"N", [](double n) { return n; }};
+}
+Basis basis_log2n() {
+  return {"log2 N", [](double n) { return std::log2(n); }};
+}
+Basis basis_log2sq() {
+  return {"log2²N", [](double n) {
+            const double l = std::log2(n);
+            return l * l;
+          }};
+}
+Basis basis_nlog2n() {
+  return {"N·log2 N", [](double n) { return n * std::log2(n); }};
+}
+
+std::vector<Basis> sft_comm_basis() { return {basis_log2sq(), basis_nlog2n()}; }
+std::vector<Basis> sft_comp_basis() { return {basis_n()}; }
+std::vector<Basis> seq_comm_basis() { return {basis_n()}; }
+std::vector<Basis> seq_comp_basis() { return {basis_nlog2n()}; }
+
+double TimeModel::total(double n_nodes) const {
+  return comm.eval(comm_basis, n_nodes) + comp.eval(comp_basis, n_nodes);
+}
+
+unsigned long long crossover_nodes(const TimeModel& a, const TimeModel& b,
+                                   int lo_dim, int hi_dim) {
+  for (int d = lo_dim; d <= hi_dim; ++d) {
+    const double n = std::ldexp(1.0, d);
+    if (a.total(n) <= b.total(n)) return 1ULL << d;
+  }
+  return 0;
+}
+
+double limit_ratio(const TimeModel& a, const TimeModel& b, int dim) {
+  const double n = std::ldexp(1.0, dim);
+  return a.total(n) / b.total(n);
+}
+
+namespace {
+
+// Sum of the model's N·log2 N coefficients across both components.
+double nlog2n_coefficient(const TimeModel& m) {
+  double c = 0.0;
+  const auto scan = [&c](const std::vector<Basis>& basis,
+                         const std::vector<double>& coeffs) {
+    for (std::size_t i = 0; i < basis.size() && i < coeffs.size(); ++i)
+      if (basis[i].name == "N·log2 N") c += coeffs[i];
+  };
+  scan(m.comm_basis, m.comm.coeffs);
+  scan(m.comp_basis, m.comp.coeffs);
+  return c;
+}
+
+}  // namespace
+
+double asymptotic_ratio(const TimeModel& a, const TimeModel& b) {
+  const double ca = nlog2n_coefficient(a);
+  const double cb = nlog2n_coefficient(b);
+  if (ca > 0.0 && cb > 0.0) return ca / cb;
+  return limit_ratio(a, b, 1000);
+}
+
+}  // namespace aoft::analysis

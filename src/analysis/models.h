@@ -1,0 +1,60 @@
+// The paper's run-time model forms (§5) and large-system projection helpers.
+//
+// Figure 7 ("Projected Sorting Time Comparisons - Large Systems") and
+// Figure 8 (block sorting) extrapolate the measured component table to cube
+// sizes far beyond the 32 nodes the authors could run.  We reproduce that:
+// bench binaries measure components on simulable sizes, fit the paper's model
+// forms with analysis/fit.h, and project with the helpers below.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/fit.h"
+
+namespace aoft::analysis {
+
+// Standard bases over the node count N.
+Basis basis_const();     // 1
+Basis basis_n();         // N
+Basis basis_log2n();     // log2 N
+Basis basis_log2sq();    // log2² N
+Basis basis_nlog2n();    // N·log2 N
+
+// The paper's component forms:
+//   S_FT communication  ~ c1·log2²N + c2·N·log2 N     (their 8 and 0.05)
+//   S_FT computation    ~ c·N                          (their 11.5)
+//   sequential comm     ~ c·N                          (their 14)
+//   sequential comp     ~ c·N·log2 N                   (their 0.45)
+std::vector<Basis> sft_comm_basis();
+std::vector<Basis> sft_comp_basis();
+std::vector<Basis> seq_comm_basis();
+std::vector<Basis> seq_comp_basis();
+
+// A fitted two-component (communication + computation) model of one
+// algorithm's total run time as a function of N.
+struct TimeModel {
+  std::vector<Basis> comm_basis;
+  FitResult comm;
+  std::vector<Basis> comp_basis;
+  FitResult comp;
+
+  double total(double n_nodes) const;
+};
+
+// Smallest power-of-two node count at which `a` becomes no slower than `b`,
+// scanning dimensions [lo_dim, hi_dim].  Returns 0 if `a` never catches up.
+unsigned long long crossover_nodes(const TimeModel& a, const TimeModel& b,
+                                   int lo_dim, int hi_dim);
+
+// a.total(N) / b.total(N) at N = 2^dim — the finite-size cost ratio plotted
+// in Figure 7.
+double limit_ratio(const TimeModel& a, const TimeModel& b, int dim = 30);
+
+// The true N→∞ ratio: both totals are dominated by their N·log2 N terms, so
+// the limit is the ratio of those coefficients (the paper's "in the limit
+// ... 11% the cost of sequential sorting" is 0.05/0.45).  Falls back to
+// limit_ratio at 2^1000 when either model lacks an N·log2 N term.
+double asymptotic_ratio(const TimeModel& a, const TimeModel& b);
+
+}  // namespace aoft::analysis

@@ -1,0 +1,23 @@
+// Small descriptive-statistics helpers for campaign and bench summaries.
+
+#pragma once
+
+#include <span>
+
+namespace aoft::analysis {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Summary statistics of a sample (all zeros for an empty span).
+Summary summarize(std::span<const double> xs);
+
+// p-th percentile (0..100) by nearest-rank on a copy; 0 for empty input.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace aoft::analysis

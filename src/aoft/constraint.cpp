@@ -1,0 +1,14 @@
+#include "aoft/constraint.h"
+
+namespace aoft::core {
+
+const char* to_string(Violation::Metric m) {
+  switch (m) {
+    case Violation::Metric::kProgress: return "progress";
+    case Violation::Metric::kFeasibility: return "feasibility";
+    case Violation::Metric::kConsistency: return "consistency";
+  }
+  return "?";
+}
+
+}  // namespace aoft::core

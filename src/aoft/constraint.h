@@ -1,0 +1,84 @@
+// The application-oriented fault tolerance paradigm, as a reusable framework.
+//
+// The paper's method (§1, [7]) builds a *constraint predicate* Φ from three
+// basis metrics derived at specification time:
+//
+//   progress    — each testable step advances toward the goal (for iterative
+//                 convergent problems: error reduction; for the sort: longer
+//                 validated bitonic sequences),
+//   feasibility — every intermediate result stays inside the problem's
+//                 solution space (natural constraints / boundary conditions),
+//   consistency — redundantly received copies of the same datum agree, so a
+//                 Byzantine peer cannot satisfy each checker locally while
+//                 lying globally.
+//
+// The sort library implements Φ directly (sort/predicates.h).  This header
+// gives the *generic* shape: applications declare small predicate callables
+// over their own state types and compose them into a ConstraintPredicate that
+// yields the first violation.  aoft/relaxation.h is a second, independent
+// application of the same frame, demonstrating the paper's claim that the
+// paradigm is not sorting-specific.
+
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aoft::core {
+
+// A violated executable assertion.
+struct Violation {
+  enum class Metric { kProgress, kFeasibility, kConsistency } metric{};
+  std::string detail;
+};
+
+const char* to_string(Violation::Metric m);
+
+// A predicate over (previous state, candidate state) — progress is inherently
+// relative; feasibility/consistency predicates may ignore `prev`.
+template <typename P, typename State>
+concept StatePredicate = requires(const P& p, const State& prev, const State& cur) {
+  { p(prev, cur) } -> std::convertible_to<std::optional<Violation>>;
+};
+
+// An ordered collection of predicates evaluated until the first violation.
+// Progress/feasibility/consistency components are registered with their
+// metric so diagnostics name the failing basis metric.
+template <typename State>
+class ConstraintPredicate {
+ public:
+  using Fn = std::function<std::optional<std::string>(const State&, const State&)>;
+
+  ConstraintPredicate& progress(Fn fn) {
+    parts_.emplace_back(Violation::Metric::kProgress, std::move(fn));
+    return *this;
+  }
+  ConstraintPredicate& feasibility(Fn fn) {
+    parts_.emplace_back(Violation::Metric::kFeasibility, std::move(fn));
+    return *this;
+  }
+  ConstraintPredicate& consistency(Fn fn) {
+    parts_.emplace_back(Violation::Metric::kConsistency, std::move(fn));
+    return *this;
+  }
+
+  std::size_t size() const { return parts_.size(); }
+
+  // First violated component, or nullopt when the state satisfies Φ.
+  std::optional<Violation> operator()(const State& prev, const State& cur) const {
+    for (const auto& [metric, fn] : parts_) {
+      if (auto detail = fn(prev, cur))
+        return Violation{metric, std::move(*detail)};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::pair<Violation::Metric, Fn>> parts_;
+};
+
+}  // namespace aoft::core

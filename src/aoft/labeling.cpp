@@ -1,0 +1,271 @@
+#include "aoft/labeling.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "aoft/constraint.h"
+#include "hypercube/gray.h"
+
+namespace aoft::core {
+
+namespace {
+
+using cube::NodeId;
+
+sim::Key pack(double v) { return std::bit_cast<sim::Key>(v); }
+double unpack(sim::Key k) { return std::bit_cast<double>(k); }
+
+constexpr double kEps = 1e-9;
+
+struct LabelingShared {
+  LabelingOptions opts;
+  LabelingProblem problem;
+  int dim = 0;
+  std::vector<double> out;
+};
+
+// One chunk-boundary halo: the neighbor's edge label vector plus the echo of
+// the vector last received from us.
+struct Halo {
+  std::vector<double> edge;
+  std::vector<double> echo;  // empty on the first sweep
+  bool valid = false;
+};
+
+sim::SimTask labeling_node(sim::Ctx& ctx, LabelingShared& sh) {
+  const NodeId me = ctx.id();
+  const std::size_t L = sh.problem.labels;
+  const std::size_t chunk = sh.opts.objects_per_node;
+  const auto& cm = sh.opts.cost;
+  const auto ring = cube::gray_chain_position(ctx.topo(), me);
+
+  // My objects' label vectors, flattened chunk × L.
+  std::vector<double> p(
+      sh.problem.initial.begin() + static_cast<std::ptrdiff_t>(ring.rank * chunk * L),
+      sh.problem.initial.begin() +
+          static_cast<std::ptrdiff_t>((ring.rank + 1) * chunk * L));
+  std::vector<double> next(p.size(), 0.0);
+  std::vector<double> support(p.size(), 0.0);
+
+  const auto r = [&](std::size_t a, std::size_t b) {
+    return sh.problem.compat[a * L + b];
+  };
+
+  // The constraint predicate over one sweep's observable state.
+  struct SweepState {
+    double min_prob = 0.0, max_prob = 1.0;  // extremes of the new vectors
+    double worst_sum_dev = 0.0;             // max |Σ_λ p'(λ) − 1|
+    double worst_support_loss = 0.0;        // max over objects of Σpq − Σp'q
+    bool echo_ok = true;
+  };
+  ConstraintPredicate<SweepState> phi;
+  if (sh.opts.check_progress)
+    phi.progress([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      if (s.worst_support_loss > kEps)
+        return "updated labeling lost support against its own support vector";
+      return std::nullopt;
+    });
+  if (sh.opts.check_feasibility)
+    phi.feasibility([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      if (s.min_prob < -kEps || s.max_prob > 1.0 + kEps || s.worst_sum_dev > 1e-6)
+        return "label vector left the probability simplex";
+      return std::nullopt;
+    });
+  if (sh.opts.check_consistency)
+    phi.consistency([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      if (!s.echo_ok) return "halo echo disagrees with the vector sent";
+      return std::nullopt;
+    });
+
+  std::vector<double> sent_left_prev, sent_right_prev;
+  std::vector<double> recv_left_prev, recv_right_prev;
+  SweepState prev_state;
+
+  auto vectors_equal = [](const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  };
+
+  for (int sweep = 0; sweep < sh.opts.sweeps; ++sweep) {
+    // Halo exchange with the ring neighbors: edge vector + echo.
+    auto send_halo = [&](NodeId to, std::span<const double> edge,
+                         const std::vector<double>& echo) {
+      sim::Message msg;
+      msg.kind = sim::MsgKind::kApp;
+      msg.stage = sweep;
+      msg.tag = 1;  // labeling halo
+      msg.data.reserve(edge.size() + echo.size() + 1);
+      msg.data.push_back(static_cast<sim::Key>(echo.size()));
+      for (double v : edge) msg.data.push_back(pack(v));
+      for (double v : echo) msg.data.push_back(pack(v));
+      ctx.send(to, std::move(msg));
+    };
+    const std::span<const double> my_left_edge(p.data(), L);
+    const std::span<const double> my_right_edge(p.data() + (chunk - 1) * L, L);
+    if (ring.has_prev) send_halo(ring.prev, my_left_edge, recv_left_prev);
+    if (ring.has_next) send_halo(ring.next, my_right_edge, recv_right_prev);
+
+    Halo from_left, from_right;
+    bool ok = true;
+    if (ring.has_prev) {
+      auto rmsg = co_await ctx.recv(ring.prev);
+      if (!rmsg.ok) {
+        ctx.error({0, sweep, -1, sim::ErrorSource::kTimeout, "no halo from prev"});
+        ok = false;
+      } else {
+        ctx.account_recv(rmsg.msg);
+        const auto& d = rmsg.msg.data;
+        if (d.size() >= 1 + L) {
+          const std::size_t echo_len = static_cast<std::size_t>(d[0]);
+          from_left.edge.assign(L, 0.0);
+          for (std::size_t l = 0; l < L; ++l) from_left.edge[l] = unpack(d[1 + l]);
+          from_left.echo.assign(echo_len, 0.0);
+          for (std::size_t l = 0; l < echo_len && 1 + L + l < d.size(); ++l)
+            from_left.echo[l] = unpack(d[1 + L + l]);
+          from_left.valid = true;
+        }
+      }
+    }
+    if (ok && ring.has_next) {
+      auto rmsg = co_await ctx.recv(ring.next);
+      if (!rmsg.ok) {
+        ctx.error({0, sweep, -1, sim::ErrorSource::kTimeout, "no halo from next"});
+        ok = false;
+      } else {
+        ctx.account_recv(rmsg.msg);
+        const auto& d = rmsg.msg.data;
+        if (d.size() >= 1 + L) {
+          const std::size_t echo_len = static_cast<std::size_t>(d[0]);
+          from_right.edge.assign(L, 0.0);
+          for (std::size_t l = 0; l < L; ++l) from_right.edge[l] = unpack(d[1 + l]);
+          from_right.echo.assign(echo_len, 0.0);
+          for (std::size_t l = 0; l < echo_len && 1 + L + l < d.size(); ++l)
+            from_right.echo[l] = unpack(d[1 + L + l]);
+          from_right.valid = true;
+        }
+      }
+    }
+    if (!ok) break;
+
+    // Rosenfeld update over the chunk.
+    SweepState state;
+    state.min_prob = 1.0;
+    state.max_prob = 0.0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      // Support from the two chain neighbors (one at the global ends).
+      const double* left_vec =
+          i > 0 ? p.data() + (i - 1) * L
+                : (ring.has_prev && from_left.valid ? from_left.edge.data() : nullptr);
+      const double* right_vec =
+          i + 1 < chunk
+              ? p.data() + (i + 1) * L
+              : (ring.has_next && from_right.valid ? from_right.edge.data() : nullptr);
+      double old_support_mass = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        double q = 0.0;
+        for (std::size_t mu = 0; mu < L; ++mu) {
+          if (left_vec) q += r(l, mu) * left_vec[mu];
+          if (right_vec) q += r(l, mu) * right_vec[mu];
+        }
+        support[i * L + l] = q;
+        old_support_mass += p[i * L + l] * q;
+      }
+      double z = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        next[i * L + l] = p[i * L + l] * (1.0 + support[i * L + l]);
+        z += next[i * L + l];
+      }
+      double sum = 0.0, new_support_mass = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        next[i * L + l] /= z;
+        sum += next[i * L + l];
+        new_support_mass += next[i * L + l] * support[i * L + l];
+        state.min_prob = std::min(state.min_prob, next[i * L + l]);
+        state.max_prob = std::max(state.max_prob, next[i * L + l]);
+      }
+      state.worst_sum_dev = std::max(state.worst_sum_dev, std::fabs(sum - 1.0));
+      state.worst_support_loss =
+          std::max(state.worst_support_loss, old_support_mass - new_support_mass);
+    }
+    ctx.charge(cm.cmp * static_cast<double>(chunk * L * L * 2));
+
+    // Echo audit: the neighbor must have echoed exactly what we sent last
+    // sweep.
+    state.echo_ok = true;
+    if (ring.has_prev && from_left.valid && !sent_left_prev.empty() &&
+        !from_left.echo.empty())
+      state.echo_ok &= vectors_equal(from_left.echo, sent_left_prev);
+    if (ring.has_next && from_right.valid && !sent_right_prev.empty() &&
+        !from_right.echo.empty())
+      state.echo_ok &= vectors_equal(from_right.echo, sent_right_prev);
+
+    if (auto v = phi(prev_state, state)) {
+      const auto src = v->metric == Violation::Metric::kProgress
+                           ? sim::ErrorSource::kPhiP
+                           : v->metric == Violation::Metric::kFeasibility
+                                 ? sim::ErrorSource::kPhiF
+                                 : sim::ErrorSource::kPhiC;
+      ctx.error({0, sweep, -1, src, v->detail});
+      break;
+    }
+
+    sent_left_prev.assign(my_left_edge.begin(), my_left_edge.end());
+    sent_right_prev.assign(my_right_edge.begin(), my_right_edge.end());
+    recv_left_prev = ring.has_prev && from_left.valid ? from_left.edge
+                                                      : std::vector<double>{};
+    recv_right_prev = ring.has_next && from_right.valid ? from_right.edge
+                                                        : std::vector<double>{};
+    p.swap(next);
+    prev_state = state;
+  }
+
+  std::copy(p.begin(), p.end(),
+            sh.out.begin() + static_cast<std::ptrdiff_t>(ring.rank * chunk * L));
+  co_return;
+}
+
+}  // namespace
+
+std::vector<std::size_t> LabelingRun::decisions(std::size_t labels) const {
+  std::vector<std::size_t> out(p.size() / labels, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < labels; ++l)
+      if (p[i * labels + l] > p[i * labels + best]) best = l;
+    out[i] = best;
+  }
+  return out;
+}
+
+std::vector<double> smoothing_compat(std::size_t labels, double off) {
+  std::vector<double> r(labels * labels, off);
+  for (std::size_t l = 0; l < labels; ++l) r[l * labels + l] = 1.0;
+  return r;
+}
+
+LabelingRun run_labeling(int dim, const LabelingProblem& problem,
+                         const LabelingOptions& opts) {
+  [[maybe_unused]] const std::size_t objects =
+      opts.objects_per_node * (std::size_t{1} << dim);
+  assert(problem.initial.size() == objects * problem.labels);
+  assert(problem.compat.size() == problem.labels * problem.labels);
+
+  LabelingShared sh;
+  sh.opts = opts;
+  sh.problem = problem;
+  sh.dim = dim;
+  sh.out.assign(problem.initial.size(), 0.0);
+
+  sim::Machine machine(cube::Topology{dim}, opts.cost);
+  machine.set_interceptor(opts.interceptor);
+  machine.run([&sh](sim::Ctx& ctx) { return labeling_node(ctx, sh); });
+
+  LabelingRun run;
+  run.p = std::move(sh.out);
+  run.errors = machine.errors();
+  run.summary = machine.summary();
+  return run;
+}
+
+}  // namespace aoft::core

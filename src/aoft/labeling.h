@@ -1,0 +1,82 @@
+// AOFT-protected distributed relaxation labeling.
+//
+// The constraint-predicate paradigm's second published application was
+// "A Reliable Parallel Algorithm for Relaxation Labeling" (McMillin & Ni,
+// 1988 — reference [6] of the sorting paper).  This module reconstructs that
+// class of computation on the simulated multicomputer: a chain of M objects,
+// each carrying a probability vector over L labels, is smoothed by the
+// classical Rosenfeld–Hummel–Zucker update
+//
+//     q_i(λ)  =  Σ_{j ∈ {i-1, i+1}} Σ_μ r(λ,μ) · p_j(μ)          (support)
+//     p'_i(λ) =  p_i(λ)·(1 + q_i(λ)) / Σ_μ p_i(μ)·(1 + q_i(μ))   (update)
+//
+// with a symmetric, non-negative compatibility matrix r.  Objects are
+// distributed in contiguous chunks over the Gray-code ring; each sweep
+// exchanges the chunk-boundary label vectors with the two ring neighbors.
+//
+// The constraint predicate:
+//
+//   progress    — for every object, the updated distribution must not lose
+//                 support against the sweep's own support vector:
+//                 Σ_λ p'(λ)·q(λ) ≥ Σ_λ p(λ)·q(λ) − ε.  With q ≥ 0 this is a
+//                 theorem (the update reweights toward larger q; the gain is
+//                 Var_p(q)/Z ≥ 0), so honest runs are provably alarm-free
+//                 and any tampered update that demotes supported labels is
+//                 caught on the spot;
+//   feasibility — every label vector stays a probability distribution:
+//                 entries in [0,1], unit sum (the problem's natural
+//                 constraint);
+//   consistency — every halo message echoes the vector last received from
+//                 its destination, cross-auditing each link at both ends.
+//
+// Violations signal ERROR to the host and halt the node: fail-stop.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+
+namespace aoft::core {
+
+struct LabelingProblem {
+  std::size_t labels = 2;
+  // Initial probability vectors, flattened: object i's vector at
+  // [i*labels, (i+1)*labels).  Size = objects * labels.
+  std::vector<double> initial;
+  // Symmetric non-negative compatibility matrix, flattened L×L row-major.
+  std::vector<double> compat;
+};
+
+struct LabelingOptions {
+  std::size_t objects_per_node = 4;
+  int sweeps = 32;  // fixed, globally known
+  sim::CostModel cost{};
+  sim::LinkInterceptor* interceptor = nullptr;
+  bool check_progress = true;
+  bool check_feasibility = true;
+  bool check_consistency = true;
+};
+
+struct LabelingRun {
+  std::vector<double> p;  // final probability vectors, flattened
+  std::vector<sim::ErrorReport> errors;
+  sim::RunSummary summary;
+
+  bool fail_stop() const { return !errors.empty(); }
+  // argmax label per object.
+  std::vector<std::size_t> decisions(std::size_t labels) const;
+};
+
+// Solve on a simulated dim-cube.  problem.initial must hold
+// objects_per_node * 2^dim vectors.
+LabelingRun run_labeling(int dim, const LabelingProblem& problem,
+                         const LabelingOptions& opts = {});
+
+// Convenience: a smoothing compatibility matrix for L labels — r(λ,λ) = 1,
+// r(λ,μ) = off for λ ≠ μ (0 ≤ off ≤ 1 keeps the progress theorem valid).
+std::vector<double> smoothing_compat(std::size_t labels, double off = 0.0);
+
+}  // namespace aoft::core

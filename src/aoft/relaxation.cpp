@@ -1,0 +1,236 @@
+#include "aoft/relaxation.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "aoft/constraint.h"
+#include "hypercube/gray.h"
+#include "hypercube/topology.h"
+
+namespace aoft::core {
+
+namespace {
+
+using cube::NodeId;
+
+sim::Key pack(double v) { return std::bit_cast<sim::Key>(v); }
+double unpack(sim::Key k) { return std::bit_cast<double>(k); }
+
+constexpr double kNoEcho = std::numeric_limits<double>::infinity();
+// Tolerance for the non-expansiveness progress assertion: pure floating-point
+// round-off in 0.5*(x+y) is far below this.
+constexpr double kEps = 1e-9;
+
+struct RelaxShared {
+  RelaxOptions opts;
+  int dim = 0;
+  std::vector<double> initial;
+  std::vector<double> u_out;
+  std::vector<double> final_delta;  // per node
+  double lo = 0.0, hi = 0.0;        // global feasibility band (a-priori known)
+};
+
+// One neighbor's halo data for a sweep.
+struct Halo {
+  double value = 0.0;
+  double echo = kNoEcho;
+  double max_delta = 0.0;
+};
+
+sim::SimTask relax_node(sim::Ctx& ctx, RelaxShared& sh) {
+  const NodeId me = ctx.id();
+  const NodeId num_nodes = ctx.topo().num_nodes();
+  const std::size_t cells = sh.opts.cells_per_node;
+  const auto& cm = sh.opts.cost;
+
+  const auto ring = cube::gray_chain_position(ctx.topo(), me);
+  const NodeId rank = ring.rank;
+  const bool has_left = ring.has_prev;
+  const bool has_right = ring.has_next;
+  const NodeId left = ring.prev;
+  const NodeId right = ring.next;
+  (void)num_nodes;
+
+  std::vector<double> u(sh.initial.begin() + static_cast<std::ptrdiff_t>(rank * cells),
+                        sh.initial.begin() + static_cast<std::ptrdiff_t>((rank + 1) * cells));
+  std::vector<double> next(cells, 0.0);
+
+  // The constraint predicate over one sweep's observable state.
+  struct SweepState {
+    double max_delta = 0.0;        // this sweep's largest update
+    double bound_delta = 0.0;      // largest prev-sweep delta in the window
+    double lo = 0.0, hi = 0.0;     // extremes of the new values
+    double feas_lo = 0.0, feas_hi = 0.0;
+    double echo_left = kNoEcho, sent_left = kNoEcho;
+    double echo_right = kNoEcho, sent_right = kNoEcho;
+    bool first = true;
+  };
+  ConstraintPredicate<SweepState> phi;
+  if (sh.opts.check_progress)
+    phi.progress([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      if (!s.first && s.max_delta > s.bound_delta + kEps)
+        return "update magnitude grew beyond its dependence window";
+      return std::nullopt;
+    });
+  if (sh.opts.check_feasibility)
+    phi.feasibility([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      if (s.lo < s.feas_lo - kEps || s.hi > s.feas_hi + kEps)
+        return "value escaped the boundary-data band (maximum principle)";
+      return std::nullopt;
+    });
+  if (sh.opts.check_consistency)
+    phi.consistency([](const SweepState&, const SweepState& s) -> std::optional<std::string> {
+      const bool left_bad = s.echo_left != kNoEcho && s.sent_left != kNoEcho &&
+                            s.echo_left != s.sent_left;
+      const bool right_bad = s.echo_right != kNoEcho && s.sent_right != kNoEcho &&
+                             s.echo_right != s.sent_right;
+      if (left_bad || right_bad) return "halo echo disagrees with the value sent";
+      return std::nullopt;
+    });
+
+  double prev_max_delta = 0.0;
+  double sent_left_prev = kNoEcho, sent_right_prev = kNoEcho;
+  double recv_left_prev = kNoEcho, recv_right_prev = kNoEcho;
+  SweepState prev_state;
+
+  for (int sweep = 0; sweep < sh.opts.sweeps; ++sweep) {
+    // Exchange halos with ring neighbors (lower rank first for determinism;
+    // the even/odd rank parity decides send-first vs receive-first so the
+    // rendezvous pattern matches the channel discipline).
+    Halo from_left, from_right;
+    const double my_left_edge = u.front();
+    const double my_right_edge = u.back();
+
+    auto send_halo = [&](NodeId to, double edge, double echo) {
+      sim::Message msg;
+      msg.kind = sim::MsgKind::kApp;
+      msg.stage = sweep;
+      msg.tag = 0;
+      msg.data = {pack(edge), pack(echo), pack(prev_max_delta)};
+      ctx.send(to, std::move(msg));
+    };
+    bool ok = true;
+    // Both directions: sends are non-blocking, so fire them first, then
+    // drain the two receives.
+    if (has_left) send_halo(left, my_left_edge, recv_left_prev);
+    if (has_right) send_halo(right, my_right_edge, recv_right_prev);
+    if (has_left) {
+      auto r = co_await ctx.recv(left);
+      if (!r.ok) {
+        ctx.error({0, sweep, -1, sim::ErrorSource::kTimeout, "no halo from left"});
+        ok = false;
+      } else {
+        ctx.account_recv(r.msg);
+        if (r.msg.data.size() == 3) {
+          from_left.value = unpack(r.msg.data[0]);
+          from_left.echo = unpack(r.msg.data[1]);
+          from_left.max_delta = unpack(r.msg.data[2]);
+        }
+      }
+    }
+    if (ok && has_right) {
+      auto r = co_await ctx.recv(right);
+      if (!r.ok) {
+        ctx.error({0, sweep, -1, sim::ErrorSource::kTimeout, "no halo from right"});
+        ok = false;
+      } else {
+        ctx.account_recv(r.msg);
+        if (r.msg.data.size() == 3) {
+          from_right.value = unpack(r.msg.data[0]);
+          from_right.echo = unpack(r.msg.data[1]);
+          from_right.max_delta = unpack(r.msg.data[2]);
+        }
+      }
+    }
+    if (!ok) break;
+
+    // Jacobi sweep over the chunk.
+    const double left_val = has_left ? from_left.value : sh.opts.left;
+    const double right_val = has_right ? from_right.value : sh.opts.right;
+    SweepState state;
+    state.first = sweep == 0;
+    state.feas_lo = sh.lo;
+    state.feas_hi = sh.hi;
+    state.lo = std::numeric_limits<double>::infinity();
+    state.hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < cells; ++k) {
+      const double lhs = k == 0 ? left_val : u[k - 1];
+      const double rhs = k + 1 == cells ? right_val : u[k + 1];
+      next[k] = 0.5 * (lhs + rhs);
+      state.max_delta = std::max(state.max_delta, std::fabs(next[k] - u[k]));
+      state.lo = std::min(state.lo, next[k]);
+      state.hi = std::max(state.hi, next[k]);
+    }
+    ctx.charge(cm.cmp * static_cast<double>(3 * cells));
+    state.bound_delta = std::max({prev_max_delta,
+                                  has_left ? from_left.max_delta : 0.0,
+                                  has_right ? from_right.max_delta : 0.0});
+    state.echo_left = has_left ? from_left.echo : kNoEcho;
+    state.sent_left = sent_left_prev;
+    state.echo_right = has_right ? from_right.echo : kNoEcho;
+    state.sent_right = sent_right_prev;
+
+    if (auto v = phi(prev_state, state)) {
+      const auto src = v->metric == Violation::Metric::kProgress
+                           ? sim::ErrorSource::kPhiP
+                           : v->metric == Violation::Metric::kFeasibility
+                                 ? sim::ErrorSource::kPhiF
+                                 : sim::ErrorSource::kPhiC;
+      ctx.error({0, sweep, -1, src, v->detail});
+      break;
+    }
+
+    u.swap(next);
+    prev_max_delta = state.max_delta;
+    sent_left_prev = my_left_edge;
+    sent_right_prev = my_right_edge;
+    recv_left_prev = has_left ? from_left.value : kNoEcho;
+    recv_right_prev = has_right ? from_right.value : kNoEcho;
+    prev_state = state;
+  }
+
+  std::copy(u.begin(), u.end(),
+            sh.u_out.begin() + static_cast<std::ptrdiff_t>(rank * cells));
+  sh.final_delta[me] = prev_max_delta;
+  co_return;
+}
+
+}  // namespace
+
+RelaxRun run_relaxation(int dim, std::span<const double> initial,
+                        const RelaxOptions& opts) {
+  const std::size_t total = opts.cells_per_node * (std::size_t{1} << dim);
+  RelaxShared sh;
+  sh.opts = opts;
+  sh.dim = dim;
+  if (initial.empty())
+    sh.initial.assign(total, 0.0);
+  else {
+    assert(initial.size() == total);
+    sh.initial.assign(initial.begin(), initial.end());
+  }
+  sh.u_out.assign(total, 0.0);
+  sh.final_delta.assign(std::size_t{1} << dim, 0.0);
+  sh.lo = std::min(opts.left, opts.right);
+  sh.hi = std::max(opts.left, opts.right);
+  for (double v : sh.initial) {
+    sh.lo = std::min(sh.lo, v);
+    sh.hi = std::max(sh.hi, v);
+  }
+
+  sim::Machine machine(cube::Topology{dim}, opts.cost);
+  machine.set_interceptor(opts.interceptor);
+  machine.run([&sh](sim::Ctx& ctx) { return relax_node(ctx, sh); });
+
+  RelaxRun run;
+  run.u = std::move(sh.u_out);
+  run.errors = machine.errors();
+  run.summary = machine.summary();
+  for (double d : sh.final_delta)
+    run.max_update_last_sweep = std::max(run.max_update_last_sweep, d);
+  return run;
+}
+
+}  // namespace aoft::core

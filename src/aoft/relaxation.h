@@ -1,0 +1,64 @@
+// AOFT-protected distributed Jacobi relaxation.
+//
+// The paper positions parallel sorting as the first *non-iterative* use of
+// the constraint-predicate paradigm; its earlier applications were iterative
+// relaxations (matrix iteration [7], relaxation labelling [6]).  This module
+// reconstructs that original setting on the same simulated multicomputer:
+// the 1-D Laplace problem u_k = (u_{k-1} + u_{k+1})/2 with fixed ends,
+// distributed in contiguous chunks over a Gray-code ring embedded in the
+// hypercube (ring neighbors are cube neighbors), solved by synchronous
+// Jacobi sweeps with halo exchange.
+//
+// The constraint predicate, built with aoft::core::ConstraintPredicate:
+//
+//   progress    — a cell's update magnitude never exceeds the largest update
+//                 seen in its dependence window one sweep earlier (Jacobi on
+//                 an averaging stencil is non-expansive in max norm), and the
+//                 sweep count is known a priori to all nodes;
+//   feasibility — every value stays inside [min, max] of the boundary data
+//                 (the discrete maximum principle — the paper's "natural
+//                 problem constraint" par excellence);
+//   consistency — every halo message echoes the value last received from the
+//                 destination, so each link is continuously cross-audited by
+//                 its two endpoints.
+//
+// A violation makes the node signal ERROR to the host and halt: fail-stop,
+// exactly as in the sort.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+
+namespace aoft::core {
+
+struct RelaxOptions {
+  std::size_t cells_per_node = 8;  // chunk length per processor
+  int sweeps = 64;                 // fixed, globally known iteration count
+  double left = 0.0;               // Dirichlet boundary values
+  double right = 1.0;
+  sim::CostModel cost{};
+  sim::LinkInterceptor* interceptor = nullptr;
+  bool check_progress = true;
+  bool check_feasibility = true;
+  bool check_consistency = true;
+};
+
+struct RelaxRun {
+  std::vector<double> u;  // final field, cells_per_node * 2^dim values
+  std::vector<sim::ErrorReport> errors;
+  sim::RunSummary summary;
+  double max_update_last_sweep = 0.0;  // convergence indicator
+
+  bool fail_stop() const { return !errors.empty(); }
+};
+
+// Solve on a simulated dim-cube from the given initial interior field
+// (size cells_per_node * 2^dim); pass an empty span for an all-zero start.
+RelaxRun run_relaxation(int dim, std::span<const double> initial,
+                        const RelaxOptions& opts = {});
+
+}  // namespace aoft::core

@@ -1,0 +1,88 @@
+// Link-level Byzantine adversaries (paper Definition 3, environmental
+// assumption 1: "inter-node communications and processors are subject to
+// Byzantine faults").
+//
+// An Adversary is a sim::LinkInterceptor composed of mutators.  Each mutator
+// sees every node-node message at send time — (from, to, header, payload) —
+// and may mutate or drop it.  Because the interceptor distinguishes
+// destinations, it expresses the worst-case *two-faced* behaviours the
+// consistency predicate Φ_C exists to catch: the same logical datum told
+// differently to different peers.
+//
+// All mutators are deterministic; randomized ones draw from an explicit
+// seed, so fault campaigns replay exactly.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "sim/machine.h"
+
+namespace aoft::fault {
+
+// What a mutator did to one message.
+enum class Action : std::uint8_t { kPass, kMutated, kDropped };
+
+using Mutator =
+    std::function<Action(cube::NodeId from, cube::NodeId to, sim::Message&)>;
+
+class Adversary : public sim::LinkInterceptor {
+ public:
+  Adversary() = default;
+  explicit Adversary(std::vector<Mutator> mutators)
+      : mutators_(std::move(mutators)) {}
+
+  void add(Mutator m) { mutators_.push_back(std::move(m)); }
+
+  bool on_send(cube::NodeId from, cube::NodeId to, sim::Message& m) override;
+
+  // Number of messages this adversary actually touched (mutated or dropped);
+  // campaigns use it to discard scenarios whose injection point was never
+  // reached (e.g. the victim halted earlier for another reason).
+  std::uint64_t touched() const { return touched_; }
+
+ private:
+  std::vector<Mutator> mutators_;
+  std::uint64_t touched_ = 0;
+};
+
+// ---- mutator factories ------------------------------------------------------
+// All factories target messages *sent by* `faulty`.
+
+// Corrupt the compare-exchange operand(s): add `delta` to every data word of
+// the message sent at exactly (stage, iter).
+Mutator corrupt_data(cube::NodeId faulty, StagePoint at, sim::Key delta);
+
+// Corrupt the piggybacked copy of `entry`'s block (all m words get +delta) in
+// every LBS-carrying message from `faulty` from (stage, iter) onward.
+// A uniform lie: every peer hears the same wrong value.
+Mutator corrupt_gossip_entry(cube::NodeId faulty, StagePoint from_point,
+                             cube::NodeId entry, sim::Key delta, std::size_t m);
+
+// Two-faced lie: as corrupt_gossip_entry, but only on messages to
+// destinations satisfying `pred` — other peers hear the truth, so only the
+// consistency predicate can convict.
+Mutator two_faced_gossip(cube::NodeId faulty, StagePoint from_point,
+                         cube::NodeId entry, sim::Key delta, std::size_t m,
+                         std::function<bool(cube::NodeId dest)> pred);
+
+// Drop the single message sent at exactly (stage, iter).
+Mutator drop_message(cube::NodeId faulty, StagePoint at);
+
+// Kill one directed link permanently from (stage, iter) onward.
+Mutator dead_link(cube::NodeId faulty, cube::NodeId dest, StagePoint from_point);
+
+// Replace the whole piggybacked LBS slice with deterministic noise from
+// (stage, iter) onward.
+Mutator garble_lbs(cube::NodeId faulty, StagePoint from_point, std::uint64_t seed);
+
+// Replay attack: record the LBS slice of the first message `faulty` sends at
+// or after (stage, iter), then substitute that stale copy into every later
+// LBS-carrying message of the same slice length (stale data is plausible in
+// shape but semantically outdated — the copies disagree with fresh ones or
+// fail the stage-end comparisons).
+Mutator replay_stale_lbs(cube::NodeId faulty, StagePoint from_point);
+
+}  // namespace aoft::fault

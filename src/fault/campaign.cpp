@@ -1,0 +1,306 @@
+#include "fault/campaign.h"
+
+#include <cassert>
+#include <iterator>
+
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCorruptData: return "corrupt-data";
+    case FaultClass::kCorruptGossip: return "corrupt-gossip";
+    case FaultClass::kTwoFacedGossip: return "two-faced-gossip";
+    case FaultClass::kRelayTamper: return "relay-tamper";
+    case FaultClass::kDropMessage: return "drop-message";
+    case FaultClass::kDeadLink: return "dead-link";
+    case FaultClass::kGarbleLbs: return "garble-lbs";
+    case FaultClass::kReplayStale: return "replay-stale";
+    case FaultClass::kHaltNode: return "halt-node";
+    case FaultClass::kInvertDirection: return "invert-direction";
+    case FaultClass::kSubstituteValue: return "substitute-value";
+  }
+  return "?";
+}
+
+Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
+                       util::Rng& rng) {
+  const int n = cfg.dim;
+  const auto num_nodes = cube::NodeId{1} << n;
+  Scenario s;
+  s.fclass = fclass;
+  s.dim = n;
+  s.block = cfg.block;
+  s.faulty = static_cast<cube::NodeId>(rng.next_below(num_nodes));
+  // Environmental assumption 5: nodes are sane through the first message
+  // exchange, so the earliest injection point is after stage 0 begins; value
+  // substitution additionally requires a *validated* previous stage, and a
+  // stale replay needs at least two same-window messages after its point.
+  const int min_stage = fclass == FaultClass::kSubstituteValue ||
+                                fclass == FaultClass::kReplayStale
+                            ? 1
+                            : 0;
+  s.point.stage =
+      min_stage + static_cast<int>(rng.next_below(
+                      static_cast<std::uint64_t>(n - min_stage)));
+  if (fclass == FaultClass::kReplayStale)
+    s.point.iter = 1 + static_cast<int>(
+                           rng.next_below(static_cast<std::uint64_t>(s.point.stage)));
+  else
+    s.point.iter = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(s.point.stage + 1)));
+  s.delta = rng.next_in(1, 1 << 20) * (rng.next_bool() ? 1 : -1);
+  s.input_seed = rng.next_u64();
+  // Auxiliary node: a member of the stage window other than the faulty node
+  // (relay victim), or an arbitrary neighbor (dead link destination).
+  if (fclass == FaultClass::kRelayTamper) {
+    const cube::NodeId flip = static_cast<cube::NodeId>(
+        1 + rng.next_below((cube::NodeId{1} << (s.point.stage + 1)) - 1));
+    s.aux_node = s.faulty ^ flip;
+  } else {
+    s.aux_node =
+        s.faulty ^ (cube::NodeId{1} << rng.next_below(static_cast<std::uint64_t>(n)));
+  }
+  return s;
+}
+
+namespace {
+
+// Build (adversary, node-fault map) realizing the scenario.
+void instantiate(const Scenario& s, Adversary& adversary, NodeFaultMap& nf) {
+  switch (s.fclass) {
+    case FaultClass::kCorruptData:
+      adversary.add(corrupt_data(s.faulty, s.point, s.delta));
+      break;
+    case FaultClass::kCorruptGossip:
+      adversary.add(
+          corrupt_gossip_entry(s.faulty, s.point, s.faulty, s.delta, s.block));
+      break;
+    case FaultClass::kTwoFacedGossip:
+      adversary.add(two_faced_gossip(
+          s.faulty, s.point, s.faulty, s.delta, s.block,
+          [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
+      break;
+    case FaultClass::kRelayTamper:
+      adversary.add(
+          corrupt_gossip_entry(s.faulty, s.point, s.aux_node, s.delta, s.block));
+      break;
+    case FaultClass::kDropMessage:
+      adversary.add(drop_message(s.faulty, s.point));
+      break;
+    case FaultClass::kDeadLink:
+      adversary.add(dead_link(s.faulty, s.aux_node, s.point));
+      break;
+    case FaultClass::kGarbleLbs:
+      adversary.add(garble_lbs(s.faulty, s.point, s.input_seed ^ 0xabcdefULL));
+      break;
+    case FaultClass::kReplayStale:
+      adversary.add(replay_stale_lbs(s.faulty, s.point));
+      break;
+    case FaultClass::kHaltNode:
+      nf[s.faulty].halt_at = s.point;
+      break;
+    case FaultClass::kInvertDirection:
+      nf[s.faulty].invert_direction_from = s.point;
+      break;
+    case FaultClass::kSubstituteValue:
+      nf[s.faulty].substitute_at = s.point;
+      nf[s.faulty].substitute_value = 3000000000LL + s.delta;
+      break;
+  }
+}
+
+bool is_link_class(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCorruptData:
+    case FaultClass::kCorruptGossip:
+    case FaultClass::kTwoFacedGossip:
+    case FaultClass::kRelayTamper:
+    case FaultClass::kDropMessage:
+    case FaultClass::kDeadLink:
+    case FaultClass::kGarbleLbs:
+    case FaultClass::kReplayStale:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Gossip-targeting classes touch fields S_NR does not transmit.
+bool applies_to_snr(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCorruptGossip:
+    case FaultClass::kTwoFacedGossip:
+    case FaultClass::kRelayTamper:
+    case FaultClass::kGarbleLbs:
+    case FaultClass::kReplayStale:
+      return false;
+    default:
+      return true;
+  }
+}
+
+ScenarioResult finish_result(const Scenario& s, const sort::SortRun& run,
+                             std::span<const sim::Key> input, bool exercised) {
+  ScenarioResult r;
+  r.scenario = s;
+  r.outcome = sort::classify(run, input);
+  r.fault_exercised = exercised;
+  if (!run.errors.empty()) {
+    r.first_detector = run.errors.front().source;
+    r.detection_stage = run.errors.front().stage;
+  }
+  return r;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg) {
+  auto input = util::random_keys(
+      s.input_seed, (std::size_t{1} << s.dim) * s.block);
+  Adversary adversary;
+  sort::SftOptions opts;
+  opts.block = s.block;
+  opts.check_progress = cfg.check_progress;
+  opts.check_feasibility = cfg.check_feasibility;
+  opts.check_consistency = cfg.check_consistency;
+  opts.check_exchange = cfg.check_exchange;
+  instantiate(s, adversary, opts.node_faults);
+  if (is_link_class(s.fclass)) opts.interceptor = &adversary;
+  auto run = sort::run_sft(s.dim, input, opts);
+  const bool exercised =
+      is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
+  return finish_result(s, run, input, exercised);
+}
+
+ScenarioResult run_scenario_snr(const Scenario& s, const CampaignConfig& cfg) {
+  auto input = util::random_keys(
+      s.input_seed, (std::size_t{1} << s.dim) * s.block);
+  Adversary adversary;
+  sort::SnrOptions opts;
+  opts.block = s.block;
+  NodeFaultMap nf;
+  instantiate(s, adversary, nf);
+  opts.node_faults = std::move(nf);
+  if (is_link_class(s.fclass)) opts.interceptor = &adversary;
+  (void)cfg;
+  auto run = sort::run_snr(s.dim, input, opts);
+  const bool exercised =
+      is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
+  return finish_result(s, run, input, exercised);
+}
+
+MultiScenario draw_multi_scenario(int k, const CampaignConfig& cfg,
+                                  util::Rng& rng) {
+  MultiScenario ms;
+  ms.dim = cfg.dim;
+  ms.block = cfg.block;
+  ms.input_seed = rng.next_u64();
+  std::vector<bool> used(std::size_t{1} << cfg.dim, false);
+  while (static_cast<int>(ms.faults.size()) < k) {
+    const auto fclass =
+        kAllFaultClasses[rng.next_below(std::size(kAllFaultClasses))];
+    Scenario s = draw_scenario(fclass, cfg, rng);
+    if (used[s.faulty]) continue;  // distinct faulty nodes
+    used[s.faulty] = true;
+    s.input_seed = ms.input_seed;  // one shared input per multi-run
+    ms.faults.push_back(std::move(s));
+  }
+  return ms;
+}
+
+MultiResult run_multi_scenario_sft(const MultiScenario& ms,
+                                   const CampaignConfig& cfg) {
+  auto input = util::random_keys(ms.input_seed,
+                                 (std::size_t{1} << ms.dim) * ms.block);
+  Adversary adversary;
+  sort::SftOptions opts;
+  opts.block = ms.block;
+  opts.check_progress = cfg.check_progress;
+  opts.check_feasibility = cfg.check_feasibility;
+  opts.check_consistency = cfg.check_consistency;
+  opts.check_exchange = cfg.check_exchange;
+  bool any_node_fault = false;
+  bool any_link_fault = false;
+  for (const auto& s : ms.faults) {
+    instantiate(s, adversary, opts.node_faults);
+    any_node_fault |= !is_link_class(s.fclass);
+    any_link_fault |= is_link_class(s.fclass);
+  }
+  if (any_link_fault) opts.interceptor = &adversary;
+  auto run = sort::run_sft(ms.dim, input, opts);
+
+  MultiResult r;
+  r.outcome = sort::classify(run, input);
+  r.fault_exercised = any_node_fault || adversary.touched() > 0;
+  if (!run.errors.empty()) r.detection_stage = run.errors.front().stage;
+  return r;
+}
+
+std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k) {
+  std::vector<MultiTally> tallies;
+  util::Rng rng(cfg.seed ^ 0x6d756c7469ULL);  // "multi"
+  for (int k = 1; k <= max_k; ++k) {
+    MultiTally tally;
+    tally.k = k;
+    int attempts = 0;
+    while (tally.runs < cfg.runs_per_class && attempts < cfg.runs_per_class * 10) {
+      ++attempts;
+      const auto ms = draw_multi_scenario(k, cfg, rng);
+      const auto r = run_multi_scenario_sft(ms, cfg);
+      if (!r.fault_exercised) continue;
+      ++tally.runs;
+      switch (r.outcome) {
+        case sort::Outcome::kFailStop: ++tally.detected; break;
+        case sort::Outcome::kCorrect: ++tally.masked; break;
+        case sort::Outcome::kSilentWrong: ++tally.silent_wrong; break;
+      }
+    }
+    tallies.push_back(tally);
+  }
+  return tallies;
+}
+
+CampaignSummary run_campaign(const CampaignConfig& cfg) {
+  CampaignSummary summary;
+  util::Rng rng(cfg.seed);
+  for (FaultClass fclass : kAllFaultClasses) {
+    ClassTally sft_tally{fclass, 0, 0, 0, 0};
+    ClassTally snr_tally{fclass, 0, 0, 0, 0};
+    int attempts = 0;
+    while (sft_tally.runs < cfg.runs_per_class &&
+           attempts < cfg.runs_per_class * 10) {
+      ++attempts;
+      const Scenario s = draw_scenario(fclass, cfg, rng);
+      auto r = run_scenario_sft(s, cfg);
+      if (!r.fault_exercised) continue;  // injection point never reached
+      ++sft_tally.runs;
+      switch (r.outcome) {
+        case sort::Outcome::kFailStop: ++sft_tally.detected; break;
+        case sort::Outcome::kCorrect: ++sft_tally.masked; break;
+        case sort::Outcome::kSilentWrong: ++sft_tally.silent_wrong; break;
+      }
+      summary.runs.push_back(std::move(r));
+
+      if (applies_to_snr(fclass)) {
+        auto b = run_scenario_snr(s, cfg);
+        if (b.fault_exercised) {
+          ++snr_tally.runs;
+          switch (b.outcome) {
+            case sort::Outcome::kFailStop: ++snr_tally.detected; break;
+            case sort::Outcome::kCorrect: ++snr_tally.masked; break;
+            case sort::Outcome::kSilentWrong: ++snr_tally.silent_wrong; break;
+          }
+        }
+      }
+    }
+    summary.sft.push_back(sft_tally);
+    summary.snr.push_back(snr_tally);
+  }
+  return summary;
+}
+
+}  // namespace aoft::fault

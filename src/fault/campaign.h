@@ -1,0 +1,152 @@
+// Fault-injection campaigns: the engine behind the paper's §4 claims.
+//
+// Theorem 3 states S_FT "produces either a correct bitonic sort or stops with
+// an error in the presence of at most n-1 faulty nodes".  A campaign
+// generates many randomized-but-reproducible fault scenarios per adversary
+// class, runs S_FT (and S_NR, for contrast) under each, and classifies the
+// outcome:
+//
+//   detected      — fail-stop: some node signalled ERROR (the fault may also
+//                   have been harmless; detection still counts: the paper's
+//                   algorithm halts whenever *behaviour* deviates),
+//   masked        — the run terminated silently with a correct sort (the
+//                   deviation never altered observable behaviour, e.g. a
+//                   compare-exchange corrupted into the value it already had),
+//   silent-wrong  — terminated silently with a WRONG sort.  Must be zero for
+//                   S_FT within the resilience bound; S_NR exists to show a
+//                   non-zero column here.
+//
+// Scenarios whose injection point is never reached (the mutator fired zero
+// times and the node fault is inactive) are re-drawn, so every counted run
+// really contains a fault.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/adversary.h"
+#include "sort/driver.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+
+enum class FaultClass : std::uint8_t {
+  kCorruptData,       // link: operand corrupted at one exchange
+  kCorruptGossip,     // link: own gossiped entry uniformly corrupted
+  kTwoFacedGossip,    // link: gossiped entry corrupted to half the peers only
+  kRelayTamper,       // link: a *relayed* third-party entry corrupted
+  kDropMessage,       // link: one message dropped
+  kDeadLink,          // link: one directed link dead from a point onward
+  kGarbleLbs,         // link: whole piggybacked slice randomized
+  kReplayStale,       // link: later gossip replaced by a recorded stale copy
+  kHaltNode,          // processor: fail-silent from a point onward
+  kInvertDirection,   // processor: compare-exchange direction inverted
+  kSubstituteValue,   // processor: consistent liar (fabricated element)
+};
+
+const char* to_string(FaultClass c);
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kCorruptData,   FaultClass::kCorruptGossip,
+    FaultClass::kTwoFacedGossip, FaultClass::kRelayTamper,
+    FaultClass::kDropMessage,   FaultClass::kDeadLink,
+    FaultClass::kGarbleLbs,     FaultClass::kReplayStale,
+    FaultClass::kHaltNode,      FaultClass::kInvertDirection,
+    FaultClass::kSubstituteValue,
+};
+
+// One concrete, reproducible scenario.
+struct Scenario {
+  FaultClass fclass{};
+  int dim = 3;
+  std::size_t block = 1;
+  cube::NodeId faulty = 0;
+  StagePoint point{};
+  sim::Key delta = 1;
+  std::uint64_t input_seed = 0;
+  cube::NodeId aux_node = 0;  // relay victim / dead-link destination
+};
+
+// Outcome of one scenario under one algorithm.
+struct ScenarioResult {
+  Scenario scenario;
+  sort::Outcome outcome{};
+  bool fault_exercised = false;       // the injection actually fired
+  sim::ErrorSource first_detector{};  // valid when outcome == kFailStop
+  int detection_stage = -1;           // stage of the first error report
+};
+
+struct ClassTally {
+  FaultClass fclass{};
+  int runs = 0;
+  int detected = 0;
+  int masked = 0;
+  int silent_wrong = 0;
+};
+
+struct CampaignConfig {
+  int dim = 4;
+  std::size_t block = 1;
+  int runs_per_class = 25;
+  std::uint64_t seed = 1;
+  // Ablation: forwarded to SftOptions so benches can measure which predicate
+  // catches which class.
+  bool check_progress = true;
+  bool check_feasibility = true;
+  bool check_consistency = true;
+  bool check_exchange = true;
+};
+
+struct CampaignSummary {
+  std::vector<ClassTally> sft;       // per class, algorithm S_FT
+  std::vector<ClassTally> snr;       // per class, unprotected S_NR
+  std::vector<ScenarioResult> runs;  // every S_FT run, for drill-down
+};
+
+// Draw a concrete scenario of the given class.
+Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
+                       util::Rng& rng);
+
+// Run one scenario under S_FT (protected) or S_NR (baseline).
+ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg);
+ScenarioResult run_scenario_snr(const Scenario& s, const CampaignConfig& cfg);
+
+// Full campaign: every class, cfg.runs_per_class exercised scenarios each,
+// under both algorithms.
+CampaignSummary run_campaign(const CampaignConfig& cfg);
+
+// ---- multi-fault campaigns (Theorem 3's actual bound) -----------------------
+
+// k simultaneous faults on k distinct nodes, classes drawn independently.
+struct MultiScenario {
+  int dim = 4;
+  std::size_t block = 1;
+  std::uint64_t input_seed = 0;
+  std::vector<Scenario> faults;  // one per faulty node, aligned fields
+};
+
+struct MultiResult {
+  sort::Outcome outcome{};
+  bool fault_exercised = false;
+  int detection_stage = -1;
+};
+
+MultiScenario draw_multi_scenario(int k, const CampaignConfig& cfg,
+                                  util::Rng& rng);
+MultiResult run_multi_scenario_sft(const MultiScenario& s,
+                                   const CampaignConfig& cfg);
+
+struct MultiTally {
+  int k = 0;  // simultaneous faults
+  int runs = 0;
+  int detected = 0;
+  int masked = 0;
+  int silent_wrong = 0;
+};
+
+// For k = 1 .. max_k: cfg.runs_per_class exercised multi-fault runs each.
+// Theorem 3 promises silent_wrong == 0 for every k <= dim-1.
+std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k);
+
+}  // namespace aoft::fault

@@ -1,0 +1,75 @@
+// Processor-fault specifications consumed by the sorting node programs.
+//
+// The paper's fault model (Definition 3) is Byzantine: a faulty component may
+// deviate arbitrarily and maliciously.  Two complementary mechanisms realize
+// that model here:
+//
+//   * link-level interception (sim::LinkInterceptor, implemented in
+//     fault/adversary.h) — corrupts, drops or forks messages in flight,
+//     including sending *different* values to different peers (the two-faced
+//     behaviour Φ_C exists for);
+//   * processor-level deviations (this header) — the node itself computes
+//     wrongly: halts early, miscomputes the compare-exchange, or substitutes
+//     fabricated elements consistently everywhere (the "identical values along
+//     all paths" adversary of Lemma 6, which only Φ_P/Φ_F can catch).
+//
+// NodeFault is a plain data struct so the sort library depends only on this
+// header, not on the fault library.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "hypercube/topology.h"
+#include "sim/message.h"
+
+namespace aoft::fault {
+
+// A point in the sort's doubly nested loop: stage i, inner iteration j
+// (j counts down from i to 0 within a stage; the final verification round is
+// stage == dim).
+struct StagePoint {
+  int stage = 0;
+  int iter = 0;
+
+  friend bool operator==(const StagePoint&, const StagePoint&) = default;
+};
+
+// Reached-or-passed in protocol order: stages ascend, iterations descend.
+inline bool reached(const StagePoint& point, int stage, int iter) {
+  return stage > point.stage || (stage == point.stage && iter <= point.iter);
+}
+
+struct NodeFault {
+  // Fail-silent: stop participating at the given point (before the exchange).
+  // Peers detect the resulting message absence via the watchdog.
+  std::optional<StagePoint> halt_at;
+
+  // Byzantine computation: perform every compare-exchange from the given
+  // point onward with the *inverted* direction, so the node keeps the wrong
+  // half.  Produces locally plausible but globally non-bitonic sequences.
+  std::optional<StagePoint> invert_direction_from;
+
+  // Byzantine substitution: at the start of the given stage, replace the
+  // node's element (first key of its block) with `value` everywhere,
+  // including its own gossip — the consistent liar of Lemma 6.
+  std::optional<StagePoint> substitute_at;
+  sim::Key substitute_value = 0;
+
+  // Complicit silence: the node executes the protocol but never signals an
+  // ERROR, behaving as if every check passed.  Models a faulty *checker* —
+  // the case Lemma 6's "at most i faulty nodes per subcube" bound is really
+  // about: detection must not hinge on any single peer's honesty.
+  bool silent_checker = false;
+
+  bool any() const {
+    return halt_at || invert_direction_from || substitute_at || silent_checker;
+  }
+};
+
+// Per-node fault assignment for one run.
+using NodeFaultMap = std::unordered_map<cube::NodeId, NodeFault>;
+
+}  // namespace aoft::fault

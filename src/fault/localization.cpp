@@ -1,0 +1,95 @@
+#include "fault/localization.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aoft::fault {
+
+namespace {
+
+// Total protocol order of a report position: stages ascend; inside a stage
+// the iterations run i, i-1, ..., 0 and the stage-end check (iter == -1)
+// comes last.  Encode as stage * 2^16 + rank(iter).
+long order_key(const sim::ErrorReport& r) {
+  const long stage = r.stage < 0 ? 0 : r.stage;
+  // Iterations count down from the stage index; map them to ascending ranks
+  // with the stage-end (-1) largest.  Iteration values never exceed 2^8.
+  const long iter_rank = r.iter < 0 ? 512 : 256 - r.iter;
+  return stage * 1024 + iter_rank;
+}
+
+}  // namespace
+
+Diagnosis localize(std::span<const sim::ErrorReport> reports, int dim) {
+  Diagnosis d;
+  if (reports.empty()) return d;
+
+  const long first = order_key(*std::min_element(
+      reports.begin(), reports.end(),
+      [](const auto& a, const auto& b) { return order_key(a) < order_key(b); }));
+
+  for (const auto& r : reports) {
+    if (order_key(r) != first) continue;
+    switch (r.source) {
+      case sim::ErrorSource::kTimeout:
+      case sim::ErrorSource::kPhiC: {
+        if (r.iter >= 0 && r.iter < dim) {
+          const cube::NodeId partner = r.node ^ (cube::NodeId{1} << r.iter);
+          d.accusations.push_back({r.node, partner, true});
+        }
+        break;
+      }
+      case sim::ErrorSource::kPhiF:
+      case sim::ErrorSource::kPhiP: {
+        if (r.iter >= 0 && r.iter < dim) {
+          // Exchange-pair check: link-specific, strong.
+          const cube::NodeId partner = r.node ^ (cube::NodeId{1} << r.iter);
+          d.accusations.push_back({r.node, partner, true});
+          break;
+        }
+        // Stage-end bit_compare.  A feasibility failure means the reporter's
+        // *inner* home subcube (the range Φ_F compared) contains the bad
+        // element — reporters are not excluded, because a consistent liar
+        // runs the checks like everyone else and may report its own window.
+        // A progress failure only narrows to the full stage window.
+        const int inner_dim = std::min(r.stage, dim);
+        const int wdim =
+            r.source == sim::ErrorSource::kPhiF ? inner_dim
+                                                : std::min(r.stage + 1, dim);
+        const auto window = cube::home_subcube(wdim, r.node);
+        for (cube::NodeId p = window.start; p <= window.end; ++p)
+          d.accusations.push_back({r.node, p, false});
+        break;
+      }
+      case sim::ErrorSource::kApp:
+        break;  // application-defined; no topology-derived accusation
+    }
+  }
+
+  // Tally: strong accusations outweigh any number of weak ones from a single
+  // report (3 vs 1), and multiple independent accusers accumulate.
+  std::map<cube::NodeId, int> score;
+  for (const auto& a : d.accusations) score[a.accused] += a.strong ? 3 : 1;
+  int best = 0;
+  for (const auto& [node, s] : score) best = std::max(best, s);
+  for (const auto& [node, s] : score)
+    if (s == best && best > 0) d.suspects.push_back(node);
+  d.conclusive = d.suspects.size() == 1;
+
+  // Definition 3 case 2a: two adjacent suspects pointing at each other with
+  // link-specific evidence indicate a faulty link between healthy endpoints.
+  if (d.suspects.size() == 2) {
+    const auto a = d.suspects[0], b = d.suspects[1];
+    const auto x = a ^ b;
+    const bool adjacent = x != 0 && (x & (x - 1)) == 0;
+    bool a_blames_b = false, b_blames_a = false;
+    for (const auto& acc : d.accusations) {
+      a_blames_b |= acc.strong && acc.accuser == a && acc.accused == b;
+      b_blames_a |= acc.strong && acc.accuser == b && acc.accused == a;
+    }
+    d.link_suspected = adjacent && a_blames_b && b_blames_a;
+  }
+  return d;
+}
+
+}  // namespace aoft::fault

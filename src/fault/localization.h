@@ -1,0 +1,63 @@
+// Fault localization from fail-stop diagnostics.
+//
+// The paper requires that on detection "a reliable communication of this
+// diagnostic information is provided to the system so that appropriate
+// actions may be taken" (§1).  S_FT delivers ErrorReports to the host; this
+// module turns a run's report set into a suspect list — the "appropriate
+// action" groundwork (reconfiguration, node retirement) the paper leaves to
+// the system layer.
+//
+// Method.  Reports are ordered by protocol position (stage ascending, then
+// iteration i..0, with the stage-end bit_compare after iteration 0).  Only
+// the earliest position carries untainted evidence: once a node fail-stops,
+// its silence cascades timeouts through the rest of the schedule, and those
+// secondary reports accuse innocent peers.  At the earliest position:
+//
+//   * a timeout or Φ_C violation at iteration j accuses the reporter's
+//     exchange partner across dimension j (strong: the message demonstrably
+//     came, or failed to come, over that specific link);
+//   * an exchange-pair Φ_F violation (iteration >= 0) likewise accuses the
+//     partner;
+//   * a stage-end Φ_F violation accuses every member of the reporter's
+//     *inner* home subcube — the exact range the feasibility comparison
+//     covered (weak; reporters are not excluded, since a consistent liar
+//     runs the checks like everyone else); a stage-end Φ_P violation only
+//     narrows to the full stage window.
+//
+// Accusations are tallied; the highest-scoring node(s) are the suspects.
+// Under the paper's single-fault guarantee the true culprit is always among
+// them (tested per fault class in tests/fault/localization_test.cpp).
+//
+// Mutually accusing adjacent suspects correspond to the paper's Definition 3
+// case 2a: a fault on link e_{i,j} with both endpoints healthy cannot be
+// attributed to either endpoint — the paper resolves the tie *arbitrarily*.
+// The diagnosis reports the pair with `link_suspected` set instead of hiding
+// the ambiguity.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypercube/subcube.h"
+#include "sim/machine.h"
+
+namespace aoft::fault {
+
+struct Accusation {
+  cube::NodeId accuser = 0;
+  cube::NodeId accused = 0;
+  bool strong = false;  // link-specific evidence vs window-membership evidence
+};
+
+struct Diagnosis {
+  std::vector<Accusation> accusations;  // earliest-position evidence only
+  std::vector<cube::NodeId> suspects;   // highest-scoring accused, ascending
+  bool conclusive = false;              // exactly one suspect
+  bool link_suspected = false;          // two adjacent, mutually accusing suspects
+};
+
+// Analyze the error reports of one S_FT run on a dim-cube.
+Diagnosis localize(std::span<const sim::ErrorReport> reports, int dim);
+
+}  // namespace aoft::fault

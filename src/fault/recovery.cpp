@@ -1,0 +1,45 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+
+namespace aoft::fault {
+
+std::vector<cube::NodeId> persistent_suspects(const RecoveryRun& run) {
+  std::vector<cube::NodeId> common;
+  bool first = true;
+  for (const auto& d : run.diagnoses) {
+    if (first) {
+      common = d.suspects;  // already ascending
+      first = false;
+      continue;
+    }
+    std::vector<cube::NodeId> next;
+    std::set_intersection(common.begin(), common.end(), d.suspects.begin(),
+                          d.suspects.end(), std::back_inserter(next));
+    common = std::move(next);
+  }
+  return first ? std::vector<cube::NodeId>{} : common;
+}
+
+RecoveryRun run_sft_with_recovery(int dim, std::span<const sort::Key> input,
+                                  const sort::SftOptions& base,
+                                  const InterceptorFactory& interceptors,
+                                  int max_attempts) {
+  RecoveryRun out;
+  bool failed_before = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    sort::SftOptions opts = base;
+    opts.interceptor = interceptors ? interceptors(attempt) : nullptr;
+    out.last = sort::run_sft(dim, input, opts);
+    ++out.attempts;
+    if (!out.last.fail_stop()) {
+      out.recovered = failed_before;
+      return out;
+    }
+    failed_before = true;
+    out.diagnoses.push_back(localize(out.last.errors, dim));
+  }
+  return out;
+}
+
+}  // namespace aoft::fault

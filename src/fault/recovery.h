@@ -1,0 +1,53 @@
+// Retry-based recovery on top of fail-stop detection (extension, DESIGN §7).
+//
+// The paper's contract ends at fail-stop: "the result of the calculation is
+// either completely correct, or the entire system halts with an error
+// condition" (§4), with diagnostics shipped to the host "so that appropriate
+// actions may be taken" (§1).  This module implements the most basic such
+// action: the host re-runs the sort, diagnosing every failed attempt.
+//
+//   * A *transient* fault (a glitched message, a link that recovers) does
+//     not reappear: the retry completes correctly and the run counts as
+//     recovered — the overall system is now fault-tolerant, not merely
+//     fail-stop, at the cost of re-execution instead of redundancy.
+//   * A *permanent* fault reproduces the fail-stop; the per-attempt
+//     diagnoses then intersect to a stable suspect set, which is exactly
+//     what an operator (or a reconfiguration layer) needs to retire a node.
+//
+// Faults are injected per attempt through a factory, so tests and demos can
+// model transience precisely.
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "fault/localization.h"
+#include "sort/sft.h"
+
+namespace aoft::fault {
+
+// Returns the interceptor to install for the given attempt (nullptr = clean
+// links).  The returned object must stay alive for the whole attempt.
+using InterceptorFactory = std::function<sim::LinkInterceptor*(int attempt)>;
+
+struct RecoveryRun {
+  sort::SortRun last;                // the final attempt's run
+  int attempts = 0;                  // total attempts executed
+  bool recovered = false;            // a retry succeeded after >= 1 fail-stop
+  std::vector<Diagnosis> diagnoses;  // one per failed attempt
+};
+
+// Suspects implicated by *every* failed attempt — the permanent-fault
+// candidates.  Empty when any attempt produced no suspects or none recur.
+std::vector<cube::NodeId> persistent_suspects(const RecoveryRun& run);
+
+// Run S_FT up to `max_attempts` times.  `base` supplies everything except
+// the interceptor (taken from the factory per attempt); node faults in
+// `base` model permanent processor faults and apply to every attempt.
+RecoveryRun run_sft_with_recovery(int dim, std::span<const sort::Key> input,
+                                  const sort::SftOptions& base,
+                                  const InterceptorFactory& interceptors,
+                                  int max_attempts = 2);
+
+}  // namespace aoft::fault

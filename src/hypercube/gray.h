@@ -1,0 +1,57 @@
+// Gray-code embeddings: linear arrays and rings inside the hypercube.
+//
+// A classical property of the binary-reflected Gray code: consecutive ranks
+// differ in exactly one bit, so the sequence gray(0), gray(1), ..., gray(N-1)
+// embeds an N-node ring (or chain) into the N-node hypercube with dilation 1
+// — every ring edge is a cube edge.  The AOFT relaxation applications
+// distribute 1-D domains over this embedding so halo exchanges ride on
+// physical links.
+
+#pragma once
+
+#include "hypercube/topology.h"
+
+namespace aoft::cube {
+
+// Rank -> node label (binary-reflected Gray code).
+inline NodeId gray(NodeId rank) { return rank ^ (rank >> 1); }
+
+// Node label -> rank (inverse Gray code).
+inline NodeId gray_rank(NodeId label) {
+  NodeId rank = 0;
+  for (; label != 0; label >>= 1) rank ^= label;
+  return rank;
+}
+
+// The ring/chain neighborhood of a node under the Gray embedding.
+struct RingPosition {
+  NodeId rank = 0;
+  bool has_prev = false;  // rank > 0
+  bool has_next = false;  // rank < N-1 (the chain view; the ring wraps)
+  NodeId prev = 0;        // node at rank-1 (valid when has_prev)
+  NodeId next = 0;        // node at rank+1 (valid when has_next)
+};
+
+// Chain (open ring) position of `node` in a dim-cube Gray embedding.
+inline RingPosition gray_chain_position(const Topology& topo, NodeId node) {
+  RingPosition pos;
+  pos.rank = gray_rank(node);
+  pos.has_prev = pos.rank > 0;
+  pos.has_next = pos.rank + 1 < topo.num_nodes();
+  if (pos.has_prev) pos.prev = gray(pos.rank - 1);
+  if (pos.has_next) pos.next = gray(pos.rank + 1);
+  return pos;
+}
+
+// Closed-ring neighbor across the wrap edge: gray(N-1) and gray(0) also
+// differ in exactly one bit (the top bit), so the full ring embeds too.
+inline NodeId gray_ring_next(const Topology& topo, NodeId node) {
+  const NodeId rank = gray_rank(node);
+  return gray((rank + 1) & (topo.num_nodes() - 1));
+}
+inline NodeId gray_ring_prev(const Topology& topo, NodeId node) {
+  const NodeId rank = gray_rank(node);
+  return gray((rank + topo.num_nodes() - 1) & (topo.num_nodes() - 1));
+}
+
+}  // namespace aoft::cube

@@ -1,0 +1,54 @@
+#include "hypercube/masks.h"
+
+#include <cassert>
+
+namespace aoft::cube {
+
+BitVec vect_mask_recursive(const Topology& topo, int i, int j, NodeId node) {
+  assert(j >= 0 && j <= i && i < topo.dimension());
+  const NodeId d = NodeId{1} << j;
+  if (j == i) {
+    // Base of the recursion: the first exchange of the stage unions the two
+    // partners' own elements.
+    BitVec m(topo.num_nodes());
+    m.set(node);
+    m.set(node ^ d);
+    return m;
+  }
+  // The paper writes the two recursive calls with node±d and node; node^d is
+  // the same partner expressed without the branch on the low/high side.
+  return vect_mask_recursive(topo, i, j + 1, node ^ d) |
+         vect_mask_recursive(topo, i, j + 1, node);
+}
+
+BitVec vect_mask(const Topology& topo, int i, int j, NodeId node) {
+  assert(j >= 0 && j <= i && i < topo.dimension());
+  // Labels reachable from `node` by flipping any subset of bits {j..i}.
+  // Enumerate the 2^{i-j+1} subsets directly; the enumeration walks the
+  // free-bit positions via the usual "spread a counter over a mask" trick.
+  BitVec m(topo.num_nodes());
+  const NodeId free_bits = ((NodeId{1} << (i + 1)) - 1) ^ ((NodeId{1} << j) - 1);
+  NodeId subset = 0;
+  for (;;) {
+    m.set(node ^ subset);
+    if (subset == free_bits) break;
+    subset = (subset - free_bits) & free_bits;  // next subset of free_bits
+  }
+  return m;
+}
+
+BitVec pre_mask(const Topology& topo, int i, int j, NodeId node) {
+  assert(j >= 0 && j <= i && i < topo.dimension());
+  if (j == i) return BitVec::single(topo.num_nodes(), node);
+  return vect_mask(topo, i, j + 1, node);
+}
+
+std::uint64_t vect_mask_count(int i, int j) {
+  return std::uint64_t{1} << (i - j + 1);
+}
+
+std::uint64_t pre_mask_count(int i, int j) {
+  return j == i ? 1 : (std::uint64_t{1} << (i - j));
+}
+
+}  // namespace aoft::cube

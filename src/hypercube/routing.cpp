@@ -1,0 +1,45 @@
+#include "hypercube/routing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aoft::cube {
+
+Path ecube_route(const Topology& topo, NodeId src, NodeId dst) {
+  assert(topo.valid_node(src) && topo.valid_node(dst));
+  Path path{src};
+  NodeId cur = src;
+  for (int k = 0; k < topo.dimension(); ++k) {
+    if (((cur ^ dst) >> k) & 1u) {
+      cur ^= NodeId{1} << k;
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+std::vector<Path> vertex_disjoint_paths(const Topology& topo, NodeId u, NodeId v) {
+  assert(topo.adjacent(u, v));
+  std::vector<Path> paths;
+  paths.reserve(static_cast<std::size_t>(topo.dimension()));
+  paths.push_back(Path{u, v});
+  const NodeId k = u ^ v;  // single set bit: the edge dimension
+  for (int d = 0; d < topo.dimension(); ++d) {
+    const NodeId bit = NodeId{1} << d;
+    if (bit == k) continue;
+    paths.push_back(Path{u, u ^ bit, u ^ bit ^ k, v});
+  }
+  return paths;
+}
+
+bool internally_vertex_disjoint(const std::vector<Path>& paths) {
+  std::vector<NodeId> interior;
+  for (const auto& p : paths) {
+    if (p.size() < 2) return false;
+    for (std::size_t i = 1; i + 1 < p.size(); ++i) interior.push_back(p[i]);
+  }
+  std::sort(interior.begin(), interior.end());
+  return std::adjacent_find(interior.begin(), interior.end()) == interior.end();
+}
+
+}  // namespace aoft::cube

@@ -1,0 +1,35 @@
+// Hypercube routing: e-cube shortest paths and vertex-disjoint path families.
+//
+// The consistency predicate of the paper relies on the fact that a bitonic
+// subsequence reaches each checking processor along vertex-disjoint paths, so
+// a single faulty relay cannot alter every copy (paper §3, Lemma 6).  The
+// sorting algorithms themselves only ever use direct neighbor links; this
+// module exists so the property the proof leans on can be stated, tested and
+// benchmarked against the topology, and it doubles as general routing
+// substrate for the simulator's host tooling.
+
+#pragma once
+
+#include <vector>
+
+#include "hypercube/topology.h"
+
+namespace aoft::cube {
+
+// A path is the full node sequence, endpoints included.
+using Path = std::vector<NodeId>;
+
+// Deterministic dimension-ordered (e-cube) shortest route from src to dst:
+// differing bits are corrected from least- to most-significant.
+Path ecube_route(const Topology& topo, NodeId src, NodeId dst);
+
+// n vertex-disjoint paths between two *adjacent* nodes u and v = u ^ 2^k:
+// the direct edge plus, for every other dimension d, the detour
+// u -> u^2^d -> u^2^d^2^k -> v.  Interior nodes of distinct paths are
+// disjoint, which is the classical fact the paper's Lemma 6 uses.
+std::vector<Path> vertex_disjoint_paths(const Topology& topo, NodeId u, NodeId v);
+
+// True iff no two paths share a node other than the common endpoints.
+bool internally_vertex_disjoint(const std::vector<Path>& paths);
+
+}  // namespace aoft::cube

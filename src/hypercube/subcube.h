@@ -1,0 +1,67 @@
+// Home subcubes SC_{i,j} (paper Definition 4).
+//
+// The home subcube SC_{i,j} of dimension i of a processor P_j is the aligned
+// block of 2^i node labels containing j:
+//
+//     start  SC^S_{i,j} = j - j mod 2^i
+//     end    SC^E_{i,j} = start + 2^i - 1
+//
+// Stage i of the bitonic sort operates within each SC_{i+1,*}; the progress
+// and feasibility predicates are evaluated over these index ranges.
+
+#pragma once
+
+#include <cassert>
+
+#include "hypercube/topology.h"
+
+namespace aoft::cube {
+
+// A closed index interval [start, end] of 2^dim aligned node labels.
+struct Subcube {
+  NodeId start = 0;
+  NodeId end = 0;  // inclusive, matching the paper's SC^E notation
+  int dim = 0;
+
+  NodeId size() const { return (NodeId{1} << dim); }
+  NodeId mid() const { return start + size() / 2; }  // first label of the upper half
+  bool contains(NodeId p) const { return p >= start && p <= end; }
+
+  // The lower / upper half as subcubes of dimension dim-1.
+  Subcube lower_half() const {
+    assert(dim >= 1);
+    return Subcube{start, static_cast<NodeId>(mid() - 1), dim - 1};
+  }
+  Subcube upper_half() const {
+    assert(dim >= 1);
+    return Subcube{mid(), end, dim - 1};
+  }
+
+  friend bool operator==(const Subcube&, const Subcube&) = default;
+};
+
+// SC_{i,j}: home subcube of dimension i of node j (Definition 4).
+inline Subcube home_subcube(int i, NodeId j) {
+  assert(i >= 0 && i < 31);
+  const NodeId size = NodeId{1} << i;
+  const NodeId start = j - (j % size);
+  return Subcube{start, static_cast<NodeId>(start + size - 1), i};
+}
+
+// During stage i the pair direction is fixed by bit i+1 of the node label
+// (paper Fig. 2: "node mod 2^{i+2} < 2^{i+1}").  A node sorts its pair
+// ascending iff that bit is 0.  In the final stage (i = n-1) bit n is always
+// 0, so the last merge is globally ascending.
+inline bool stage_ascending(NodeId node, int stage) {
+  return !node_bit(node, stage + 1);
+}
+
+// The direction in which SC_{i,j} was sorted at the end of stage i-1: the
+// whole subcube shares bit i, and bit i = 0 means ascending (see DESIGN.md §4
+// and the proof of Lemma 2).  For i = 0 a single element is trivially
+// "ascending".
+inline bool subcube_sorted_ascending(int i, NodeId j) {
+  return !node_bit(j, i);
+}
+
+}  // namespace aoft::cube

@@ -1,0 +1,65 @@
+// Hypercube topology algebra.
+//
+// The paper's target machine is an n-dimensional binary hypercube: N = 2^n
+// nodes labelled 0..N-1, with an edge between nodes whose labels differ in
+// exactly one bit (paper §1).  Everything here is pure index arithmetic shared
+// by the simulator, the sorting algorithms and the predicates.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace aoft::cube {
+
+using NodeId = std::uint32_t;
+
+// A validated cube dimension.  Dimension 0 (a single node) is legal and is
+// exercised by the degenerate-case tests.
+class Topology {
+ public:
+  explicit Topology(int dimension) : dim_(dimension) {
+    assert(dimension >= 0 && dimension < 26);
+  }
+
+  int dimension() const { return dim_; }
+  NodeId num_nodes() const { return NodeId{1} << dim_; }
+
+  bool valid_node(NodeId p) const { return p < num_nodes(); }
+
+  // The neighbor across dimension k (flip bit k).
+  NodeId neighbor(NodeId p, int k) const {
+    assert(valid_node(p) && k >= 0 && k < dim_);
+    return p ^ (NodeId{1} << k);
+  }
+
+  // True iff p and q are joined by a hypercube edge.
+  bool adjacent(NodeId p, NodeId q) const {
+    const NodeId x = p ^ q;
+    return x != 0 && (x & (x - 1)) == 0;
+  }
+
+  // Hamming distance = hop count of a shortest route.
+  int distance(NodeId p, NodeId q) const {
+    return __builtin_popcount(p ^ q);
+  }
+
+  // All n neighbors of p, in dimension order.
+  std::vector<NodeId> neighbors(NodeId p) const {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<std::size_t>(dim_));
+    for (int k = 0; k < dim_; ++k) out.push_back(neighbor(p, k));
+    return out;
+  }
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+ private:
+  int dim_;
+};
+
+// Bit b of node label p.
+inline bool node_bit(NodeId p, int b) { return (p >> b) & 1u; }
+
+}  // namespace aoft::cube

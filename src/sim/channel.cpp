@@ -1,0 +1,43 @@
+#include "sim/channel.h"
+
+#include "sim/scheduler.h"
+
+namespace aoft::sim {
+
+void Channel::push(Message m) {
+  queue_.push_back(std::move(m));
+  if (waiter_) {
+    auto h = waiter_;
+    waiter_ = nullptr;
+    sched_.remove_blocked(this);
+    sched_.ready(h);
+  }
+}
+
+void Channel::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  assert(ch_.waiter_ == nullptr && "one receiver per channel at a time");
+  ch_.waiter_ = h;
+  ch_.timed_out_ = false;
+  ch_.sched_.add_blocked(&ch_);
+}
+
+RecvResult Channel::RecvAwaiter::await_resume() {
+  if (ch_.timed_out_) {
+    ch_.timed_out_ = false;
+    return RecvResult{false, {}};
+  }
+  assert(ch_.has_message());
+  RecvResult r{true, std::move(ch_.queue_.front())};
+  ch_.queue_.pop_front();
+  return r;
+}
+
+void Channel::fail_waiter() {
+  assert(waiter_ != nullptr);
+  auto h = waiter_;
+  waiter_ = nullptr;
+  timed_out_ = true;
+  sched_.ready(h);
+}
+
+}  // namespace aoft::sim

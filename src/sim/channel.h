@@ -1,0 +1,69 @@
+// Asynchronous single-receiver message channel.
+//
+// Models one direction of a point-to-point link (or the host's shared inbox).
+// Sends never block — real message-passing multicomputers buffer outgoing
+// messages — while receives suspend the calling coroutine until a message is
+// available or the scheduler's quiescence watchdog fires (timeout).
+//
+// At most one coroutine may be suspended on a channel at a time; the sorting
+// protocols only ever have one logical receiver per link, and the host inbox
+// has a single host task.
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "sim/message.h"
+
+namespace aoft::sim {
+
+class Scheduler;
+
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(sched) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Enqueue a message; wakes the waiting receiver, if any.
+  void push(Message m);
+
+  bool has_message() const { return !queue_.empty(); }
+
+  // Awaitable receive.
+  class RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Channel& ch) : ch_(ch) {}
+    bool await_ready() const noexcept { return ch_.has_message(); }
+    void await_suspend(std::coroutine_handle<> h);
+    RecvResult await_resume();
+
+   private:
+    Channel& ch_;
+  };
+
+  RecvAwaiter recv() { return RecvAwaiter{*this}; }
+
+  // Called by the scheduler when global quiescence is reached while this
+  // channel has a suspended receiver: the receive completes with ok = false.
+  void fail_waiter();
+
+ private:
+  friend class RecvAwaiter;
+
+  friend class Scheduler;
+
+  Scheduler& sched_;
+  std::deque<Message> queue_;
+  std::coroutine_handle<> waiter_ = nullptr;
+  bool timed_out_ = false;
+  // Position in the scheduler's blocked list while a receiver is suspended;
+  // lets the scheduler unblock in O(1) via swap-remove.
+  std::ptrdiff_t blocked_index_ = -1;
+};
+
+}  // namespace aoft::sim

@@ -1,0 +1,63 @@
+// Logical-clock cost model, calibrated to the paper's Ncube measurements.
+//
+// The paper reports component run times in Ncube "clock ticks" (§5):
+//
+//     S_FT        communication  8·log²N + 0.05·N·log N     computation 11.5·N
+//     sequential  communication  14·N                       computation 0.45·N·log N
+//
+// We do not have an Ncube; instead every simulated node keeps a logical clock
+// advanced by the charges below, calibrated so the *fitted component forms*
+// land on the paper's constants (bench/table1_components recovers
+// 8.1·log²N + 0.048·N·log N / 11.9·N / 16·N / 0.45·N·log N; see
+// EXPERIMENTS.md):
+//
+//   * 5.5 ticks per message at each end          -> the 8·log²N term
+//     (each node sends and receives ~log²N/2 messages over the whole sort),
+//   * 0.0207 ticks per key word on node links    -> the 0.05·N·log N term
+//     (each node moves ~2.3·N·log N piggybacked words over the whole sort),
+//   * 7 ticks per word on host links             -> sequential ~14·N
+//     (gather N words + scatter N words),
+//   * 0.45 ticks per host comparison             -> sequential 0.45·N·log N
+//     (the paper deliberately times a single-if "sort" at the theoretical
+//     N·log N minimum),
+//   * 1 tick per comparison, 0.62 per merge entry -> S_FT computation ≈ 11.5·N
+//     (Thm 4's O(2^{i+3})-per-stage accounting sums to ~12·N entry visits).
+//
+// Timing rule (LogP-like): send charges alpha + beta·words to the sender and
+// stamps the message with the sender's clock as arrival time; receive charges
+// alpha to the receiver and advances it to max(own clock, arrival).  Elapsed
+// time of a run is the maximum final clock over all processors.
+
+#pragma once
+
+#include <cstddef>
+
+namespace aoft::sim {
+
+struct CostModel {
+  // Node-node links.
+  double alpha_send = 5.5;   // per-message startup at the sender
+  double alpha_recv = 5.5;   // per-message overhead at the receiver
+  double beta = 0.0207;      // per key word transferred
+
+  // Host links (program/data download and result upload; reliable).
+  double host_alpha = 1.0;
+  double host_beta = 7.0;  // per word; dominated by the serial host bottleneck
+
+  // Node computation.
+  double cmp = 1.0;          // one key comparison or min/max
+  double copy = 0.1;         // move one key word locally
+  double merge_entry = 0.62; // one LBS entry handled by the consistency merge
+
+  // Host computation.
+  double host_cmp = 0.45;  // one comparison in the host's minimal "sort"
+
+  double msg_cost(std::size_t words) const {
+    return alpha_send + beta * static_cast<double>(words);
+  }
+  double host_msg_cost(std::size_t words) const {
+    return host_alpha + host_beta * static_cast<double>(words);
+  }
+};
+
+}  // namespace aoft::sim

@@ -1,0 +1,178 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aoft::sim {
+
+const char* to_string(ErrorSource s) {
+  switch (s) {
+    case ErrorSource::kPhiP: return "phi_P(progress)";
+    case ErrorSource::kPhiF: return "phi_F(feasibility)";
+    case ErrorSource::kPhiC: return "phi_C(consistency)";
+    case ErrorSource::kTimeout: return "timeout(absent message)";
+    case ErrorSource::kApp: return "application";
+  }
+  return "?";
+}
+
+// ---- Ctx ----
+
+const cube::Topology& Ctx::topo() const { return machine_->topo_; }
+
+void Ctx::send(cube::NodeId to, Message m) {
+  assert(machine_->topo_.adjacent(id_, to) && "node links join neighbors only");
+  m.from = id_;
+  const double cost = machine_->cost_.msg_cost(m.words());
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+  stats_.msgs_sent += 1;
+  stats_.words_sent += m.words();
+  m.arrival = stats_.clock;
+  machine_->deliver(id_, to, std::move(m));
+}
+
+Channel::RecvAwaiter Ctx::recv(cube::NodeId from) {
+  return machine_->link_channel(id_, from).recv();
+}
+
+void Ctx::account_recv(const Message& m) {
+  stats_.clock = std::max(stats_.clock, m.arrival);
+  const double cost = machine_->cost_.alpha_recv;
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+}
+
+void Ctx::send_host(Message m) {
+  m.from = id_;
+  // Host links are reliable and lightly loaded at the node end; the serial
+  // per-word cost is paid by the host when it drains its inbox.
+  const double cost = machine_->cost_.alpha_send;
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+  stats_.msgs_sent += 1;
+  stats_.words_sent += m.words();
+  m.arrival = stats_.clock;
+  machine_->host_inbox_->push(std::move(m));
+}
+
+Channel::RecvAwaiter Ctx::recv_host() {
+  return machine_->host_out_[id_]->recv();
+}
+
+void Ctx::error(ErrorReport r) {
+  r.node = id_;
+  Message m;
+  m.kind = MsgKind::kHostError;
+  m.stage = r.stage;
+  m.iter = r.iter;
+  m.tag = static_cast<std::int32_t>(r.source);
+  machine_->errors_.push_back(std::move(r));
+  send_host(std::move(m));
+}
+
+// ---- HostCtx ----
+
+const cube::Topology& HostCtx::topo() const { return machine_->topo_; }
+
+void HostCtx::send(cube::NodeId to, Message m) {
+  const double cost = machine_->cost_.host_msg_cost(m.words());
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+  stats_.msgs_sent += 1;
+  stats_.words_sent += m.words();
+  m.arrival = stats_.clock;
+  machine_->host_out_[to]->push(std::move(m));
+}
+
+Channel::RecvAwaiter HostCtx::recv() { return machine_->host_inbox_->recv(); }
+
+void HostCtx::error(ErrorReport r) {
+  machine_->errors_.push_back(std::move(r));
+}
+
+void HostCtx::account_recv(const Message& m) {
+  stats_.clock = std::max(stats_.clock, m.arrival);
+  const double cost = machine_->cost_.host_msg_cost(m.words());
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+}
+
+// ---- Machine ----
+
+Machine::Machine(cube::Topology topo, CostModel cost)
+    : topo_(topo), cost_(cost) {
+  const auto n = topo_.num_nodes();
+  in_links_.resize(n);
+  host_out_.resize(n);
+  ctxs_.resize(n);
+  for (cube::NodeId p = 0; p < n; ++p) {
+    in_links_[p].resize(static_cast<std::size_t>(topo_.dimension()));
+    for (int k = 0; k < topo_.dimension(); ++k)
+      in_links_[p][static_cast<std::size_t>(k)] = std::make_unique<Channel>(sched_);
+    host_out_[p] = std::make_unique<Channel>(sched_);
+    ctxs_[p].machine_ = this;
+    ctxs_[p].id_ = p;
+  }
+  host_inbox_ = std::make_unique<Channel>(sched_);
+  host_ctx_.machine_ = this;
+}
+
+Machine::~Machine() = default;
+
+Channel& Machine::link_channel(cube::NodeId to, cube::NodeId from) {
+  assert(topo_.adjacent(to, from));
+  const int k = __builtin_ctz(to ^ from);
+  return *in_links_[to][static_cast<std::size_t>(k)];
+}
+
+void Machine::deliver(cube::NodeId from, cube::NodeId to, Message m) {
+  bool pass = true;
+  if (interceptor_ != nullptr) pass = interceptor_->on_send(from, to, m);
+  if (record_events_)
+    events_.push_back(LinkEvent{from, to, m.kind, m.stage, m.iter,
+                                static_cast<std::uint32_t>(m.words()), pass});
+  if (pass) link_channel(to, from).push(std::move(m));
+}
+
+void Machine::run(const NodeMain& node_main, const HostMain& host_main) {
+  std::vector<NodeMain> mains(topo_.num_nodes(), node_main);
+  run_per_node(mains, host_main);
+}
+
+void Machine::run_per_node(const std::vector<NodeMain>& mains,
+                           const HostMain& host_main) {
+  if (ran_) throw std::logic_error("Machine::run may be called once");
+  ran_ = true;
+  assert(mains.size() == topo_.num_nodes());
+  // Copy the callables into this frame: the coroutines reference their
+  // closures for the whole run.
+  std::vector<NodeMain> local(mains);
+  HostMain host_local(host_main);
+  for (cube::NodeId p = 0; p < topo_.num_nodes(); ++p)
+    sched_.spawn(local[p](ctxs_[p]));
+  if (host_local) sched_.spawn(host_local(host_ctx_));
+  watchdog_rounds_ = sched_.run();
+}
+
+RunSummary Machine::summary() const {
+  RunSummary s;
+  for (const auto& ctx : ctxs_) {
+    const auto& st = ctx.stats_;
+    s.elapsed = std::max(s.elapsed, st.clock);
+    s.max_comm = std::max(s.max_comm, st.comm_ticks);
+    s.max_comp = std::max(s.max_comp, st.comp_ticks);
+    s.total_msgs += st.msgs_sent;
+    s.total_words += st.words_sent;
+  }
+  s.elapsed = std::max(s.elapsed, host_ctx_.stats_.clock);
+  s.host_comm = host_ctx_.stats_.comm_ticks;
+  s.host_comp = host_ctx_.stats_.comp_ticks;
+  s.total_msgs += host_ctx_.stats_.msgs_sent;
+  s.total_words += host_ctx_.stats_.words_sent;
+  s.watchdog_rounds = watchdog_rounds_;
+  return s;
+}
+
+}  // namespace aoft::sim

@@ -1,0 +1,231 @@
+// The simulated hypercube multicomputer.
+//
+// A Machine owns: the topology, one context per node (private memory, logical
+// clock, link endpoints), a host processor with reliable links to every node,
+// a deterministic cooperative scheduler, and an optional link-level fault
+// interceptor.  It implements exactly the paper's environmental assumptions
+// (§3):
+//
+//   1. node-node links and node processors may be Byzantine (the interceptor
+//      and adversarial node programs model this),
+//   2. the host and the host links are reliable (no interception there),
+//   3. only point-to-point messages, no atomic broadcast,
+//   4. message absence is detectable (scheduler watchdog),
+//   5. all nodes are sane at start-up.
+//
+// Node programs are coroutines written against Ctx; the optional host program
+// runs against HostCtx.  Lifetime note: Machine::run keeps the program
+// callables alive until every coroutine finishes, and coroutine lambdas must
+// not outlive their closure, so programs are passed by const reference and
+// copied into the run frame.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypercube/topology.h"
+#include "sim/channel.h"
+#include "sim/cost_model.h"
+#include "sim/message.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace aoft::sim {
+
+// Which executable assertion (or condition) raised a fail-stop error.
+enum class ErrorSource : std::uint8_t {
+  kPhiP,     // progress: sequence not bitonic
+  kPhiF,     // feasibility: sequence not complete w.r.t. the previous one
+  kPhiC,     // consistency: redundant copies disagree
+  kTimeout,  // expected message absent (watchdog)
+  kApp,      // application-defined assertion
+};
+
+const char* to_string(ErrorSource s);
+
+struct ErrorReport {
+  cube::NodeId node = 0;
+  int stage = -1;
+  int iter = -1;
+  ErrorSource source = ErrorSource::kApp;
+  std::string detail;
+};
+
+struct NodeStats {
+  double clock = 0.0;       // logical time at completion
+  double comp_ticks = 0.0;  // charged computation
+  double comm_ticks = 0.0;  // charged send/receive overhead (excludes waiting)
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t words_sent = 0;
+};
+
+struct RunSummary {
+  double elapsed = 0.0;    // max final clock over nodes and host
+  double max_comm = 0.0;   // max per-node communication ticks
+  double max_comp = 0.0;   // max per-node computation ticks
+  double host_comm = 0.0;  // host communication ticks
+  double host_comp = 0.0;  // host computation ticks
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_words = 0;
+  int watchdog_rounds = 0;
+};
+
+class Machine;
+
+// Per-node view of the machine: the only interface node programs may use.
+class Ctx {
+ public:
+  cube::NodeId id() const { return id_; }
+  const cube::Topology& topo() const;
+  int dim() const { return topo().dimension(); }
+
+  double clock() const { return stats_.clock; }
+  void charge(double ticks) {
+    stats_.clock += ticks;
+    stats_.comp_ticks += ticks;
+  }
+
+  // Non-blocking send over the hypercube link to an adjacent node.  Subject
+  // to fault interception.
+  void send(cube::NodeId to, Message m);
+
+  // Awaitable receive from the link to an adjacent node.
+  Channel::RecvAwaiter recv(cube::NodeId from);
+
+  // Receive-side cost accounting; protocols call this once per successfully
+  // received message: the clock advances to the message arrival time (waiting
+  // is not separately charged) plus the receive overhead.
+  void account_recv(const Message& m);
+
+  // Reliable host link.
+  void send_host(Message m);
+  Channel::RecvAwaiter recv_host();
+
+  // Record a fail-stop diagnostic and notify the host (reliable).
+  void error(ErrorReport r);
+
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  friend class Machine;
+  Machine* machine_ = nullptr;
+  cube::NodeId id_ = 0;
+  NodeStats stats_;
+};
+
+// The host processor's view.
+class HostCtx {
+ public:
+  const cube::Topology& topo() const;
+
+  double clock() const { return stats_.clock; }
+  void charge(double ticks) {
+    stats_.clock += ticks;
+    stats_.comp_ticks += ticks;
+  }
+
+  void send(cube::NodeId to, Message m);
+  Channel::RecvAwaiter recv();  // shared inbox: messages from any node
+
+  // Receive-side accounting: the host pays the serial per-word link cost when
+  // draining its inbox, which is what makes it the bottleneck the paper
+  // describes for host-based sorting.
+  void account_recv(const Message& m);
+
+  // Record a fail-stop diagnostic from the host side (e.g. the Theorem-1
+  // verifier rejecting an upload, or an expected upload never arriving).
+  void error(ErrorReport r);
+
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  friend class Machine;
+  Machine* machine_ = nullptr;
+  NodeStats stats_;
+};
+
+using NodeMain = std::function<SimTask(Ctx&)>;
+using HostMain = std::function<SimTask(HostCtx&)>;
+
+// Link-level fault injection: sees every message at send time on node-node
+// links (host links are reliable by assumption).  Return false to drop the
+// message; the message may be mutated in place.  Byzantine *node* behaviour
+// is modelled by intercepting all links out of that node, possibly
+// differently per destination (two-faced behaviour).
+class LinkInterceptor {
+ public:
+  virtual ~LinkInterceptor() = default;
+  virtual bool on_send(cube::NodeId from, cube::NodeId to, Message& m) = 0;
+};
+
+// One record per delivered or dropped link message (optional, for tests).
+struct LinkEvent {
+  cube::NodeId from = 0;
+  cube::NodeId to = 0;
+  MsgKind kind = MsgKind::kData;
+  int stage = -1;
+  int iter = -1;
+  std::uint32_t words = 0;
+  bool delivered = true;
+};
+
+class Machine {
+ public:
+  Machine(cube::Topology topo, CostModel cost);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const cube::Topology& topo() const { return topo_; }
+  const CostModel& cost() const { return cost_; }
+
+  void set_interceptor(LinkInterceptor* interceptor) { interceptor_ = interceptor; }
+  void record_link_events(bool on) { record_events_ = on; }
+
+  // Run `node_main` on every node, plus an optional host program, to
+  // completion.  May be called once per Machine.
+  void run(const NodeMain& node_main, const HostMain& host_main = {});
+
+  // As above with a distinct program per node (adversarial node programs).
+  void run_per_node(const std::vector<NodeMain>& mains, const HostMain& host_main = {});
+
+  const std::vector<ErrorReport>& errors() const { return errors_; }
+  bool failed_stop() const { return !errors_.empty(); }
+
+  const NodeStats& node_stats(cube::NodeId p) const { return ctxs_[p].stats_; }
+  const NodeStats& host_stats() const { return host_ctx_.stats_; }
+  const std::vector<LinkEvent>& link_events() const { return events_; }
+
+  RunSummary summary() const;
+
+ private:
+  friend class Ctx;
+  friend class HostCtx;
+
+  Channel& link_channel(cube::NodeId to, cube::NodeId from);
+  void deliver(cube::NodeId from, cube::NodeId to, Message m);
+
+  cube::Topology topo_;
+  CostModel cost_;
+  Scheduler sched_;
+
+  // in_links_[p][k]: messages arriving at p across dimension k.
+  std::vector<std::vector<std::unique_ptr<Channel>>> in_links_;
+  std::unique_ptr<Channel> host_inbox_;
+  std::vector<std::unique_ptr<Channel>> host_out_;
+
+  std::vector<Ctx> ctxs_;
+  HostCtx host_ctx_;
+
+  LinkInterceptor* interceptor_ = nullptr;
+  bool record_events_ = false;
+  std::vector<LinkEvent> events_;
+  std::vector<ErrorReport> errors_;
+  int watchdog_rounds_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace aoft::sim

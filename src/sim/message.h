@@ -1,0 +1,60 @@
+// Message type exchanged over simulated point-to-point links.
+//
+// Per the paper's environmental assumptions (§3): message passing over
+// point-to-point links is the only inter-node communication, there is no
+// atomic broadcast, and the absence of an expected message is detectable
+// (modelled by the scheduler's quiescence timeout — see scheduler.h).
+//
+// A message carries a small typed header (protocol position: stage/iteration
+// of the sort, message kind) plus two key vectors: `data` for the
+// compare-exchange operands and `lbs` for the piggybacked bitonic-sequence
+// slice of the fault-tolerant algorithm.  The cost model charges for the
+// total number of key words.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypercube/topology.h"
+
+namespace aoft::sim {
+
+// Sort keys.  The paper's experiments sort 32-bit integers; we store keys in
+// 64 bits so adversaries can also inject out-of-universe values.
+using Key = std::int64_t;
+
+enum class MsgKind : std::uint8_t {
+  kData,        // compare-exchange operand(s) only (algorithm S_NR)
+  kDataLbs,     // operands + piggybacked LBS slice (algorithm S_FT)
+  kLbsOnly,     // final pure-exchange verification round of S_FT
+  kHostGather,  // node -> host: initial or sorted values
+  kHostScatter, // host -> node: sorted values
+  kHostError,   // node -> host: fail-stop error report
+  kApp,         // application-defined payload (e.g. AOFT relaxation)
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kData;
+  cube::NodeId from = 0;
+  std::int32_t stage = -1;  // outer loop index i, -1 when not applicable
+  std::int32_t iter = -1;   // inner loop index j, -1 when not applicable
+  std::int32_t tag = 0;     // application-defined discriminator
+  std::vector<Key> data;
+  std::vector<Key> lbs;
+
+  // Logical time at which the message becomes available to the receiver;
+  // stamped by the network at send time.
+  double arrival = 0.0;
+
+  std::size_t words() const { return data.size() + lbs.size(); }
+};
+
+// Result of a receive: ok == false means the watchdog fired while waiting
+// (absent message, Environmental Assumption 4) and `msg` is empty.
+struct RecvResult {
+  bool ok = false;
+  Message msg;
+};
+
+}  // namespace aoft::sim

@@ -1,0 +1,61 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+#include "sim/channel.h"
+
+namespace aoft::sim {
+
+Scheduler::~Scheduler() {
+  for (auto h : tasks_)
+    if (h) h.destroy();
+}
+
+void Scheduler::spawn(SimTask task) {
+  auto h = task.release();
+  tasks_.push_back(h);
+  ready_.push_back(h);
+}
+
+void Scheduler::add_blocked(Channel* ch) {
+  ch->blocked_index_ = static_cast<std::ptrdiff_t>(blocked_.size());
+  blocked_.push_back(ch);
+}
+
+void Scheduler::remove_blocked(Channel* ch) {
+  const auto i = ch->blocked_index_;
+  if (i < 0) return;
+  blocked_[static_cast<std::size_t>(i)] = blocked_.back();
+  blocked_[static_cast<std::size_t>(i)]->blocked_index_ = i;
+  blocked_.pop_back();
+  ch->blocked_index_ = -1;
+}
+
+int Scheduler::run() {
+  int watchdog_rounds = 0;
+  for (;;) {
+    while (!ready_.empty()) {
+      auto h = ready_.front();
+      ready_.pop_front();
+      h.resume();
+      if (h.done()) {
+        auto& promise =
+            SimTask::Handle::from_address(h.address()).promise();
+        if (promise.exception) std::rethrow_exception(promise.exception);
+      }
+    }
+    if (blocked_.empty()) break;
+    // Global quiescence with suspended receivers: the watchdog fires and
+    // every pending receive fails (message absence detected).
+    ++watchdog_rounds;
+    auto blocked = std::move(blocked_);
+    blocked_.clear();
+    for (Channel* ch : blocked) {
+      ch->blocked_index_ = -1;
+      ch->fail_waiter();
+    }
+  }
+  return watchdog_rounds;
+}
+
+}  // namespace aoft::sim

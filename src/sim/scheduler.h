@@ -1,0 +1,55 @@
+// Deterministic cooperative scheduler for the simulated multicomputer.
+//
+// All node tasks and the host task run on one OS thread.  The ready queue is
+// FIFO and tasks are spawned in node order, so every simulation of the same
+// (input, fault plan) pair replays identically — a property the fault
+// campaigns and the resume-style tests rely on.
+//
+// Watchdog model: when no task is runnable but some tasks are suspended on
+// channel receives, a real machine would eventually trip a timeout (the
+// paper's Environmental Assumption 4: "the absence of a message can be
+// detected and constitutes an error").  The scheduler models the watchdog by
+// failing every pending receive at global quiescence; receivers observe
+// RecvResult::ok == false and fail-stop.
+
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace aoft::sim {
+
+class Channel;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  // Take ownership of a task and queue it for its first resume.
+  void spawn(SimTask task);
+
+  void ready(std::coroutine_handle<> h) { ready_.push_back(h); }
+
+  // Channels report receivers blocking/unblocking so the watchdog can find
+  // them at quiescence.  Both operations are O(1).
+  void add_blocked(Channel* ch);
+  void remove_blocked(Channel* ch);
+
+  // Drive everything to completion.  Returns the number of watchdog rounds
+  // that were needed (0 for a fault-free run of a deadlock-free protocol).
+  // Rethrows the first exception escaping a task (programming error).
+  int run();
+
+ private:
+  std::vector<SimTask::Handle> tasks_;  // owned frames
+  std::deque<std::coroutine_handle<>> ready_;
+  std::vector<Channel*> blocked_;
+};
+
+}  // namespace aoft::sim

@@ -1,0 +1,44 @@
+#include "sort/blockops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace aoft::sort::blockops {
+
+void sort_dir(std::vector<Key>& block, bool ascending) {
+  if (ascending)
+    std::sort(block.begin(), block.end());
+  else
+    std::sort(block.begin(), block.end(), std::greater<Key>{});
+}
+
+bool is_sorted_dir(std::span<const Key> block, bool ascending) {
+  return ascending ? is_non_decreasing(block) : is_non_increasing(block);
+}
+
+void reverse_block(std::vector<Key>& block) {
+  std::reverse(block.begin(), block.end());
+}
+
+std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
+                           bool ascending) {
+  assert(is_sorted_dir(a, ascending) && is_sorted_dir(b, ascending));
+  std::vector<Key> out(a.size() + b.size());
+  if (ascending)
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+  else
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
+               std::greater<Key>{});
+  return out;
+}
+
+bool contains_submultiset(std::span<const Key> super, std::span<const Key> sub,
+                          bool ascending) {
+  if (ascending)
+    return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end(),
+                       std::greater<Key>{});
+}
+
+}  // namespace aoft::sort::blockops

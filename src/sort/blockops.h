@@ -1,0 +1,45 @@
+// Block (m keys per node) helpers for the bitonic sort/merge variants.
+//
+// Paper §5: "each processor holds m elements ... half of the processors must
+// do a compare/exchange of 2m elements and then each processor must sort
+// these m elements locally."  The classical realization is merge-split: both
+// partners' blocks are merged and the pair splits the result, the lower node
+// keeping the lower half under the pair's direction.
+//
+// Blocks are stored *directionally*: a node participating in an ascending
+// merge holds its m keys non-decreasing, a descending one non-increasing.
+// The flattened concatenation of directional blocks over a subcube is then
+// exactly the global (sub)sequence the scalar predicates reason about, which
+// is how "each of the predicates Φ scales by m" (paper §5) falls out for
+// free — see sort/predicates.h.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sort/keys.h"
+
+namespace aoft::sort::blockops {
+
+// Sort `block` in the given direction.
+void sort_dir(std::vector<Key>& block, bool ascending);
+
+// True iff `block` is sorted in the given direction.
+bool is_sorted_dir(std::span<const Key> block, bool ascending);
+
+// Flip the stored direction (reverse).  A directional block reversed is
+// sorted in the opposite direction.
+void reverse_block(std::vector<Key>& block);
+
+// Merge two blocks sorted in direction `ascending` into one sorted sequence
+// of both, same direction.
+std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
+                           bool ascending);
+
+// True iff `sub` (sorted, direction `ascending`) is a sub-multiset of
+// `super` (sorted, same direction).  One linear two-pointer pass.
+bool contains_submultiset(std::span<const Key> super, std::span<const Key> sub,
+                          bool ascending);
+
+}  // namespace aoft::sort::blockops

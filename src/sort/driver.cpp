@@ -1,0 +1,22 @@
+#include "sort/driver.h"
+
+namespace aoft::sort {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrect: return "correct";
+    case Outcome::kFailStop: return "fail-stop";
+    case Outcome::kSilentWrong: return "SILENT-WRONG";
+  }
+  return "?";
+}
+
+Outcome classify(const SortRun& run, std::span<const Key> input) {
+  if (run.fail_stop()) return Outcome::kFailStop;
+  if (run.output.size() == input.size() && is_non_decreasing(run.output) &&
+      is_permutation_of(run.output, input))
+    return Outcome::kCorrect;
+  return Outcome::kSilentWrong;
+}
+
+}  // namespace aoft::sort

@@ -1,0 +1,34 @@
+// Common result type and outcome classification for all sorting runs.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sort/keys.h"
+
+namespace aoft::sort {
+
+// How a run ended, judged against the paper's reliability claim (Thm 3):
+// a reliable algorithm may be kCorrect or kFailStop, never kSilentWrong.
+enum class Outcome {
+  kCorrect,     // terminated, output is the ascending sort of the input
+  kFailStop,    // at least one processor signalled ERROR to the host
+  kSilentWrong, // terminated without any error but the output is wrong
+};
+
+const char* to_string(Outcome o);
+
+struct SortRun {
+  std::vector<Key> output;  // flattened N*m keys, node p's block at [p*m, (p+1)*m)
+  std::vector<sim::ErrorReport> errors;
+  sim::RunSummary summary;
+
+  bool fail_stop() const { return !errors.empty(); }
+};
+
+// Classify a finished run against the original input.
+Outcome classify(const SortRun& run, std::span<const Key> input);
+
+}  // namespace aoft::sort

@@ -1,0 +1,14 @@
+#include "sort/keys.h"
+
+namespace aoft::sort {
+
+bool is_permutation_of(std::span<const Key> a, std::span<const Key> b) {
+  if (a.size() != b.size()) return false;
+  std::vector<Key> sa(a.begin(), a.end());
+  std::vector<Key> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+}  // namespace aoft::sort

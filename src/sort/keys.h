@@ -1,0 +1,37 @@
+// Key utilities shared by the sorting algorithms and their checks.
+
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace aoft::sort {
+
+using sim::Key;
+
+// True iff `v` is non-decreasing.
+inline bool is_non_decreasing(std::span<const Key> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+// True iff `v` is non-increasing.
+inline bool is_non_increasing(std::span<const Key> v) {
+  return std::is_sorted(v.begin(), v.end(), std::greater<Key>{});
+}
+
+// True iff `v` is bitonic in the restricted sense the sort maintains:
+// a non-decreasing first half followed by a non-increasing second half
+// (paper Definition 2 with the split at the midpoint, which Lemma 2
+// guarantees for every intermediate sequence).
+inline bool is_bitonic_halves(std::span<const Key> v) {
+  const std::size_t mid = v.size() / 2;
+  return is_non_decreasing(v.subspan(0, mid)) && is_non_increasing(v.subspan(mid));
+}
+
+// True iff `a` is a permutation of `b` (multiset equality).
+bool is_permutation_of(std::span<const Key> a, std::span<const Key> b);
+
+}  // namespace aoft::sort

@@ -1,0 +1,102 @@
+#include "sort/predicates.h"
+
+#include <cassert>
+
+namespace aoft::sort {
+
+namespace {
+
+std::optional<Violation> check_run(std::span<const Key> v, std::size_t lo,
+                                   std::size_t hi, bool non_decreasing,
+                                   const char* which) {
+  for (std::size_t k = lo; k + 1 < hi; ++k) {
+    const bool bad = non_decreasing ? v[k + 1] < v[k] : v[k + 1] > v[k];
+    if (bad)
+      return Violation{std::string("phi_P: ") + which + " run broken",
+                       static_cast<std::int64_t>(k)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> phi_p(std::span<const Key> window_vals, bool final_stage) {
+  if (final_stage)
+    return check_run(window_vals, 0, window_vals.size(), true, "ascending(final)");
+  const std::size_t mid = window_vals.size() / 2;
+  if (auto v = check_run(window_vals, 0, mid, true, "ascending")) return v;
+  return check_run(window_vals, mid, window_vals.size(), false, "descending");
+}
+
+std::optional<Violation> phi_f(std::span<const Key> llbs_inner,
+                               std::span<const Key> lbs_inner, bool ascending) {
+  assert(llbs_inner.size() == lbs_inner.size());
+  const std::size_t size = lbs_inner.size();
+  if (size <= 1) {
+    if (size == 1 && llbs_inner[0] != lbs_inner[0])
+      return Violation{"phi_F: singleton mismatch", 0};
+    return std::nullopt;
+  }
+  const std::size_t half = size / 2;
+  // l walks the non-decreasing run forward, u walks the non-increasing run
+  // backward; both visit values in ascending order.  Iterate the sorted lbs
+  // in ascending order and consume the matching run head.
+  std::size_t l = 0;
+  std::size_t u = size;  // one past the element `u-1` under consideration
+  for (std::size_t step = 0; step < size; ++step) {
+    const std::size_t idx = ascending ? step : size - 1 - step;
+    const Key key = lbs_inner[idx];
+    if (l < half && key == llbs_inner[l]) {
+      ++l;
+    } else if (u > half && key == llbs_inner[u - 1]) {
+      --u;
+    } else {
+      return Violation{"phi_F: sequence not complete w.r.t. previous stage",
+                       static_cast<std::int64_t>(idx)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> phi_c_merge(std::span<Key> local, BitVec& local_cover,
+                                     std::span<const Key> recv_slice,
+                                     const BitVec& sender_cover,
+                                     const cube::Subcube& window, std::size_t m,
+                                     MergeStats* stats) {
+  assert(recv_slice.size() == static_cast<std::size_t>(window.size()) * m);
+  for (cube::NodeId p = window.start; p <= window.end; ++p) {
+    if (!sender_cover.test(p)) continue;
+    const std::size_t local_off = static_cast<std::size_t>(p) * m;
+    const std::size_t slice_off = static_cast<std::size_t>(p - window.start) * m;
+    if (local_cover.test(p)) {
+      for (std::size_t w = 0; w < m; ++w) {
+        if (local[local_off + w] != recv_slice[slice_off + w])
+          return Violation{"phi_C: redundant copies disagree",
+                           static_cast<std::int64_t>(p)};
+      }
+      if (stats) stats->checked += m;
+    } else {
+      for (std::size_t w = 0; w < m; ++w)
+        local[local_off + w] = recv_slice[slice_off + w];
+      local_cover.set(p);
+      if (stats) stats->absorbed += m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> bit_compare(std::span<const Key> llbs,
+                                     std::span<const Key> lbs,
+                                     const cube::Subcube& outer,
+                                     const cube::Subcube& inner,
+                                     bool inner_ascending, bool final_stage,
+                                     std::size_t m) {
+  const auto window_span = [&](std::span<const Key> full, const cube::Subcube& sc) {
+    return full.subspan(static_cast<std::size_t>(sc.start) * m,
+                        static_cast<std::size_t>(sc.size()) * m);
+  };
+  if (auto v = phi_p(window_span(lbs, outer), final_stage)) return v;
+  return phi_f(window_span(llbs, inner), window_span(lbs, inner), inner_ascending);
+}
+
+}  // namespace aoft::sort

@@ -1,0 +1,415 @@
+#include "sort/sft.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "hypercube/masks.h"
+#include "sort/blockops.h"
+#include "sort/predicates.h"
+
+namespace aoft::sort {
+
+namespace {
+
+struct SftShared {
+  SftOptions opts;
+  int dim = 0;
+  std::size_t m = 1;
+  std::vector<Key> input;
+  std::vector<Key> output;
+
+  const fault::NodeFault* fault_for(cube::NodeId p) const {
+    auto it = opts.node_faults.find(p);
+    return it == opts.node_faults.end() ? nullptr : &it->second;
+  }
+};
+
+double local_sort_cost(const sim::CostModel& cm, std::size_t m) {
+  return m > 1 ? cm.cmp * static_cast<double>(m) * std::log2(static_cast<double>(m))
+               : 0.0;
+}
+
+// Classify a predicate violation string into the error taxonomy.
+sim::ErrorSource source_of(const Violation& v) {
+  if (v.what.rfind("phi_P", 0) == 0) return sim::ErrorSource::kPhiP;
+  if (v.what.rfind("phi_F", 0) == 0) return sim::ErrorSource::kPhiF;
+  if (v.what.rfind("phi_C", 0) == 0) return sim::ErrorSource::kPhiC;
+  return sim::ErrorSource::kApp;
+}
+
+// Per-node protocol state bundled so the helpers below stay readable.
+struct NodeState {
+  sim::Ctx* ctx = nullptr;
+  SftShared* sh = nullptr;
+  const fault::NodeFault* fault = nullptr;
+  bool silent = false;  // complicit checker: swallows every violation
+
+  // Raise a fail-stop error unless this node is a silent (faulty) checker.
+  // Returns true when the caller must abort (honest behaviour); a silent
+  // checker carries on as if the check had passed.
+  bool flag(sim::ErrorReport r) {
+    if (silent) return false;
+    ctx->error(std::move(r));
+    return true;
+  }
+
+  std::vector<Key> a;     // my block, stored in `cur_asc` direction
+  bool cur_asc = true;
+
+  std::vector<Key> lbs;   // full-cube flattened collection for this stage
+  std::vector<Key> llbs;  // validated collection from the previous stage
+  util::BitVec lmask;     // labels collected in `lbs`
+
+  // Copy the window region of `lbs` into an outgoing slice.
+  std::vector<Key> slice(const cube::Subcube& w) const {
+    const std::size_t m = sh->m;
+    const auto b = lbs.begin() + static_cast<std::ptrdiff_t>(w.start * m);
+    return std::vector<Key>(b, b + static_cast<std::ptrdiff_t>(w.size() * m));
+  }
+
+  // Φ_C application to one received message.  Returns false after signalling
+  // a fail-stop error.
+  bool merge_received(const sim::Message& msg, const util::BitVec& sender_cover,
+                      const cube::Subcube& window, int i, int j) {
+    const std::size_t m = sh->m;
+    const auto& cm = sh->opts.cost;
+    if (msg.lbs.size() != static_cast<std::size_t>(window.size()) * m)
+      return !flag({0, i, j, sim::ErrorSource::kPhiC, "malformed LBS slice"});
+    // Charge the mask computation (Lemma 7) and the merge scan (Lemma 9).
+    ctx->charge(cm.copy * static_cast<double>(cube::vect_mask_count(i, j)));
+    MergeStats stats;
+    auto violation = phi_c_merge(lbs, lmask, msg.lbs, sender_cover, window, m, &stats);
+    ctx->charge(cm.merge_entry * static_cast<double>(stats.checked + stats.absorbed));
+    if (violation && sh->opts.check_consistency)
+      return !flag({0, i, j, sim::ErrorSource::kPhiC, violation->what});
+    return true;
+  }
+
+  // The passive partner's executable assertion on the returned pair (a, b):
+  // the merge must be direction-sorted and contain the block it contributed.
+  bool check_pair(const std::vector<Key>& merged, const std::vector<Key>& mine,
+                  bool asc, int i, int j) {
+    const auto& cm = sh->opts.cost;
+    ctx->charge(cm.cmp * static_cast<double>(merged.size() + mine.size()));
+    if (!sh->opts.check_exchange) return true;
+    if (merged.size() != 2 * sh->m ||
+        !blockops::is_sorted_dir(merged, asc) ||
+        !blockops::contains_submultiset(merged, mine, asc))
+      return !flag({0, i, j, sim::ErrorSource::kPhiF,
+                    "exchange pair inconsistent with contributed block"});
+    return true;
+  }
+
+  // bit_compare at a stage boundary (paper Fig. 3 / Lemma 4), honouring the
+  // ablation toggles.  Returns false after signalling.
+  bool verify_stage(const cube::Subcube& outer, const cube::Subcube& inner,
+                    bool inner_ascending, bool final_stage, int i) {
+    const std::size_t m = sh->m;
+    const auto& cm = sh->opts.cost;
+    const auto window_span = [&](const std::vector<Key>& full,
+                                 const cube::Subcube& sc) {
+      return std::span<const Key>(full).subspan(
+          static_cast<std::size_t>(sc.start) * m,
+          static_cast<std::size_t>(sc.size()) * m);
+    };
+    if (sh->opts.check_progress) {
+      ctx->charge(cm.cmp * static_cast<double>(outer.size() * m));
+      if (auto v = phi_p(window_span(lbs, outer), final_stage)) {
+        if (flag({0, i, -1, source_of(*v), v->what})) return false;
+      }
+    }
+    if (sh->opts.check_feasibility) {
+      ctx->charge(2.0 * cm.cmp * static_cast<double>(inner.size() * m));
+      if (auto v = phi_f(window_span(llbs, inner), window_span(lbs, inner),
+                         inner_ascending)) {
+        if (flag({0, i, -1, source_of(*v), v->what})) return false;
+      }
+    }
+    return true;
+  }
+};
+
+sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
+  const cube::NodeId me = ctx.id();
+  const int n = sh.dim;
+  const std::size_t m = sh.m;
+  const std::size_t num_nodes = ctx.topo().num_nodes();
+  const auto& cm = sh.opts.cost;
+
+  NodeState st;
+  st.ctx = &ctx;
+  st.sh = &sh;
+  st.fault = sh.fault_for(me);
+  st.silent = st.fault != nullptr && st.fault->silent_checker;
+
+  st.a.assign(sh.input.begin() + static_cast<std::ptrdiff_t>(me * m),
+              sh.input.begin() + static_cast<std::ptrdiff_t>((me + 1) * m));
+  auto write_out = [&] {
+    std::copy(st.a.begin(), st.a.end(),
+              sh.output.begin() + static_cast<std::ptrdiff_t>(me * m));
+  };
+
+  if (n == 0) {  // single node: a local sort, nothing to verify against peers
+    blockops::sort_dir(st.a, true);
+    ctx.charge(local_sort_cost(cm, m));
+    write_out();
+    co_return;
+  }
+
+  // Initial local sort.  The direction alternates on bit 0 so that, per pair,
+  // the flattened initial blocks already form an ascending-then-descending
+  // sequence: the stage-0 gossip then has the bitonic-halves shape every
+  // later Φ_F relies on (the "SC_i sorted in direction bit i" invariant holds
+  // from i = 0).  With m = 1 the direction is vacuous, matching Fig. 3.
+  st.cur_asc = cube::subcube_sorted_ascending(0, me);
+  blockops::sort_dir(st.a, st.cur_asc);
+  ctx.charge(local_sort_cost(cm, m));
+
+  st.lbs.assign(num_nodes * m, 0);
+  st.llbs.assign(num_nodes * m, 0);
+  st.lmask = util::BitVec(num_nodes);
+  auto reset_lbs = [&] {
+    std::copy(st.a.begin(), st.a.end(),
+              st.lbs.begin() + static_cast<std::ptrdiff_t>(me * m));
+    st.lmask.clear();
+    st.lmask.set(me);
+  };
+  reset_lbs();
+
+  const auto& topo = ctx.topo();
+
+  for (int i = 0; i < n; ++i) {
+    const cube::Subcube window = cube::home_subcube(i + 1, me);
+    bool asc = cube::stage_ascending(me, i);
+    if (st.fault && st.fault->invert_direction_from &&
+        fault::reached(*st.fault->invert_direction_from, i, i))
+      asc = !asc;
+    if (st.fault && st.fault->substitute_at && st.fault->substitute_at->stage == i) {
+      // Consistent liar: fabricate an element everywhere, including own gossip.
+      st.a[0] = st.fault->substitute_value;
+      blockops::sort_dir(st.a, st.cur_asc);
+      reset_lbs();
+    }
+    if (asc != st.cur_asc) {
+      blockops::reverse_block(st.a);
+      ctx.charge(cm.copy * static_cast<double>(m));
+      st.cur_asc = asc;
+    }
+
+    for (int j = i; j >= 0; --j) {
+      if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, i, j)) {
+        write_out();
+        co_return;  // fail-silent; peers' watchdogs flag the absence
+      }
+      const cube::NodeId partner = me ^ (cube::NodeId{1} << j);
+      const bool active = !cube::node_bit(me, j);
+      if (active) {
+        auto r = co_await ctx.recv(partner);
+        if (!r.ok) {  // cannot proceed without the operand, silent or not
+          st.flag({0, i, j, sim::ErrorSource::kTimeout, "no message from partner"});
+          write_out();
+          co_return;
+        }
+        ctx.account_recv(r.msg);
+        // The passive partner sent its pre-exchange collection.
+        if (!st.merge_received(r.msg, cube::pre_mask(topo, i, j, partner), window,
+                               i, j)) {
+          write_out();
+          co_return;
+        }
+        // Compare-exchange (merge-split for blocks).
+        std::vector<Key> theirs = std::move(r.msg.data);
+        if (theirs.size() != m || !blockops::is_sorted_dir(theirs, st.cur_asc)) {
+          ctx.charge(cm.cmp * static_cast<double>(theirs.size()));
+          if (st.flag({0, i, j, sim::ErrorSource::kPhiF,
+                       "received operand block malformed"})) {
+            write_out();
+            co_return;
+          }
+          theirs.resize(m, 0);
+          blockops::sort_dir(theirs, st.cur_asc);
+        }
+        ctx.charge(cm.cmp * static_cast<double>(m));
+        if (sh.opts.check_exchange && j == i) {
+          // At the first iteration of a stage the partner's gossip must carry
+          // exactly the operand it sent: a node cannot tell the compare-
+          // exchange one value and the collective check another.  The gossip
+          // keeps the previous stage's orientation (direction bit i of the
+          // owner) while the operand was reoriented to the pair direction.
+          const std::size_t off = static_cast<std::size_t>(partner - window.start) * m;
+          std::vector<Key> gossip(
+              r.msg.lbs.begin() + static_cast<std::ptrdiff_t>(off),
+              r.msg.lbs.begin() + static_cast<std::ptrdiff_t>(off + m));
+          if (cube::subcube_sorted_ascending(i, partner) != st.cur_asc)
+            blockops::reverse_block(gossip);
+          ctx.charge(cm.cmp * static_cast<double>(m));
+          if (!std::equal(theirs.begin(), theirs.end(), gossip.begin()) &&
+              st.flag({0, i, j, sim::ErrorSource::kPhiC,
+                       "operand disagrees with piggybacked gossip"})) {
+            write_out();
+            co_return;
+          }
+        }
+        auto merged = blockops::merge_dir(st.a, theirs, st.cur_asc);
+        ctx.charge(cm.cmp * static_cast<double>(2 * m));
+        st.a.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(m));
+        // Reply carries the whole pair (a, b) plus the *merged* collection.
+        sim::Message reply;
+        reply.kind = sim::MsgKind::kDataLbs;
+        reply.stage = i;
+        reply.iter = j;
+        reply.data = std::move(merged);
+        reply.lbs = st.slice(window);
+        ctx.send(partner, std::move(reply));
+      } else {
+        sim::Message msg;
+        msg.kind = sim::MsgKind::kDataLbs;
+        msg.stage = i;
+        msg.iter = j;
+        msg.data = st.a;
+        msg.lbs = st.slice(window);
+        ctx.send(partner, std::move(msg));
+        auto r = co_await ctx.recv(partner);
+        if (!r.ok) {  // cannot proceed without the operand, silent or not
+          st.flag({0, i, j, sim::ErrorSource::kTimeout, "no message from partner"});
+          write_out();
+          co_return;
+        }
+        ctx.account_recv(r.msg);
+        // The active partner merged before replying, so its collection is the
+        // union — every entry we already hold is cross-checked here.
+        if (!st.merge_received(r.msg, cube::vect_mask(topo, i, j, partner), window,
+                               i, j)) {
+          write_out();
+          co_return;
+        }
+        if (!st.check_pair(r.msg.data, st.a, st.cur_asc, i, j)) {
+          write_out();
+          co_return;
+        }
+        if (r.msg.data.size() >= 2 * m)
+          st.a.assign(r.msg.data.begin() + static_cast<std::ptrdiff_t>(m),
+                      r.msg.data.begin() + static_cast<std::ptrdiff_t>(2 * m));
+      }
+    }
+
+    // Stage boundary: bit_compare (skipped at stage 0 where no LLBS exists),
+    // LLBS update, LBS reset (paper Fig. 3).
+    if (i != 0) {
+      const cube::Subcube inner = cube::home_subcube(i, me);
+      if (!st.verify_stage(window, inner, cube::subcube_sorted_ascending(i, me),
+                           /*final_stage=*/false, i)) {
+        write_out();
+        co_return;
+      }
+    }
+    if (sh.opts.observer) {
+      StageSnapshot snap;
+      snap.node = me;
+      snap.stage = i;
+      snap.window = window;
+      snap.lbs_window = st.slice(window);
+      snap.llbs_window.assign(
+          st.llbs.begin() + static_cast<std::ptrdiff_t>(window.start * m),
+          st.llbs.begin() + static_cast<std::ptrdiff_t>((window.end + 1) * m));
+      sh.opts.observer(snap);
+    }
+    std::copy(st.lbs.begin() + static_cast<std::ptrdiff_t>(window.start * m),
+              st.lbs.begin() + static_cast<std::ptrdiff_t>((window.end + 1) * m),
+              st.llbs.begin() + static_cast<std::ptrdiff_t>(window.start * m));
+    ctx.charge(cm.copy * static_cast<double>(window.size() * m));
+    reset_lbs();
+  }
+
+  // Final verification: pure exchange of the finished sort over the whole
+  // cube, then bit_compare against the last validated bitonic sequence.
+  const cube::Subcube cube_window = cube::home_subcube(n, me);
+  const int fi = n - 1;  // mask algebra of the last stage spans the whole cube
+  for (int j = fi; j >= 0; --j) {
+    if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, n, j)) {
+      write_out();
+      co_return;
+    }
+    const cube::NodeId partner = me ^ (cube::NodeId{1} << j);
+    const bool active = !cube::node_bit(me, j);
+    if (active) {
+      auto r = co_await ctx.recv(partner);
+      if (!r.ok) {
+        st.flag({0, n, j, sim::ErrorSource::kTimeout, "no message from partner"});
+        write_out();
+        co_return;
+      }
+      ctx.account_recv(r.msg);
+      if (!st.merge_received(r.msg, cube::pre_mask(topo, fi, j, partner),
+                             cube_window, n, j)) {
+        write_out();
+        co_return;
+      }
+      sim::Message reply;
+      reply.kind = sim::MsgKind::kLbsOnly;
+      reply.stage = n;
+      reply.iter = j;
+      reply.lbs = st.slice(cube_window);
+      ctx.send(partner, std::move(reply));
+    } else {
+      sim::Message msg;
+      msg.kind = sim::MsgKind::kLbsOnly;
+      msg.stage = n;
+      msg.iter = j;
+      msg.lbs = st.slice(cube_window);
+      ctx.send(partner, std::move(msg));
+      auto r = co_await ctx.recv(partner);
+      if (!r.ok) {
+        st.flag({0, n, j, sim::ErrorSource::kTimeout, "no message from partner"});
+        write_out();
+        co_return;
+      }
+      ctx.account_recv(r.msg);
+      if (!st.merge_received(r.msg, cube::vect_mask(topo, fi, j, partner),
+                             cube_window, n, j)) {
+        write_out();
+        co_return;
+      }
+    }
+  }
+  if (!st.verify_stage(cube_window, cube_window, /*inner_ascending=*/true,
+                       /*final_stage=*/true, n)) {
+    write_out();
+    co_return;
+  }
+  if (sh.opts.observer) {
+    StageSnapshot snap;
+    snap.node = me;
+    snap.stage = n;
+    snap.window = cube_window;
+    snap.lbs_window = st.slice(cube_window);
+    snap.llbs_window = st.llbs;
+    sh.opts.observer(snap);
+  }
+  write_out();
+  co_return;
+}
+
+}  // namespace
+
+SortRun run_sft(int dim, std::span<const Key> input, const SftOptions& opts) {
+  assert(input.size() == (std::size_t{1} << dim) * opts.block);
+  SftShared sh;
+  sh.opts = opts;
+  sh.dim = dim;
+  sh.m = opts.block;
+  sh.input.assign(input.begin(), input.end());
+  sh.output.assign(input.size(), 0);
+
+  sim::Machine machine(cube::Topology{dim}, opts.cost);
+  machine.set_interceptor(opts.interceptor);
+  machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
+
+  SortRun run;
+  run.output = std::move(sh.output);
+  run.errors = machine.errors();
+  run.summary = machine.summary();
+  return run;
+}
+
+}  // namespace aoft::sort

@@ -1,0 +1,79 @@
+// S_FT — the reliable (fail-stop) hypercube bitonic sort (paper Fig. 3).
+//
+// S_FT runs the same compare-exchange schedule as S_NR, with three additions:
+//
+//   1. Piggybacked gossip.  Each node's element at the *start* of stage i is
+//      disseminated across the stage's home subcube SC_{i+1} by appending the
+//      node's collected sequence LBS to every message it already sends — no
+//      extra messages, only longer ones (the paper's key efficiency claim).
+//
+//   2. Consistency on every receive (Φ_C).  The receiver knows, from the mask
+//      algebra of hypercube/masks.h, exactly which entries the sender must
+//      have collected.  Entries both sides hold travelled vertex-disjoint
+//      routes and must agree; fresh entries are absorbed.  Because the active
+//      node merges *before* replying, its reply re-delivers every entry the
+//      passive partner already holds, which is where the cross-checking
+//      redundancy comes from (DESIGN.md §4, fidelity note 2).
+//
+//   3. Stage-boundary verification (bit_compare = Φ_P ∘ Φ_F).  The collected
+//      LBS must be bitonic over SC_{i+1}, and over the node's dim-i subcube
+//      it must be a permutation of the previously validated LLBS.  A final
+//      pure-exchange round re-disseminates the finished sort and re-verifies
+//      it against the last validated bitonic sequence.
+//
+// Every violated assertion makes the node signal ERROR to the host and halt:
+// the system is fail-stop built from Byzantine-faulty components (Thm 3).
+//
+// The exchange messages carry both halves of the compare-exchange result, so
+// the passive partner can additionally assert that the pair was computed
+// consistently (its own old block is contained in the returned merge and the
+// merge is direction-sorted).  The paper's Fig. 3 sends the pair (a, b) for
+// exactly this purpose; the check is the `check_exchange` knob below.
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "fault/fault_spec.h"
+#include "hypercube/subcube.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+#include "sort/driver.h"
+
+namespace aoft::sort {
+
+// One node's view at a stage boundary, for traces and the Figure-5 test.
+struct StageSnapshot {
+  cube::NodeId node = 0;
+  int stage = 0;                 // completed stage index; dim for the final round
+  cube::Subcube window;          // SC_{stage+1,node} (whole cube for the final round)
+  std::vector<Key> lbs_window;   // collected LBS over the window, flattened
+  std::vector<Key> llbs_window;  // previous validated sequence over the window
+};
+
+struct SftOptions {
+  std::size_t block = 1;  // m: keys per node
+  sim::CostModel cost{};
+
+  // Predicate toggles, for the ablation benches.  All on for the real S_FT.
+  bool check_progress = true;     // Φ_P
+  bool check_feasibility = true;  // Φ_F
+  bool check_consistency = true;  // Φ_C
+  bool check_exchange = true;     // pair check on (a, b) replies
+
+  sim::LinkInterceptor* interceptor = nullptr;  // Byzantine links
+  fault::NodeFaultMap node_faults;              // Byzantine processors
+
+  // Invoked at every stage boundary of every node (small cubes only; the
+  // snapshots copy the stage window).
+  std::function<void(const StageSnapshot&)> observer;
+};
+
+// Sort `input` (flattened, size 2^dim * block) reliably.  The returned run is
+// kCorrect or kFailStop for up to dim-1 faulty nodes (paper Thm 3) — the
+// coverage campaign in bench/ verifies exactly that, and the unit tests
+// exercise each predicate's detection separately.
+SortRun run_sft(int dim, std::span<const Key> input, const SftOptions& opts = {});
+
+}  // namespace aoft::sort

@@ -1,0 +1,154 @@
+// Dynamic fixed-width bit vector used for gossip coverage masks.
+//
+// The consistency predicate of the fault-tolerant bitonic sort (paper Fig. 4c)
+// manipulates per-node bit masks with one bit per hypercube node.  The paper's
+// pseudocode uses machine words ("lmask", "omask"); a 64-node Ncube fits in one
+// word, but this library simulates cubes of dimension > 6, so masks are a
+// dedicated small value type instead.
+//
+// BitVec is a regular type (copyable, movable, equality-comparable) with the
+// usual bitwise algebra.  All operations on two vectors require equal sizes;
+// this is a precondition checked with assert in debug builds.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aoft::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // A vector of `size` bits, all clear.
+  explicit BitVec(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  // A vector of `size` bits with exactly the bits listed in `set_bits` set.
+  BitVec(std::size_t size, std::initializer_list<std::size_t> set_bits) : BitVec(size) {
+    for (std::size_t b : set_bits) set(b);
+  }
+
+  static BitVec single(std::size_t size, std::size_t bit) {
+    BitVec v(size);
+    v.set(bit);
+    return v;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < size_);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // Number of set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  BitVec& operator|=(const BitVec& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  BitVec& operator&=(const BitVec& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  BitVec& operator^=(const BitVec& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  // Set-complement within the vector's size.
+  BitVec operator~() const {
+    BitVec r(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+    r.trim();
+    return r;
+  }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  // True iff every set bit of *this is also set in `o`.
+  bool is_subset_of(const BitVec& o) const {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~o.words_[i]) return false;
+    return true;
+  }
+
+  bool intersects(const BitVec& o) const {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  // Indices of all set bits, ascending.
+  std::vector<std::size_t> set_bits() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t i = 0; i < size_; ++i)
+      if (test(i)) out.push_back(i);
+    return out;
+  }
+
+  // "01101..." with bit 0 leftmost (node order), for traces and test failure text.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) s.push_back(test(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  void trim() {
+    const std::size_t used = size_ % 64;
+    if (used != 0 && !words_.empty()) words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aoft::util

@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+namespace aoft::util {
+
+std::vector<std::int64_t> random_keys(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::int64_t> keys(count);
+  for (auto& k : keys) k = rng.next_in(-2147483648LL, 2147483647LL);
+  return keys;
+}
+
+std::vector<std::int64_t> random_keys_small_alphabet(std::uint64_t seed,
+                                                     std::size_t count,
+                                                     std::int64_t alphabet) {
+  Rng rng(seed);
+  std::vector<std::int64_t> keys(count);
+  for (auto& k : keys) k = rng.next_in(0, alphabet - 1);
+  return keys;
+}
+
+}  // namespace aoft::util

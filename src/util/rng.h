@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for workloads and fault plans.
+//
+// Everything in this repository that involves randomness (input lists, fault
+// injection schedules, property-test sweeps) derives from an explicit 64-bit
+// seed so every run is reproducible.  The generator is xoshiro256** seeded via
+// splitmix64, which is small, fast and statistically solid for simulation use.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aoft::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the full generator state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  double next_unit() {  // [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+// The workloads the paper reports sort 32-bit integers; keys below stay within
+// 32-bit range unless a test asks otherwise.
+std::vector<std::int64_t> random_keys(std::uint64_t seed, std::size_t count);
+
+// Random keys drawn from a small alphabet, to exercise duplicate handling.
+std::vector<std::int64_t> random_keys_small_alphabet(std::uint64_t seed,
+                                                     std::size_t count,
+                                                     std::int64_t alphabet);
+
+}  // namespace aoft::util

@@ -1,0 +1,41 @@
+// Fixed-width text tables for benchmark output.
+//
+// Every bench binary regenerates one of the paper's tables or figures as rows
+// of text; this tiny formatter keeps them aligned and makes the series easy to
+// paste into a plotting tool (a CSV dump is available alongside).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aoft::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells are preformatted strings; add_row copies them in order.
+  void add_row(std::vector<std::string> cells);
+
+  // Pretty fixed-width rendering with a header underline.
+  void print(std::ostream& os) const;
+
+  // Comma-separated rendering (header row first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers used by the bench harnesses.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_int(long long v);
+// "1.23e+06"-style compact form for the projection tables.
+std::string fmt_sci(double v, int precision = 3);
+
+}  // namespace aoft::util

@@ -1,0 +1,82 @@
+#include "analysis/fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aoft::analysis {
+namespace {
+
+TEST(SolveLinearTest, SolvesKnownSystem) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearTest, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear({0, 1, 1, 0}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearTest, SingularThrows) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinearTest, OneByOne) {
+  const auto x = solve_linear({4}, {8});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(FitTest, RecoversExactCoefficients) {
+  // y = 8·log2²N + 0.05·N·log2 N, sampled at powers of two — the paper's
+  // S_FT communication form.
+  std::vector<Basis> basis{
+      {"log2²N", [](double n) { const double l = std::log2(n); return l * l; }},
+      {"N·log2 N", [](double n) { return n * std::log2(n); }}};
+  std::vector<double> xs, ys;
+  for (int d = 2; d <= 10; ++d) {
+    const double n = std::ldexp(1.0, d);
+    xs.push_back(n);
+    ys.push_back(8.0 * d * d + 0.05 * n * d);
+  }
+  const auto r = fit(basis, xs, ys);
+  EXPECT_NEAR(r.coeffs[0], 8.0, 1e-9);
+  EXPECT_NEAR(r.coeffs[1], 0.05, 1e-12);
+  EXPECT_NEAR(r.rms_residual, 0.0, 1e-9);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitTest, LeastSquaresOnNoisyData) {
+  std::vector<Basis> basis{{"N", [](double n) { return n; }}};
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2.1, 3.9, 6.1, 7.9};  // ~ 2N
+  const auto r = fit(basis, xs, ys);
+  EXPECT_NEAR(r.coeffs[0], 2.0, 0.05);
+  EXPECT_GT(r.r_squared, 0.99);
+  EXPECT_GT(r.rms_residual, 0.0);
+}
+
+TEST(FitTest, EvalMatchesModel) {
+  std::vector<Basis> basis{{"1", [](double) { return 1.0; }},
+                           {"N", [](double n) { return n; }}};
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{1, 3, 5};  // 1 + 2N
+  const auto r = fit(basis, xs, ys);
+  EXPECT_NEAR(r.eval(basis, 10.0), 21.0, 1e-9);
+}
+
+TEST(FitTest, ToStringNamesTerms) {
+  std::vector<Basis> basis{{"N", [](double n) { return n; }}};
+  FitResult r;
+  r.coeffs = {2.5};
+  const auto s = r.to_string(basis);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("N"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aoft::analysis

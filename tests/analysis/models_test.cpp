@@ -1,0 +1,79 @@
+#include "analysis/models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aoft::analysis {
+namespace {
+
+TEST(ModelsTest, BasisFunctionValues) {
+  EXPECT_DOUBLE_EQ(basis_const().fn(1024), 1.0);
+  EXPECT_DOUBLE_EQ(basis_n().fn(1024), 1024.0);
+  EXPECT_DOUBLE_EQ(basis_log2n().fn(1024), 10.0);
+  EXPECT_DOUBLE_EQ(basis_log2sq().fn(1024), 100.0);
+  EXPECT_DOUBLE_EQ(basis_nlog2n().fn(1024), 10240.0);
+}
+
+TEST(ModelsTest, PaperFormBases) {
+  EXPECT_EQ(sft_comm_basis().size(), 2u);
+  EXPECT_EQ(sft_comp_basis().size(), 1u);
+  EXPECT_EQ(seq_comm_basis().size(), 1u);
+  EXPECT_EQ(seq_comp_basis().size(), 1u);
+}
+
+// Build a TimeModel directly from known coefficients.
+TimeModel model(double comm_logsq, double comm_nlogn, double comp_n,
+                bool sft_shape) {
+  TimeModel m;
+  if (sft_shape) {
+    m.comm_basis = sft_comm_basis();
+    m.comm.coeffs = {comm_logsq, comm_nlogn};
+    m.comp_basis = sft_comp_basis();
+    m.comp.coeffs = {comp_n};
+  } else {
+    m.comm_basis = seq_comm_basis();
+    m.comm.coeffs = {comm_logsq};  // reused as the N coefficient
+    m.comp_basis = seq_comp_basis();
+    m.comp.coeffs = {comm_nlogn};  // reused as the N·log N coefficient
+  }
+  return m;
+}
+
+TEST(ModelsTest, TotalSumsComponents) {
+  const auto m = model(8.0, 0.05, 11.5, true);
+  const double n = 1024.0;
+  EXPECT_DOUBLE_EQ(m.total(n), 8.0 * 100 + 0.05 * 10240 + 11.5 * 1024);
+}
+
+TEST(ModelsTest, PaperConstantsCrossOver) {
+  // With the paper's own constants, S_FT (8log²N + .05NlogN + 11.5N) must
+  // overtake the host sort (14N + .45NlogN) at some realistic cube size.
+  const auto sft = model(8.0, 0.05, 11.5, true);
+  const auto seq = model(14.0, 0.45, 0.0, false);
+  const auto cross = crossover_nodes(sft, seq, 1, 24);
+  EXPECT_GT(cross, 16ULL) << "host wins at the sizes of Figure 6";
+  EXPECT_LE(cross, 1ULL << 12) << "S_FT wins well within Figure 7's range";
+}
+
+TEST(ModelsTest, PaperConstantsLimitRatioIsElevenPercent) {
+  // The paper: "in the limit ... the cost of reliable parallel sorting
+  // becomes 11% the cost of sequential sorting" — that is 0.05/0.45, the
+  // ratio of the two N·log2 N coefficients.
+  const auto sft = model(8.0, 0.05, 11.5, true);
+  const auto seq = model(14.0, 0.45, 0.0, false);
+  EXPECT_NEAR(asymptotic_ratio(sft, seq), 0.05 / 0.45, 1e-12);
+  // At finite sizes the ratio is still approaching the limit from above.
+  EXPECT_GT(limit_ratio(sft, seq, 40), 0.05 / 0.45);
+  EXPECT_LT(limit_ratio(sft, seq, 40), 0.5);
+}
+
+TEST(ModelsTest, NoCrossoverReturnsZero) {
+  const auto fast = model(1.0, 0.0, 0.0, false);   // 1·N total
+  const auto slow = model(2.0, 0.0, 0.0, false);   // 2·N total
+  EXPECT_EQ(crossover_nodes(slow, fast, 1, 20), 0ULL);
+  EXPECT_EQ(crossover_nodes(fast, slow, 1, 20), 2ULL);
+}
+
+}  // namespace
+}  // namespace aoft::analysis

@@ -1,0 +1,51 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aoft::analysis {
+namespace {
+
+TEST(StatsTest, EmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  const std::vector<double> xs{4.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // the classic example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, PercentilesNearestRank) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10), 1.0);
+}
+
+TEST(StatsTest, PercentileIgnoresInputOrder) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+}
+
+}  // namespace
+}  // namespace aoft::analysis

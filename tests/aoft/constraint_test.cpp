@@ -1,0 +1,73 @@
+#include "aoft/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::core {
+namespace {
+
+struct Counter {
+  int value = 0;
+};
+
+TEST(ConstraintPredicateTest, EmptyPredicateAlwaysHolds) {
+  ConstraintPredicate<Counter> phi;
+  EXPECT_EQ(phi.size(), 0u);
+  EXPECT_FALSE(phi(Counter{0}, Counter{5}).has_value());
+}
+
+TEST(ConstraintPredicateTest, ReportsTheRegisteredMetric) {
+  ConstraintPredicate<Counter> phi;
+  phi.feasibility([](const Counter&, const Counter& c) -> std::optional<std::string> {
+    if (c.value < 0) return "negative";
+    return std::nullopt;
+  });
+  const auto v = phi(Counter{0}, Counter{-1});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->metric, Violation::Metric::kFeasibility);
+  EXPECT_EQ(v->detail, "negative");
+}
+
+TEST(ConstraintPredicateTest, ProgressSeesPreviousState) {
+  ConstraintPredicate<Counter> phi;
+  phi.progress([](const Counter& prev, const Counter& cur) -> std::optional<std::string> {
+    if (cur.value <= prev.value) return "no progress";
+    return std::nullopt;
+  });
+  EXPECT_FALSE(phi(Counter{1}, Counter{2}).has_value());
+  EXPECT_TRUE(phi(Counter{2}, Counter{2}).has_value());
+}
+
+TEST(ConstraintPredicateTest, FirstViolationInRegistrationOrderWins) {
+  ConstraintPredicate<Counter> phi;
+  phi.progress([](const Counter&, const Counter&) -> std::optional<std::string> {
+    return "p";
+  });
+  phi.consistency([](const Counter&, const Counter&) -> std::optional<std::string> {
+    return "c";
+  });
+  const auto v = phi(Counter{}, Counter{});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->metric, Violation::Metric::kProgress);
+}
+
+TEST(ConstraintPredicateTest, AllThreeMetricsCompose) {
+  ConstraintPredicate<Counter> phi;
+  int calls = 0;
+  auto pass = [&calls](const Counter&, const Counter&) -> std::optional<std::string> {
+    ++calls;
+    return std::nullopt;
+  };
+  phi.progress(pass).feasibility(pass).consistency(pass);
+  EXPECT_EQ(phi.size(), 3u);
+  EXPECT_FALSE(phi(Counter{}, Counter{}).has_value());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ConstraintPredicateTest, MetricNames) {
+  EXPECT_STREQ(to_string(Violation::Metric::kProgress), "progress");
+  EXPECT_STREQ(to_string(Violation::Metric::kFeasibility), "feasibility");
+  EXPECT_STREQ(to_string(Violation::Metric::kConsistency), "consistency");
+}
+
+}  // namespace
+}  // namespace aoft::core

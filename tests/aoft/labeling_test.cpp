@@ -1,0 +1,176 @@
+// AOFT relaxation labeling: convergence to confident consistent labelings,
+// provable alarm-freedom of the progress predicate, fail-stop under halo
+// tampering.
+
+#include "aoft/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/adversary.h"
+#include "util/rng.h"
+
+namespace aoft::core {
+namespace {
+
+// A noisy two-label chain: the left half leans to label 0, the right half to
+// label 1, with adjustable lean.
+LabelingProblem two_region_problem(std::size_t objects, double lean,
+                                   std::uint64_t seed) {
+  LabelingProblem prob;
+  prob.labels = 2;
+  prob.compat = smoothing_compat(2, 0.0);
+  prob.initial.resize(objects * 2);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < objects; ++i) {
+    const double noise = 0.1 * rng.next_unit();
+    const double p0 = (i < objects / 2 ? 0.5 + lean : 0.5 - lean) + noise - 0.05;
+    const double clamped = std::min(0.95, std::max(0.05, p0));
+    prob.initial[i * 2] = clamped;
+    prob.initial[i * 2 + 1] = 1.0 - clamped;
+  }
+  return prob;
+}
+
+TEST(LabelingTest, SmoothsToTwoConfidentRegions) {
+  LabelingOptions opts;
+  opts.objects_per_node = 4;
+  opts.sweeps = 60;
+  const std::size_t objects = 4 * 16;
+  auto prob = two_region_problem(objects, 0.15, 7);
+  auto run = run_labeling(4, prob, opts);
+  ASSERT_TRUE(run.errors.empty())
+      << run.errors.front().detail;
+  const auto decisions = run.decisions(2);
+  // Interior objects must follow their region (boundaries may waver).
+  for (std::size_t i = 2; i + 2 < objects; ++i) {
+    if (i < objects / 2 - 2) {
+      EXPECT_EQ(decisions[i], 0u) << "object " << i;
+    } else if (i > objects / 2 + 2) {
+      EXPECT_EQ(decisions[i], 1u) << "object " << i;
+    }
+  }
+}
+
+TEST(LabelingTest, OutputsStayOnTheSimplex) {
+  LabelingOptions opts;
+  opts.objects_per_node = 8;
+  opts.sweeps = 40;
+  auto prob = two_region_problem(8 * 8, 0.1, 11);
+  auto run = run_labeling(3, prob, opts);
+  ASSERT_TRUE(run.errors.empty());
+  for (std::size_t i = 0; i * 2 < run.p.size(); ++i) {
+    EXPECT_GE(run.p[i * 2], -1e-9);
+    EXPECT_LE(run.p[i * 2], 1.0 + 1e-9);
+    EXPECT_NEAR(run.p[i * 2] + run.p[i * 2 + 1], 1.0, 1e-9);
+  }
+}
+
+TEST(LabelingTest, AlarmFreeAcrossSeedsAndShapes) {
+  // The progress predicate is a theorem for q >= 0; no configuration of
+  // inputs may trip it (or any other check) without a fault.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    for (int dim : {1, 3}) {
+      LabelingOptions opts;
+      opts.objects_per_node = 3;
+      opts.sweeps = 25;
+      auto prob = two_region_problem(3u * (1u << dim), 0.2, seed);
+      auto run = run_labeling(dim, prob, opts);
+      EXPECT_TRUE(run.errors.empty()) << "dim=" << dim << " seed=" << seed;
+    }
+  }
+}
+
+TEST(LabelingTest, ThreeLabelAlphabet) {
+  LabelingOptions opts;
+  opts.objects_per_node = 4;
+  opts.sweeps = 30;
+  LabelingProblem prob;
+  prob.labels = 3;
+  prob.compat = smoothing_compat(3, 0.2);
+  const std::size_t objects = 4 * 8;
+  prob.initial.resize(objects * 3);
+  util::Rng rng(5);
+  for (std::size_t i = 0; i < objects; ++i) {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < 3; ++l) {
+      prob.initial[i * 3 + l] = 0.1 + rng.next_unit();
+      sum += prob.initial[i * 3 + l];
+    }
+    for (std::size_t l = 0; l < 3; ++l) prob.initial[i * 3 + l] /= sum;
+  }
+  auto run = run_labeling(3, prob, opts);
+  EXPECT_TRUE(run.errors.empty());
+  EXPECT_EQ(run.decisions(3).size(), objects);
+}
+
+// Corrupt one halo label vector on one directed link from one sweep on.
+fault::Mutator corrupt_label_halo(cube::NodeId from, cube::NodeId to, int sweep,
+                                  double bogus) {
+  return [=](cube::NodeId f, cube::NodeId t, sim::Message& m) {
+    if (f != from || t != to || m.kind != sim::MsgKind::kApp || m.stage < sweep ||
+        m.data.size() < 2)
+      return fault::Action::kPass;
+    m.data[1] = std::bit_cast<sim::Key>(bogus);  // first edge-vector entry
+    return fault::Action::kMutated;
+  };
+}
+
+TEST(LabelingTest, OffSimplexHaloTripsFeasibilityOrProgress) {
+  fault::Adversary adversary;
+  adversary.add(corrupt_label_halo(1, 0, 5, 9.5));
+  LabelingOptions opts;
+  opts.objects_per_node = 4;
+  opts.sweeps = 30;
+  opts.interceptor = &adversary;
+  auto prob = two_region_problem(4 * 8, 0.15, 13);
+  auto run = run_labeling(3, prob, opts);
+  ASSERT_TRUE(run.fail_stop());
+}
+
+TEST(LabelingTest, PlausibleHaloLieTrippedByEcho) {
+  fault::Adversary adversary;
+  adversary.add(corrupt_label_halo(1, 0, 5, 0.42));  // still a valid-looking prob
+  LabelingOptions opts;
+  opts.objects_per_node = 4;
+  opts.sweeps = 30;
+  opts.interceptor = &adversary;
+  opts.check_progress = false;     // isolate Φ_C
+  opts.check_feasibility = false;
+  auto prob = two_region_problem(4 * 8, 0.15, 17);
+  auto run = run_labeling(3, prob, opts);
+  ASSERT_TRUE(run.fail_stop());
+  bool echo_fired = false;
+  for (const auto& e : run.errors)
+    echo_fired |= e.source == sim::ErrorSource::kPhiC;
+  EXPECT_TRUE(echo_fired);
+}
+
+TEST(LabelingTest, UnprotectedRunAbsorbsTheLie) {
+  fault::Adversary adversary;
+  adversary.add(corrupt_label_halo(1, 0, 5, 0.42));
+  LabelingOptions opts;
+  opts.objects_per_node = 4;
+  opts.sweeps = 30;
+  opts.interceptor = &adversary;
+  opts.check_progress = false;
+  opts.check_feasibility = false;
+  opts.check_consistency = false;
+  auto prob = two_region_problem(4 * 8, 0.15, 17);
+  auto run = run_labeling(3, prob, opts);
+  EXPECT_FALSE(run.fail_stop());
+}
+
+TEST(SmoothingCompatTest, ShapeAndSymmetry) {
+  const auto r = smoothing_compat(3, 0.25);
+  ASSERT_EQ(r.size(), 9u);
+  for (std::size_t a = 0; a < 3; ++a)
+    for (std::size_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(r[a * 3 + b], r[b * 3 + a]);
+      EXPECT_EQ(r[a * 3 + b], a == b ? 1.0 : 0.25);
+    }
+}
+
+}  // namespace
+}  // namespace aoft::core

@@ -1,0 +1,149 @@
+// AOFT Jacobi relaxation: convergence, maximum principle, and fail-stop
+// detection of injected halo faults — the paradigm beyond sorting.
+
+#include "aoft/relaxation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/adversary.h"
+
+namespace aoft::core {
+namespace {
+
+TEST(RelaxationTest, ConvergesTowardLinearProfile) {
+  RelaxOptions opts;
+  opts.cells_per_node = 8;
+  opts.sweeps = 4000;
+  opts.left = 0.0;
+  opts.right = 1.0;
+  auto run = run_relaxation(3, {}, opts);
+  ASSERT_TRUE(run.errors.empty());
+  const std::size_t total = run.u.size();
+  ASSERT_EQ(total, 64u);
+  // The fixed point of u_k = (u_{k-1}+u_{k+1})/2 with these ends is the
+  // linear ramp u_k = (k+1)/(total+1).
+  for (std::size_t k = 0; k < total; ++k) {
+    const double expect = static_cast<double>(k + 1) / static_cast<double>(total + 1);
+    EXPECT_NEAR(run.u[k], expect, 0.02) << "cell " << k;
+  }
+  EXPECT_LT(run.max_update_last_sweep, 1e-3);
+}
+
+TEST(RelaxationTest, RespectsMaximumPrinciple) {
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 50;
+  opts.left = -2.0;
+  opts.right = 3.0;
+  std::vector<double> init(4 * 16, 1.0);
+  init[10] = 2.5;  // interior bump inside the band
+  auto run = run_relaxation(4, init, opts);
+  ASSERT_TRUE(run.errors.empty());
+  for (double v : run.u) {
+    EXPECT_GE(v, -2.0 - 1e-9);
+    EXPECT_LE(v, 3.0 + 1e-9);
+  }
+}
+
+TEST(RelaxationTest, UpdateMagnitudeDecays) {
+  RelaxOptions opts;
+  opts.cells_per_node = 8;
+  opts.sweeps = 10;
+  auto short_run = run_relaxation(3, {}, opts);
+  opts.sweeps = 200;
+  auto long_run = run_relaxation(3, {}, opts);
+  EXPECT_LT(long_run.max_update_last_sweep, short_run.max_update_last_sweep);
+}
+
+TEST(RelaxationTest, DimensionZeroSolvesAlone) {
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 500;
+  auto run = run_relaxation(0, {}, opts);
+  ASSERT_TRUE(run.errors.empty());
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(run.u[k], static_cast<double>(k + 1) / 5.0, 0.01);
+}
+
+// A mutator corrupting the halo value on one directed link from one sweep on.
+fault::Mutator corrupt_halo(cube::NodeId from, cube::NodeId to, int sweep,
+                            double bogus) {
+  return [=](cube::NodeId f, cube::NodeId t, sim::Message& m) {
+    if (f != from || t != to || m.kind != sim::MsgKind::kApp || m.stage < sweep ||
+        m.data.size() != 3)
+      return fault::Action::kPass;
+    m.data[0] = std::bit_cast<sim::Key>(bogus);
+    return fault::Action::kMutated;
+  };
+}
+
+TEST(RelaxationTest, OutOfBandHaloTripsFeasibility) {
+  fault::Adversary adversary;
+  // Gray-code rank neighbors of node 0 (rank 0) include node 1 (rank 1).
+  adversary.add(corrupt_halo(1, 0, 5, 50.0));  // far outside [0, 1]
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 40;
+  opts.interceptor = &adversary;
+  // Isolate Φ_F: the jump would otherwise trip the progress assertion first.
+  opts.check_progress = false;
+  auto run = run_relaxation(3, {}, opts);
+  ASSERT_TRUE(run.fail_stop());
+  EXPECT_EQ(run.errors.front().source, sim::ErrorSource::kPhiF);
+}
+
+TEST(RelaxationTest, InBandHaloLieTrippedByEchoConsistency) {
+  fault::Adversary adversary;
+  adversary.add(corrupt_halo(1, 0, 5, 0.25));  // plausible value, still a lie
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 40;
+  opts.interceptor = &adversary;
+  // Isolate Φ_C: the victim must survive its own checks long enough to echo
+  // the lie back to the sender, which is where the conviction happens.
+  opts.check_progress = false;
+  opts.check_feasibility = false;
+  auto run = run_relaxation(3, {}, opts);
+  ASSERT_TRUE(run.fail_stop());
+  bool echo_fired = false;
+  for (const auto& e : run.errors)
+    echo_fired |= e.source == sim::ErrorSource::kPhiC;
+  EXPECT_TRUE(echo_fired) << "the lied-to value is echoed back and convicts";
+}
+
+TEST(RelaxationTest, DroppedHaloDetectedAsTimeout) {
+  struct DropLink : sim::LinkInterceptor {
+    bool on_send(cube::NodeId from, cube::NodeId to, sim::Message& m) override {
+      return !(from == 3 && to == 2 && m.stage >= 7);
+    }
+  } drop;
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 40;
+  opts.interceptor = &drop;
+  auto run = run_relaxation(3, {}, opts);
+  ASSERT_TRUE(run.fail_stop());
+  bool timeout_fired = false;
+  for (const auto& e : run.errors)
+    timeout_fired |= e.source == sim::ErrorSource::kTimeout;
+  EXPECT_TRUE(timeout_fired);
+}
+
+TEST(RelaxationTest, ChecksCanBeDisabled) {
+  fault::Adversary adversary;
+  adversary.add(corrupt_halo(1, 0, 5, 0.25));
+  RelaxOptions opts;
+  opts.cells_per_node = 4;
+  opts.sweeps = 20;
+  opts.interceptor = &adversary;
+  opts.check_progress = false;
+  opts.check_feasibility = false;
+  opts.check_consistency = false;
+  auto run = run_relaxation(3, {}, opts);
+  EXPECT_FALSE(run.fail_stop()) << "unprotected run absorbs the lie silently";
+}
+
+}  // namespace
+}  // namespace aoft::core

@@ -1,0 +1,134 @@
+// Unit tests of the link-level mutators, applied to hand-built messages.
+
+#include "fault/adversary.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::fault {
+namespace {
+
+sim::Message data_msg(cube::NodeId from, int stage, int iter,
+                      std::vector<sim::Key> data) {
+  sim::Message m;
+  m.from = from;
+  m.stage = stage;
+  m.iter = iter;
+  m.data = std::move(data);
+  return m;
+}
+
+TEST(AdversaryTest, EmptyAdversaryPassesEverything) {
+  Adversary a;
+  auto m = data_msg(1, 0, 0, {5});
+  EXPECT_TRUE(a.on_send(1, 2, m));
+  EXPECT_EQ(a.touched(), 0u);
+  EXPECT_EQ(m.data[0], 5);
+}
+
+TEST(AdversaryTest, CorruptDataHitsExactPointOnly) {
+  Adversary a;
+  a.add(corrupt_data(3, {2, 1}, 100));
+  auto hit = data_msg(3, 2, 1, {5, 6});
+  EXPECT_TRUE(a.on_send(3, 2, hit));
+  EXPECT_EQ(hit.data, (std::vector<sim::Key>{105, 106}));
+  EXPECT_EQ(a.touched(), 1u);
+
+  auto wrong_stage = data_msg(3, 1, 1, {5});
+  a.on_send(3, 2, wrong_stage);
+  EXPECT_EQ(wrong_stage.data[0], 5);
+
+  auto wrong_sender = data_msg(2, 2, 1, {5});
+  a.on_send(2, 3, wrong_sender);
+  EXPECT_EQ(wrong_sender.data[0], 5);
+  EXPECT_EQ(a.touched(), 1u);
+}
+
+TEST(AdversaryTest, DropMessageDropsOnlyThePoint) {
+  Adversary a;
+  a.add(drop_message(1, {0, 0}));
+  auto m1 = data_msg(1, 0, 0, {1});
+  EXPECT_FALSE(a.on_send(1, 0, m1));
+  auto m2 = data_msg(1, 1, 0, {1});
+  EXPECT_TRUE(a.on_send(1, 0, m2));
+  EXPECT_EQ(a.touched(), 1u);
+}
+
+TEST(AdversaryTest, DeadLinkKillsOneDirectionFromPointOn) {
+  Adversary a;
+  a.add(dead_link(4, 5, {1, 1}));
+  auto before = data_msg(4, 0, 0, {1});
+  EXPECT_TRUE(a.on_send(4, 5, before));
+  auto at = data_msg(4, 1, 1, {1});
+  EXPECT_FALSE(a.on_send(4, 5, at));
+  auto later = data_msg(4, 2, 0, {1});
+  EXPECT_FALSE(a.on_send(4, 5, later));
+  auto other_dest = data_msg(4, 2, 0, {1});
+  EXPECT_TRUE(a.on_send(4, 6, other_dest));
+}
+
+TEST(AdversaryTest, GossipEntryCorruptionLocatesWindow) {
+  Adversary a;
+  a.add(corrupt_gossip_entry(/*faulty=*/5, {1, 1}, /*entry=*/6, 10, 1));
+  // Stage-1 window of node 5 is [4..7]; slice index of entry 6 is 2.
+  auto m = data_msg(5, 1, 1, {});
+  m.lbs = {40, 50, 60, 70};
+  EXPECT_TRUE(a.on_send(5, 7, m));
+  EXPECT_EQ(m.lbs, (std::vector<sim::Key>{40, 50, 70, 70}));
+}
+
+TEST(AdversaryTest, GossipCorruptionSkipsMessagesWithoutLbs) {
+  Adversary a;
+  a.add(corrupt_gossip_entry(5, {0, 0}, 5, 10, 1));
+  auto m = data_msg(5, 1, 0, {1});
+  EXPECT_TRUE(a.on_send(5, 4, m));
+  EXPECT_EQ(a.touched(), 0u);
+}
+
+TEST(AdversaryTest, TwoFacedLiesOnlyToSelectedPeers) {
+  Adversary a;
+  a.add(two_faced_gossip(0, {0, 0}, 0, 5, 1,
+                         [](cube::NodeId dest) { return dest == 1; }));
+  auto to_victim = data_msg(0, 0, 0, {});
+  to_victim.lbs = {100, 0};
+  a.on_send(0, 1, to_victim);
+  EXPECT_EQ(to_victim.lbs[0], 105);
+
+  auto to_other = data_msg(0, 1, 0, {});
+  to_other.lbs = {100, 0};
+  a.on_send(0, 2, to_other);
+  EXPECT_EQ(to_other.lbs[0], 100);
+}
+
+TEST(AdversaryTest, GarbleReplacesWholeSliceDeterministically) {
+  Adversary a1, a2;
+  a1.add(garble_lbs(2, {0, 0}, 99));
+  a2.add(garble_lbs(2, {0, 0}, 99));
+  auto m1 = data_msg(2, 1, 0, {});
+  m1.lbs = {1, 2, 3, 4};
+  auto m2 = m1;
+  a1.on_send(2, 3, m1);
+  a2.on_send(2, 3, m2);
+  EXPECT_NE(m1.lbs, (std::vector<sim::Key>{1, 2, 3, 4}));
+  EXPECT_EQ(m1.lbs, m2.lbs);  // same seed, same garbage
+}
+
+TEST(AdversaryTest, BlockGossipCorruptionHitsAllWords) {
+  Adversary a;
+  a.add(corrupt_gossip_entry(0, {0, 0}, 1, 7, /*m=*/2));
+  auto m = data_msg(0, 0, 0, {});
+  m.lbs = {10, 11, 20, 21};  // entries 0 and 1, two words each
+  a.on_send(0, 1, m);
+  EXPECT_EQ(m.lbs, (std::vector<sim::Key>{10, 11, 27, 28}));
+}
+
+TEST(AdversaryTest, MutatorsCompose) {
+  Adversary a;
+  a.add(corrupt_data(1, {0, 0}, 1));
+  a.add(drop_message(1, {0, 0}));
+  auto m = data_msg(1, 0, 0, {5});
+  EXPECT_FALSE(a.on_send(1, 0, m));  // corrupted, then dropped
+  EXPECT_EQ(a.touched(), 2u);
+}
+
+}  // namespace
+}  // namespace aoft::fault

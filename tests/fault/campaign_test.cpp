@@ -1,0 +1,149 @@
+#include "fault/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "hypercube/subcube.h"
+
+namespace aoft::fault {
+namespace {
+
+TEST(ScenarioTest, DrawIsReproducible) {
+  CampaignConfig cfg;
+  cfg.dim = 4;
+  util::Rng r1(9), r2(9);
+  for (FaultClass c : kAllFaultClasses) {
+    const auto a = draw_scenario(c, cfg, r1);
+    const auto b = draw_scenario(c, cfg, r2);
+    EXPECT_EQ(a.faulty, b.faulty);
+    EXPECT_EQ(a.point, b.point);
+    EXPECT_EQ(a.delta, b.delta);
+    EXPECT_EQ(a.input_seed, b.input_seed);
+  }
+}
+
+TEST(ScenarioTest, DrawRespectsBounds) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  util::Rng rng(5);
+  for (int rep = 0; rep < 50; ++rep)
+    for (FaultClass c : kAllFaultClasses) {
+      const auto s = draw_scenario(c, cfg, rng);
+      EXPECT_LT(s.faulty, 8u);
+      EXPECT_GE(s.point.stage, c == FaultClass::kSubstituteValue ? 1 : 0);
+      EXPECT_LT(s.point.stage, 3);
+      EXPECT_GE(s.point.iter, 0);
+      EXPECT_LE(s.point.iter, s.point.stage);
+      EXPECT_NE(s.delta, 0);
+      if (c == FaultClass::kRelayTamper) {
+        // The tampered entry lies within the faulty node's stage window.
+        const auto window = cube::home_subcube(s.point.stage + 1, s.faulty);
+        EXPECT_TRUE(window.contains(s.aux_node));
+        EXPECT_NE(s.aux_node, s.faulty);
+      }
+    }
+}
+
+TEST(ScenarioTest, SftScenarioRunsAreDeterministic) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  util::Rng rng(31);
+  const auto s = draw_scenario(FaultClass::kCorruptData, cfg, rng);
+  const auto a = run_scenario_sft(s, cfg);
+  const auto b = run_scenario_sft(s, cfg);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.detection_stage, b.detection_stage);
+}
+
+TEST(CampaignTest, SftNeverSilentlyWrong) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 4;
+  cfg.seed = 2024;
+  const auto summary = run_campaign(cfg);
+  ASSERT_EQ(summary.sft.size(), std::size(kAllFaultClasses));
+  for (const auto& tally : summary.sft) {
+    EXPECT_EQ(tally.silent_wrong, 0) << to_string(tally.fclass);
+    EXPECT_EQ(tally.runs, cfg.runs_per_class) << to_string(tally.fclass);
+    EXPECT_EQ(tally.detected + tally.masked, tally.runs);
+  }
+}
+
+TEST(CampaignTest, SnrShowsSilentCorruption) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 6;
+  cfg.seed = 7;
+  const auto summary = run_campaign(cfg);
+  int snr_silent = 0, snr_runs = 0;
+  for (const auto& tally : summary.snr) {
+    snr_silent += tally.silent_wrong;
+    snr_runs += tally.runs;
+  }
+  EXPECT_GT(snr_runs, 0);
+  EXPECT_GT(snr_silent, 0) << "the unprotected baseline should corrupt silently";
+}
+
+TEST(CampaignTest, RecordsEveryRun) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 2;
+  const auto summary = run_campaign(cfg);
+  EXPECT_EQ(summary.runs.size(),
+            std::size(kAllFaultClasses) * static_cast<std::size_t>(cfg.runs_per_class));
+  for (const auto& r : summary.runs) EXPECT_TRUE(r.fault_exercised);
+}
+
+TEST(MultiCampaignTest, DrawsDistinctFaultyNodes) {
+  CampaignConfig cfg;
+  cfg.dim = 4;
+  util::Rng rng(12);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto ms = draw_multi_scenario(3, cfg, rng);
+    ASSERT_EQ(ms.faults.size(), 3u);
+    EXPECT_NE(ms.faults[0].faulty, ms.faults[1].faulty);
+    EXPECT_NE(ms.faults[0].faulty, ms.faults[2].faulty);
+    EXPECT_NE(ms.faults[1].faulty, ms.faults[2].faulty);
+    for (const auto& f : ms.faults)
+      EXPECT_EQ(f.input_seed, ms.input_seed) << "shared input per multi-run";
+  }
+}
+
+TEST(MultiCampaignTest, WithinBoundNeverSilentWrong) {
+  CampaignConfig cfg;
+  cfg.dim = 4;
+  cfg.runs_per_class = 6;
+  cfg.seed = 321;
+  const auto tallies = run_multi_campaign(cfg, cfg.dim - 1);
+  ASSERT_EQ(tallies.size(), 3u);
+  for (const auto& t : tallies) {
+    EXPECT_EQ(t.silent_wrong, 0) << "k=" << t.k;
+    EXPECT_EQ(t.runs, cfg.runs_per_class) << "k=" << t.k;
+    EXPECT_EQ(t.detected + t.masked, t.runs) << "k=" << t.k;
+  }
+}
+
+TEST(MultiCampaignTest, MoreFaultsMoreDetections) {
+  CampaignConfig cfg;
+  cfg.dim = 4;
+  cfg.runs_per_class = 10;
+  cfg.seed = 654;
+  const auto tallies = run_multi_campaign(cfg, 3);
+  EXPECT_GE(tallies.back().detected, tallies.front().detected);
+}
+
+TEST(CampaignTest, DetectionStageIsPlausible) {
+  CampaignConfig cfg;
+  cfg.dim = 4;
+  cfg.runs_per_class = 3;
+  const auto summary = run_campaign(cfg);
+  for (const auto& r : summary.runs) {
+    if (r.outcome != sort::Outcome::kFailStop) continue;
+    EXPECT_GE(r.detection_stage, r.scenario.point.stage)
+        << "cannot detect before the fault occurs (" << to_string(r.scenario.fclass)
+        << ")";
+    EXPECT_LE(r.detection_stage, cfg.dim + 1);
+  }
+}
+
+}  // namespace
+}  // namespace aoft::fault

@@ -1,0 +1,204 @@
+// Per-class detection tests: for every adversary class the paper's fault
+// model covers, S_FT must end fail-stop (or correct, if the deviation was
+// harmless) — never silently wrong — and the expected predicate fires.
+
+#include <gtest/gtest.h>
+
+#include "fault/adversary.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+using sort::Outcome;
+
+std::vector<sim::Key> input16() { return util::random_keys(77, 16); }
+
+sort::SortRun run_with(Adversary* adversary, NodeFaultMap faults,
+                       sort::SftOptions opts = {}) {
+  opts.interceptor = adversary;
+  opts.node_faults = std::move(faults);
+  auto in = input16();
+  return sort::run_sft(4, in, opts);
+}
+
+TEST(DetectionTest, OperandCorruptionAtStageStartCaughtImmediately) {
+  Adversary a;
+  a.add(corrupt_data(5, {2, 2}, 1000));  // passive operand at j == i
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  // The j == i gossip/operand cross-check convicts on the spot.
+  EXPECT_EQ(run.errors.front().source, sim::ErrorSource::kPhiC);
+  EXPECT_EQ(run.errors.front().stage, 2);
+}
+
+TEST(DetectionTest, ReplyCorruptionCaughtByPairCheck) {
+  Adversary a;
+  // Corrupt the active node's (a, b) reply mid-stage.
+  a.add(corrupt_data(4, {2, 1}, 999));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  EXPECT_EQ(run.errors.front().source, sim::ErrorSource::kPhiF);
+}
+
+TEST(DetectionTest, UniformGossipLieCaught) {
+  Adversary a;
+  a.add(corrupt_gossip_entry(6, {1, 1}, 6, 12345, 1));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  EXPECT_NE(sort::classify(run, input16()), Outcome::kSilentWrong);
+}
+
+TEST(DetectionTest, TwoFacedGossipConvictedByConsistency) {
+  Adversary a;
+  // Node 2 lies to odd-labelled peers about node 3's element — an entry the
+  // victims already hold a true copy of (node 3 holds its own), so the two
+  // vertex-disjoint copies meet and disagree: only Φ_C can convict this.
+  a.add(two_faced_gossip(2, {2, 0}, 3, 777, 1,
+                         [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  bool phi_c_fired = false;
+  for (const auto& e : run.errors)
+    phi_c_fired |= e.source == sim::ErrorSource::kPhiC;
+  EXPECT_TRUE(phi_c_fired);
+}
+
+TEST(DetectionTest, RelayTamperingCaught) {
+  Adversary a;
+  // Node 3 corrupts the copy of node 1's element it relays from stage 1 on.
+  a.add(corrupt_gossip_entry(3, {1, 0}, 1, 55, 1));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+}
+
+TEST(DetectionTest, DroppedMessageDetectedAsAbsence) {
+  Adversary a;
+  a.add(drop_message(7, {1, 0}));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  bool timeout_fired = false;
+  for (const auto& e : run.errors)
+    timeout_fired |= e.source == sim::ErrorSource::kTimeout;
+  EXPECT_TRUE(timeout_fired);
+}
+
+TEST(DetectionTest, DeadLinkDetected) {
+  Adversary a;
+  a.add(dead_link(7, 5, {1, 1}));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+}
+
+TEST(DetectionTest, GarbledGossipCaught) {
+  Adversary a;
+  a.add(garble_lbs(1, {1, 1}, 4242));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+}
+
+TEST(DetectionTest, StaleReplayCaught) {
+  Adversary a;
+  // Record node 4's gossip at (2,2) and replay the stale copy at (2,1)/(2,0):
+  // the replayed slice claims coverage it does not honestly carry.
+  a.add(replay_stale_lbs(4, {2, 2}));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+  EXPECT_NE(sort::classify(run, input16()), Outcome::kSilentWrong);
+}
+
+TEST(DetectionTest, HaltedNodeDetectedByPeers) {
+  NodeFaultMap nf;
+  nf[6].halt_at = StagePoint{2, 1};
+  auto run = run_with(nullptr, std::move(nf));
+  ASSERT_TRUE(run.fail_stop());
+  bool timeout_fired = false;
+  for (const auto& e : run.errors)
+    timeout_fired |= e.source == sim::ErrorSource::kTimeout;
+  EXPECT_TRUE(timeout_fired);
+}
+
+TEST(DetectionTest, InvertedDirectionCaught) {
+  NodeFaultMap nf;
+  nf[5].invert_direction_from = StagePoint{1, 1};
+  auto run = run_with(nullptr, std::move(nf));
+  ASSERT_TRUE(run.fail_stop());
+  // The very fault S_NR silently accepts (see snr_test.cpp).
+}
+
+TEST(DetectionTest, ConsistentLiarCaughtByFeasibility) {
+  NodeFaultMap nf;
+  nf[4].substitute_at = StagePoint{2, 0};
+  nf[4].substitute_value = 999999999;
+  auto run = run_with(nullptr, std::move(nf));
+  ASSERT_TRUE(run.fail_stop());
+  bool phi_pf_fired = false;
+  for (const auto& e : run.errors)
+    phi_pf_fired |= e.source == sim::ErrorSource::kPhiF ||
+                    e.source == sim::ErrorSource::kPhiP;
+  EXPECT_TRUE(phi_pf_fired);
+}
+
+TEST(DetectionTest, LateStageFaultCaughtByFinalVerification) {
+  // A lie in the very last stage can only be caught by the final
+  // pure-exchange round — the reason that round exists.
+  NodeFaultMap nf;
+  nf[9].substitute_at = StagePoint{3, 0};
+  nf[9].substitute_value = -888888888;
+  auto run = run_with(nullptr, std::move(nf));
+  ASSERT_TRUE(run.fail_stop());
+}
+
+TEST(DetectionTest, CorruptionInFinalRoundGossipCaught) {
+  Adversary a;
+  // stage index n (= 4 here) marks the final verification round.
+  a.add(corrupt_gossip_entry(2, {4, 3}, 2, 31337, 1));
+  auto run = run_with(&a, {});
+  ASSERT_TRUE(run.fail_stop());
+}
+
+// --- ablations: which predicate is load-bearing for which class -------------
+
+TEST(DetectionAblationTest, WithoutConsistencyTwoFacedStillNeverSilentWrong) {
+  Adversary a;
+  a.add(two_faced_gossip(2, {1, 1}, 2, 777, 1,
+                         [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
+  sort::SftOptions opts;
+  opts.check_consistency = false;
+  opts.interceptor = &a;
+  auto in = input16();
+  auto run = sort::run_sft(4, in, opts);
+  EXPECT_NE(sort::classify(run, in), Outcome::kSilentWrong);
+}
+
+TEST(DetectionAblationTest, ExchangeCheckOffDefersToStageChecks) {
+  Adversary a;
+  a.add(corrupt_data(4, {1, 1}, 999));
+  sort::SftOptions opts;
+  opts.check_exchange = false;
+  opts.interceptor = &a;
+  auto in = input16();
+  auto run = sort::run_sft(4, in, opts);
+  // Detection is delayed past the exchange itself but must still happen.
+  EXPECT_EQ(sort::classify(run, in), Outcome::kFailStop);
+}
+
+TEST(DetectionAblationTest, AllChecksOffIsSilentlyWrong) {
+  // Sanity check that the faults in this file are actually harmful: with the
+  // whole constraint predicate disabled, S_FT degenerates to S_NR behaviour.
+  NodeFaultMap nf;
+  nf[5].invert_direction_from = StagePoint{1, 1};
+  sort::SftOptions opts;
+  opts.check_progress = false;
+  opts.check_feasibility = false;
+  opts.check_consistency = false;
+  opts.check_exchange = false;
+  opts.node_faults = nf;
+  auto in = input16();
+  auto run = sort::run_sft(4, in, opts);
+  EXPECT_EQ(sort::classify(run, in), Outcome::kSilentWrong);
+}
+
+}  // namespace
+}  // namespace aoft::fault

@@ -1,0 +1,79 @@
+#include "fault/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/adversary.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+TEST(RecoveryTest, CleanRunNeedsOneAttempt) {
+  auto input = util::random_keys(1, 16);
+  const auto run = run_sft_with_recovery(4, input, {}, nullptr, 3);
+  EXPECT_EQ(run.attempts, 1);
+  EXPECT_FALSE(run.recovered);
+  EXPECT_TRUE(run.diagnoses.empty());
+  EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+}
+
+TEST(RecoveryTest, TransientFaultIsRecovered) {
+  auto input = util::random_keys(2, 16);
+  Adversary glitch;
+  glitch.add(drop_message(6, {1, 1}));
+  const auto run = run_sft_with_recovery(
+      4, input, {},
+      [&glitch](int attempt) -> sim::LinkInterceptor* {
+        return attempt == 0 ? &glitch : nullptr;  // gone on retry
+      },
+      3);
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_TRUE(run.recovered);
+  ASSERT_EQ(run.diagnoses.size(), 1u);
+  EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+}
+
+TEST(RecoveryTest, PermanentProcessorFaultExhaustsAttempts) {
+  auto input = util::random_keys(3, 16);
+  sort::SftOptions base;
+  base.node_faults[9].halt_at = StagePoint{2, 0};  // permanent
+  const auto run = run_sft_with_recovery(4, input, base, nullptr, 3);
+  EXPECT_EQ(run.attempts, 3);
+  EXPECT_FALSE(run.recovered);
+  EXPECT_TRUE(run.last.fail_stop());
+  ASSERT_EQ(run.diagnoses.size(), 3u);
+  const auto persistent = persistent_suspects(run);
+  ASSERT_EQ(persistent.size(), 1u);
+  EXPECT_EQ(persistent.front(), 9u);
+}
+
+TEST(RecoveryTest, PermanentLinkFaultYieldsStablePair) {
+  auto input = util::random_keys(4, 16);
+  Adversary dead;
+  dead.add(dead_link(3, 2, {1, 0}));
+  const auto run = run_sft_with_recovery(
+      4, input, {},
+      [&dead](int) -> sim::LinkInterceptor* { return &dead; }, 2);
+  EXPECT_FALSE(run.recovered);
+  const auto persistent = persistent_suspects(run);
+  ASSERT_FALSE(persistent.empty());
+  // The dead link's endpoints are the persistent candidates.
+  for (auto s : persistent) EXPECT_TRUE(s == 2u || s == 3u) << s;
+}
+
+TEST(RecoveryTest, PersistentSuspectsOfDisjointDiagnosesIsEmpty) {
+  RecoveryRun run;
+  run.diagnoses.resize(2);
+  run.diagnoses[0].suspects = {1, 2};
+  run.diagnoses[1].suspects = {3};
+  EXPECT_TRUE(persistent_suspects(run).empty());
+}
+
+TEST(RecoveryTest, NoDiagnosesMeansNoPersistentSuspects) {
+  EXPECT_TRUE(persistent_suspects(RecoveryRun{}).empty());
+}
+
+}  // namespace
+}  // namespace aoft::fault

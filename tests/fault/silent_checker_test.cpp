@@ -1,0 +1,103 @@
+// Faulty checkers: detection must not hinge on any single peer's honesty.
+//
+// Lemma 6 allows up to i faulty nodes per dim-i subcube precisely because
+// every element is verified redundantly.  Here some nodes are *complicit* —
+// they run the protocol but swallow every violation — and the remaining
+// honest peers must still convict the active liar.
+
+#include <gtest/gtest.h>
+
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+using sort::Outcome;
+
+TEST(SilentCheckerTest, SilentCheckersAloneAreHarmless) {
+  // Complicit silence with nothing to hide: the run completes correctly.
+  auto input = util::random_keys(1, 16);
+  sort::SftOptions opts;
+  opts.node_faults[3].silent_checker = true;
+  opts.node_faults[11].silent_checker = true;
+  auto run = sort::run_sft(4, input, opts);
+  EXPECT_EQ(sort::classify(run, input), Outcome::kCorrect);
+}
+
+TEST(SilentCheckerTest, OneComplicitPeerCannotShieldALiar) {
+  // Node 4 substitutes its element at stage 2; node 5 — its pair partner and
+  // first-line checker — stays silent.  The other checkers of SC_2(4)
+  // still fail the feasibility comparison.
+  auto input = util::random_keys(2, 16);
+  sort::SftOptions opts;
+  opts.node_faults[4].substitute_at = StagePoint{2, 0};
+  opts.node_faults[4].substitute_value = 777777777;
+  opts.node_faults[5].silent_checker = true;
+  auto run = sort::run_sft(4, input, opts);
+  EXPECT_EQ(sort::classify(run, input), Outcome::kFailStop);
+  bool honest_reporter = false;
+  for (const auto& e : run.errors)
+    honest_reporter |= e.node != 4 && e.node != 5;
+  EXPECT_TRUE(honest_reporter);
+}
+
+TEST(SilentCheckerTest, EntireInnerSubcubeComplicitStillCaught) {
+  // Silence all of SC_2(5) = {4,6,7} around the stage-2 liar 5.  The inner
+  // checkers of stage 2 are all complicit, but at stage 3 the fabricated
+  // element is gossiped across the whole cube and honest nodes outside the
+  // silenced subcube run the same comparisons.
+  auto input = util::random_keys(3, 16);
+  sort::SftOptions opts;
+  opts.node_faults[5].substitute_at = StagePoint{2, 0};
+  opts.node_faults[5].substitute_value = -777777777;
+  opts.node_faults[5].silent_checker = true;  // a real liar also keeps quiet
+  opts.node_faults[4].silent_checker = true;
+  opts.node_faults[6].silent_checker = true;
+  opts.node_faults[7].silent_checker = true;
+  auto run = sort::run_sft(4, input, opts);
+  EXPECT_EQ(sort::classify(run, input), Outcome::kFailStop);
+  // Detection comes from outside the complicit subcube.
+  for (const auto& e : run.errors)
+    EXPECT_TRUE(e.node < 4 || e.node > 7) << "node " << e.node;
+}
+
+TEST(SilentCheckerTest, SilentVictimOfTwoFacedLieDefersDetection) {
+  // The node that receives the disagreeing copy stays silent; the lie then
+  // either surfaces at another checker or the corrupted collection fails a
+  // later stage-end comparison.  Either way: never silent-wrong.
+  auto input = util::random_keys(4, 16);
+  sort::SftOptions opts;
+  opts.node_faults[5].invert_direction_from = StagePoint{1, 1};
+  // Silence node 7 and node 4, the immediate pair partners at stage 1.
+  opts.node_faults[7].silent_checker = true;
+  opts.node_faults[4].silent_checker = true;
+  auto run = sort::run_sft(4, input, opts);
+  EXPECT_NE(sort::classify(run, input), Outcome::kSilentWrong);
+}
+
+TEST(SilentCheckerTest, RandomizedComplicityNeverSilentWrong) {
+  // One liar plus up to n-2 random silent checkers: total faulty <= n-1, the
+  // Theorem-3 bound, so no run may end silently wrong.
+  util::Rng rng(555);
+  for (int rep = 0; rep < 15; ++rep) {
+    const int dim = 4;
+    auto input = util::random_keys(rng.next_u64(), 16);
+    sort::SftOptions opts;
+    const auto liar = static_cast<cube::NodeId>(rng.next_below(16));
+    const int stage = 1 + static_cast<int>(rng.next_below(3));
+    opts.node_faults[liar].substitute_at = StagePoint{stage, 0};
+    opts.node_faults[liar].substitute_value =
+        rng.next_in(1 << 28, 1 << 29);
+    for (int k = 0; k < dim - 2; ++k) {
+      const auto s = static_cast<cube::NodeId>(rng.next_below(16));
+      if (s != liar) opts.node_faults[s].silent_checker = true;
+    }
+    auto run = sort::run_sft(dim, input, opts);
+    EXPECT_NE(sort::classify(run, input), Outcome::kSilentWrong)
+        << "rep=" << rep << " liar=" << liar << " stage=" << stage;
+  }
+}
+
+}  // namespace
+}  // namespace aoft::fault

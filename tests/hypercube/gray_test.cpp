@@ -1,0 +1,70 @@
+#include "hypercube/gray.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aoft::cube {
+namespace {
+
+TEST(GrayTest, FirstEightCodes) {
+  const NodeId expect[] = {0, 1, 3, 2, 6, 7, 5, 4};
+  for (NodeId r = 0; r < 8; ++r) EXPECT_EQ(gray(r), expect[r]) << r;
+}
+
+TEST(GrayTest, RankInvertsGray) {
+  for (NodeId r = 0; r < 1024; ++r) EXPECT_EQ(gray_rank(gray(r)), r);
+}
+
+TEST(GrayTest, IsAPermutation) {
+  std::set<NodeId> seen;
+  for (NodeId r = 0; r < 256; ++r) seen.insert(gray(r));
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(GrayTest, ConsecutiveRanksAreCubeNeighbors) {
+  Topology t(6);
+  for (NodeId r = 0; r + 1 < t.num_nodes(); ++r)
+    EXPECT_TRUE(t.adjacent(gray(r), gray(r + 1))) << "rank " << r;
+}
+
+TEST(GrayTest, RingWrapEdgeIsAlsoACubeEdge) {
+  for (int dim = 1; dim <= 8; ++dim) {
+    Topology t(dim);
+    EXPECT_TRUE(t.adjacent(gray(0), gray(t.num_nodes() - 1))) << dim;
+  }
+}
+
+TEST(GrayTest, ChainPositionEndpoints) {
+  Topology t(3);
+  const auto first = gray_chain_position(t, gray(0));
+  EXPECT_FALSE(first.has_prev);
+  EXPECT_TRUE(first.has_next);
+  EXPECT_EQ(first.next, gray(1));
+  const auto last = gray_chain_position(t, gray(7));
+  EXPECT_TRUE(last.has_prev);
+  EXPECT_FALSE(last.has_next);
+  EXPECT_EQ(last.prev, gray(6));
+}
+
+TEST(GrayTest, ChainPositionInterior) {
+  Topology t(4);
+  for (NodeId r = 1; r + 1 < t.num_nodes(); ++r) {
+    const auto pos = gray_chain_position(t, gray(r));
+    EXPECT_EQ(pos.rank, r);
+    EXPECT_EQ(pos.prev, gray(r - 1));
+    EXPECT_EQ(pos.next, gray(r + 1));
+  }
+}
+
+TEST(GrayTest, RingNeighborsAreInverse) {
+  Topology t(5);
+  for (NodeId p = 0; p < t.num_nodes(); ++p) {
+    EXPECT_EQ(gray_ring_prev(t, gray_ring_next(t, p)), p);
+    EXPECT_TRUE(t.adjacent(p, gray_ring_next(t, p)));
+  }
+}
+
+}  // namespace
+}  // namespace aoft::cube

@@ -1,0 +1,78 @@
+#include "hypercube/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::cube {
+namespace {
+
+TEST(RoutingTest, EcubeRouteEndpoints) {
+  Topology t(4);
+  const auto p = ecube_route(t, 3, 12);
+  EXPECT_EQ(p.front(), 3u);
+  EXPECT_EQ(p.back(), 12u);
+}
+
+TEST(RoutingTest, EcubeRouteLengthIsHammingDistance) {
+  Topology t(5);
+  for (NodeId s = 0; s < t.num_nodes(); s += 3)
+    for (NodeId d = 0; d < t.num_nodes(); d += 5) {
+      const auto path = ecube_route(t, s, d);
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(t.distance(s, d)) + 1);
+    }
+}
+
+TEST(RoutingTest, EcubeHopsAreEdges) {
+  Topology t(5);
+  const auto path = ecube_route(t, 0b00000, 0b11011);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(t.adjacent(path[i], path[i + 1]));
+}
+
+TEST(RoutingTest, EcubeCorrectsLowDimensionsFirst) {
+  Topology t(4);
+  EXPECT_EQ(ecube_route(t, 0b0000, 0b1010),
+            (Path{0b0000, 0b0010, 0b1010}));
+}
+
+TEST(RoutingTest, SelfRouteIsTrivial) {
+  Topology t(3);
+  EXPECT_EQ(ecube_route(t, 5, 5), Path{5});
+}
+
+TEST(RoutingTest, DisjointPathCountEqualsDimension) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    Topology t(dim);
+    const auto paths = vertex_disjoint_paths(t, 0, 1);
+    EXPECT_EQ(paths.size(), static_cast<std::size_t>(dim));
+  }
+}
+
+TEST(RoutingTest, PathsAreInternallyDisjointEverywhere) {
+  // The fact Lemma 6 leans on: between adjacent nodes there are n
+  // internally-vertex-disjoint routes.
+  for (int dim = 1; dim <= 5; ++dim) {
+    Topology t(dim);
+    for (NodeId u = 0; u < t.num_nodes(); ++u)
+      for (int k = 0; k < dim; ++k) {
+        const NodeId v = t.neighbor(u, k);
+        const auto paths = vertex_disjoint_paths(t, u, v);
+        EXPECT_TRUE(internally_vertex_disjoint(paths)) << u << "->" << v;
+        for (const auto& p : paths) {
+          EXPECT_EQ(p.front(), u);
+          EXPECT_EQ(p.back(), v);
+          for (std::size_t i = 0; i + 1 < p.size(); ++i)
+            EXPECT_TRUE(t.adjacent(p[i], p[i + 1]));
+        }
+      }
+  }
+}
+
+TEST(RoutingTest, DetectsSharedInteriorNode) {
+  std::vector<Path> shared{{0, 2, 3, 1}, {0, 2, 6, 1}};  // both via node 2
+  EXPECT_FALSE(internally_vertex_disjoint(shared));
+  std::vector<Path> ok{{0, 2, 3, 1}, {0, 4, 5, 1}};
+  EXPECT_TRUE(internally_vertex_disjoint(ok));
+}
+
+}  // namespace
+}  // namespace aoft::cube

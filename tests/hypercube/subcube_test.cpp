@@ -1,0 +1,82 @@
+#include "hypercube/subcube.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::cube {
+namespace {
+
+TEST(SubcubeTest, Definition4Examples) {
+  // SC_{i,j} starts at j - j mod 2^i and spans 2^i labels (paper Def. 4).
+  auto sc = home_subcube(2, 6);  // j = 6, i = 2 -> [4, 7]
+  EXPECT_EQ(sc.start, 4u);
+  EXPECT_EQ(sc.end, 7u);
+  EXPECT_EQ(sc.size(), 4u);
+
+  sc = home_subcube(3, 5);  // [0, 7]
+  EXPECT_EQ(sc.start, 0u);
+  EXPECT_EQ(sc.end, 7u);
+
+  sc = home_subcube(0, 9);  // a single node
+  EXPECT_EQ(sc.start, 9u);
+  EXPECT_EQ(sc.end, 9u);
+  EXPECT_EQ(sc.size(), 1u);
+}
+
+TEST(SubcubeTest, EveryMemberSharesTheSubcube) {
+  for (int i = 0; i <= 4; ++i)
+    for (NodeId j = 0; j < 32; ++j) {
+      const auto sc = home_subcube(i, j);
+      EXPECT_TRUE(sc.contains(j));
+      for (NodeId p = sc.start; p <= sc.end; ++p)
+        EXPECT_EQ(home_subcube(i, p), sc);
+    }
+}
+
+TEST(SubcubeTest, MidAndHalves) {
+  const auto sc = home_subcube(3, 12);  // [8, 15]
+  EXPECT_EQ(sc.mid(), 12u);
+  EXPECT_EQ(sc.lower_half(), home_subcube(2, 8));
+  EXPECT_EQ(sc.upper_half(), home_subcube(2, 12));
+}
+
+TEST(SubcubeTest, ContainsIsInclusive) {
+  const auto sc = home_subcube(2, 4);  // [4, 7]
+  EXPECT_TRUE(sc.contains(4));
+  EXPECT_TRUE(sc.contains(7));
+  EXPECT_FALSE(sc.contains(3));
+  EXPECT_FALSE(sc.contains(8));
+}
+
+TEST(SubcubeTest, StageAscendingMatchesPaperModFormula) {
+  // Paper Fig. 2: ascending iff node mod 2^{i+2} < 2^{i+1}.
+  for (NodeId node = 0; node < 64; ++node)
+    for (int stage = 0; stage <= 4; ++stage) {
+      const bool paper = node % (NodeId{1} << (stage + 2)) < (NodeId{1} << (stage + 1));
+      EXPECT_EQ(stage_ascending(node, stage), paper) << node << "@" << stage;
+    }
+}
+
+TEST(SubcubeTest, FinalStageIsAlwaysAscending) {
+  // At stage n-1, bit n of any valid label is 0.
+  const int n = 5;
+  for (NodeId node = 0; node < (NodeId{1} << n); ++node)
+    EXPECT_TRUE(stage_ascending(node, n - 1));
+}
+
+TEST(SubcubeTest, SubcubeDirectionAlternatesOnBitI) {
+  EXPECT_TRUE(subcube_sorted_ascending(2, 0b0011));   // bit 2 clear
+  EXPECT_FALSE(subcube_sorted_ascending(2, 0b0111));  // bit 2 set
+}
+
+TEST(SubcubeTest, PairHalvesOfStageWindowHaveOppositeDirections) {
+  // Within SC_{i+1}, the lower dim-i half is ascending, the upper descending.
+  for (int i = 1; i <= 4; ++i)
+    for (NodeId j = 0; j < 32; ++j) {
+      const auto outer = home_subcube(i + 1, j);
+      EXPECT_TRUE(subcube_sorted_ascending(i, outer.start));
+      EXPECT_FALSE(subcube_sorted_ascending(i, outer.mid()));
+    }
+}
+
+}  // namespace
+}  // namespace aoft::cube

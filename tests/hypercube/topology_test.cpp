@@ -1,0 +1,74 @@
+#include "hypercube/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::cube {
+namespace {
+
+TEST(TopologyTest, NodeCountIsPowerOfTwo) {
+  EXPECT_EQ(Topology(0).num_nodes(), 1u);
+  EXPECT_EQ(Topology(5).num_nodes(), 32u);
+  EXPECT_EQ(Topology(10).num_nodes(), 1024u);
+}
+
+TEST(TopologyTest, NeighborFlipsExactlyOneBit) {
+  Topology t(4);
+  EXPECT_EQ(t.neighbor(0b0101, 1), 0b0111u);
+  EXPECT_EQ(t.neighbor(0b0101, 0), 0b0100u);
+}
+
+TEST(TopologyTest, NeighborIsInvolution) {
+  Topology t(6);
+  for (NodeId p = 0; p < t.num_nodes(); ++p)
+    for (int k = 0; k < t.dimension(); ++k)
+      EXPECT_EQ(t.neighbor(t.neighbor(p, k), k), p);
+}
+
+TEST(TopologyTest, AdjacencyIsHammingDistanceOne) {
+  Topology t(4);
+  for (NodeId p = 0; p < t.num_nodes(); ++p)
+    for (NodeId q = 0; q < t.num_nodes(); ++q)
+      EXPECT_EQ(t.adjacent(p, q), t.distance(p, q) == 1) << p << "," << q;
+}
+
+TEST(TopologyTest, SelfIsNotAdjacent) {
+  Topology t(3);
+  for (NodeId p = 0; p < t.num_nodes(); ++p) EXPECT_FALSE(t.adjacent(p, p));
+}
+
+TEST(TopologyTest, DistanceExamples) {
+  Topology t(5);
+  EXPECT_EQ(t.distance(0, 0), 0);
+  EXPECT_EQ(t.distance(0b00000, 0b11111), 5);
+  EXPECT_EQ(t.distance(0b10100, 0b10001), 2);
+}
+
+TEST(TopologyTest, EachNodeHasDimensionNeighbors) {
+  Topology t(5);
+  for (NodeId p = 0; p < t.num_nodes(); ++p) {
+    auto nb = t.neighbors(p);
+    ASSERT_EQ(nb.size(), 5u);
+    for (auto q : nb) EXPECT_TRUE(t.adjacent(p, q));
+  }
+}
+
+TEST(TopologyTest, ValidNode) {
+  Topology t(3);
+  EXPECT_TRUE(t.valid_node(7));
+  EXPECT_FALSE(t.valid_node(8));
+}
+
+TEST(TopologyTest, NodeBit) {
+  EXPECT_TRUE(node_bit(0b100, 2));
+  EXPECT_FALSE(node_bit(0b100, 1));
+  EXPECT_FALSE(node_bit(0b100, 31));
+}
+
+TEST(TopologyTest, DimensionZeroCube) {
+  Topology t(0);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.neighbors(0).empty());
+}
+
+}  // namespace
+}  // namespace aoft::cube

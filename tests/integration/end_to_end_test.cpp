@@ -1,0 +1,104 @@
+// Cross-algorithm integration: all four sorters agree on the answer, and the
+// cost model reproduces the paper's qualitative §5 story.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+TEST(EndToEndTest, AllAlgorithmsProduceTheSameSort) {
+  for (int dim : {1, 3, 5, 7}) {
+    auto input = util::random_keys(1000 + static_cast<std::uint64_t>(dim),
+                                   std::size_t{1} << dim);
+    const auto snr = run_snr(dim, input);
+    const auto sft = run_sft(dim, input);
+    const auto host = run_host_sort(dim, input);
+    const auto verified = run_host_verified_snr(dim, input);
+    EXPECT_EQ(snr.output, sft.output) << "dim=" << dim;
+    EXPECT_EQ(snr.output, host.output) << "dim=" << dim;
+    EXPECT_EQ(snr.output, verified.output) << "dim=" << dim;
+    EXPECT_TRUE(std::is_sorted(sft.output.begin(), sft.output.end()));
+  }
+}
+
+TEST(EndToEndTest, BlockVariantsAgreeToo) {
+  const std::size_t m = 4;
+  const int dim = 4;
+  auto input = util::random_keys(55, (std::size_t{1} << dim) * m);
+  SnrOptions snr_opts;
+  snr_opts.block = m;
+  SftOptions sft_opts;
+  sft_opts.block = m;
+  HostSortOptions host_opts;
+  host_opts.block = m;
+  EXPECT_EQ(run_snr(dim, input, snr_opts).output,
+            run_sft(dim, input, sft_opts).output);
+  EXPECT_EQ(run_sft(dim, input, sft_opts).output,
+            run_host_sort(dim, input, host_opts).output);
+}
+
+TEST(EndToEndTest, FaultToleranceCostsCommunication) {
+  // S_FT pays for reliability in message *length*: same exchange schedule,
+  // strictly more communication volume than S_NR.
+  auto input = util::random_keys(77, 64);
+  const auto snr = run_snr(6, input);
+  const auto sft = run_sft(6, input);
+  EXPECT_GT(sft.summary.total_words, 3 * snr.summary.total_words);
+  EXPECT_GT(sft.summary.max_comm, snr.summary.max_comm);
+  EXPECT_GT(sft.summary.elapsed, snr.summary.elapsed);
+}
+
+TEST(EndToEndTest, MessageComplexityUnchangedUpToFinalRound) {
+  // The paper's efficiency claim: checking rides along existing messages.
+  // S_FT sends exactly the S_NR schedule plus the final verification round
+  // (one exchange per dimension): N·n extra messages in total.
+  for (int dim : {2, 4, 6}) {
+    auto input = util::random_keys(88, std::size_t{1} << dim);
+    const auto snr = run_snr(dim, input);
+    const auto sft = run_sft(dim, input);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim);
+    EXPECT_EQ(sft.summary.total_msgs,
+              snr.summary.total_msgs + (std::uint64_t{1} << dim) * n)
+        << "dim=" << dim;
+  }
+}
+
+TEST(EndToEndTest, HostSortWinsAtFigure6Sizes) {
+  // Figure 6: at 4..32 nodes the host sort is still faster than S_FT
+  // (the constant multiplier dominates, as the paper observes).
+  for (int dim : {2, 3, 4, 5}) {
+    auto input = util::random_keys(99, std::size_t{1} << dim);
+    const auto sft = run_sft(dim, input);
+    const auto host = run_host_sort(dim, input);
+    EXPECT_LT(host.summary.elapsed, sft.summary.elapsed) << "dim=" << dim;
+  }
+}
+
+TEST(EndToEndTest, SftOvertakesHostSortAtScale) {
+  // Figure 7: the projected crossover is within realistic multicomputer
+  // sizes.  Simulate directly rather than project: by 2048 nodes the host's
+  // serial O(N) link cost dominates S_FT's O(log²N)-latency schedule.
+  auto input = util::random_keys(111, std::size_t{1} << 11);
+  const auto sft = run_sft(11, input);
+  const auto host = run_host_sort(11, input);
+  EXPECT_LT(sft.summary.elapsed, host.summary.elapsed);
+}
+
+TEST(EndToEndTest, SnrIsAlwaysTheCheapest) {
+  auto input = util::random_keys(121, 256);
+  const auto snr = run_snr(8, input);
+  const auto sft = run_sft(8, input);
+  const auto host = run_host_sort(8, input);
+  EXPECT_LT(snr.summary.elapsed, sft.summary.elapsed);
+  EXPECT_LT(snr.summary.elapsed, host.summary.elapsed);
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,107 @@
+// Resilience bound (paper Thm 3): with up to n-1 faulty nodes in the n-cube,
+// S_FT must never deliver a wrong sort; beyond the bound no promise is made.
+
+#include <gtest/gtest.h>
+
+#include "fault/adversary.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+using sort::Outcome;
+
+// Assign k distinct faulty nodes a randomized mix of processor faults.
+NodeFaultMap random_faults(int dim, int k, util::Rng& rng) {
+  NodeFaultMap map;
+  const auto num_nodes = cube::NodeId{1} << dim;
+  while (static_cast<int>(map.size()) < k) {
+    const auto node = static_cast<cube::NodeId>(rng.next_below(num_nodes));
+    if (map.contains(node)) continue;
+    NodeFault f;
+    const int stage =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(dim - 1)));
+    const int iter = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(stage + 1)));
+    switch (rng.next_below(3)) {
+      case 0: f.halt_at = StagePoint{stage, iter}; break;
+      case 1: f.invert_direction_from = StagePoint{stage, iter}; break;
+      default:
+        f.substitute_at = StagePoint{stage, iter};
+        f.substitute_value = rng.next_in(1 << 24, 1 << 26);
+        break;
+    }
+    map[node] = f;
+  }
+  return map;
+}
+
+TEST(ResilienceTest, UpToNMinusOneFaultyNodesNeverSilentWrong) {
+  const int dim = 4;  // n = 4: tolerate up to 3 faulty nodes
+  util::Rng rng(4242);
+  for (int k = 1; k <= dim - 1; ++k) {
+    for (int rep = 0; rep < 8; ++rep) {
+      auto input = util::random_keys(rng.next_u64(), std::size_t{1} << dim);
+      sort::SftOptions opts;
+      opts.node_faults = random_faults(dim, k, rng);
+      auto run = sort::run_sft(dim, input, opts);
+      EXPECT_NE(sort::classify(run, input), Outcome::kSilentWrong)
+          << "k=" << k << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ResilienceTest, MixedLinkAndProcessorFaults) {
+  const int dim = 4;
+  util::Rng rng(777);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto input = util::random_keys(rng.next_u64(), 16);
+    Adversary adversary;
+    const auto liar = static_cast<cube::NodeId>(rng.next_below(16));
+    adversary.add(two_faced_gossip(
+        liar, {1, 1}, liar, rng.next_in(1, 1 << 20), 1,
+        [](cube::NodeId dest) { return (dest & 2u) != 0; }));
+    sort::SftOptions opts;
+    opts.interceptor = &adversary;
+    opts.node_faults = random_faults(dim, 1, rng);
+    auto run = sort::run_sft(dim, input, opts);
+    EXPECT_NE(sort::classify(run, input), Outcome::kSilentWrong) << "rep=" << rep;
+  }
+}
+
+TEST(ResilienceTest, UnprotectedBaselineCorruptsUnderTheSameFaults) {
+  // The contrast column: the same fault mix drives S_NR to silent corruption
+  // in a substantial fraction of runs.
+  const int dim = 4;
+  util::Rng rng(4242);
+  int silent = 0, total = 0;
+  for (int rep = 0; rep < 24; ++rep) {
+    auto input = util::random_keys(rng.next_u64(), 16);
+    sort::SnrOptions opts;
+    opts.node_faults = random_faults(dim, 2, rng);
+    auto run = sort::run_snr(dim, input, opts);
+    silent += sort::classify(run, input) == Outcome::kSilentWrong;
+    ++total;
+  }
+  EXPECT_GT(silent, total / 4) << "baseline should corrupt often";
+}
+
+TEST(ResilienceTest, DetectionIsFailStopAcrossTheSystem) {
+  // Once any node signals, the run never pretends to have succeeded: the
+  // classify() of a fail-stop run stays fail-stop regardless of outputs.
+  auto input = util::random_keys(99, 16);
+  sort::SftOptions opts;
+  opts.node_faults[7].invert_direction_from = StagePoint{2, 1};
+  auto run = sort::run_sft(4, input, opts);
+  ASSERT_TRUE(run.fail_stop());
+  EXPECT_EQ(sort::classify(run, input), Outcome::kFailStop);
+  // Peers of the faulty node observed either the violation or the resulting
+  // silence; at least one non-faulty node is among the reporters.
+  bool non_faulty_reporter = false;
+  for (const auto& e : run.errors) non_faulty_reporter |= e.node != 7;
+  EXPECT_TRUE(non_faulty_reporter);
+}
+
+}  // namespace
+}  // namespace aoft::fault

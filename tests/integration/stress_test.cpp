@@ -1,0 +1,65 @@
+// Scale stress: the sizes the paper could only project (its machine topped
+// out at 32 nodes; Figure 7 argues about thousands).  These runs take on the
+// order of a second each and assert full correctness plus the cost-model
+// orderings the projection relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+TEST(StressTest, SftSortsAThousandNodes) {
+  const int dim = 10;  // 1024 nodes — 32x the paper's testbed
+  auto input = util::random_keys(2026, std::size_t{1} << dim);
+  auto run = run_sft(dim, input);
+  ASSERT_TRUE(run.errors.empty());
+  std::vector<Key> expect(input.begin(), input.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(run.output, expect);
+  EXPECT_EQ(run.summary.watchdog_rounds, 0);
+}
+
+TEST(StressTest, SftBeatsHostSortAtScale) {
+  const int dim = 11;  // 2048 nodes: past the measured crossover
+  auto input = util::random_keys(2027, std::size_t{1} << dim);
+  const auto sft = run_sft(dim, input);
+  const auto host = run_host_sort(dim, input);
+  ASSERT_TRUE(sft.errors.empty());
+  EXPECT_EQ(sft.output, host.output);
+  EXPECT_LT(sft.summary.elapsed, host.summary.elapsed);
+  // And the unprotected sort still leads everything.
+  const auto snr = run_snr(dim, input);
+  EXPECT_LT(snr.summary.elapsed, sft.summary.elapsed);
+}
+
+TEST(StressTest, LargeBlocksManyKeys) {
+  const int dim = 6;
+  const std::size_t m = 512;  // 32K keys total
+  SftOptions opts;
+  opts.block = m;
+  auto input = util::random_keys(2028, (std::size_t{1} << dim) * m);
+  auto run = run_sft(dim, input, opts);
+  ASSERT_TRUE(run.errors.empty());
+  EXPECT_TRUE(std::is_sorted(run.output.begin(), run.output.end()));
+  EXPECT_TRUE(is_permutation_of(run.output, input));
+}
+
+TEST(StressTest, FaultAtScaleStillFailStops) {
+  const int dim = 9;  // 512 nodes
+  auto input = util::random_keys(2029, std::size_t{1} << dim);
+  SftOptions opts;
+  opts.node_faults[300].substitute_at = fault::StagePoint{5, 2};
+  opts.node_faults[300].substitute_value = 1LL << 40;
+  auto run = run_sft(dim, input, opts);
+  EXPECT_EQ(classify(run, input), Outcome::kFailStop);
+}
+
+}  // namespace
+}  // namespace aoft::sort

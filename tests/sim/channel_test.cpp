@@ -1,0 +1,111 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace aoft::sim {
+namespace {
+
+Message msg_with_tag(int tag) {
+  Message m;
+  m.tag = tag;
+  return m;
+}
+
+TEST(ChannelTest, RecvAfterPushCompletesImmediately) {
+  Scheduler sched;
+  Channel ch(sched);
+  ch.push(msg_with_tag(7));
+  std::vector<int> got;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    auto r = co_await c.recv();
+    EXPECT_TRUE(r.ok);
+    out.push_back(r.msg.tag);
+  }(ch, got));
+  sched.run();
+  EXPECT_EQ(got, std::vector<int>{7});
+}
+
+TEST(ChannelTest, RecvBeforePushSuspendsAndResumes) {
+  Scheduler sched;
+  Channel ch(sched);
+  std::vector<int> order;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    out.push_back(1);
+    auto r = co_await c.recv();
+    EXPECT_TRUE(r.ok);
+    out.push_back(r.msg.tag);
+  }(ch, order));
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    out.push_back(2);
+    c.push(msg_with_tag(3));
+    co_return;
+  }(ch, order));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChannelTest, MessagesAreFifo) {
+  Scheduler sched;
+  Channel ch(sched);
+  for (int i = 0; i < 5; ++i) ch.push(msg_with_tag(i));
+  std::vector<int> got;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    for (int i = 0; i < 5; ++i) {
+      auto r = co_await c.recv();
+      EXPECT_TRUE(r.ok);
+      out.push_back(r.msg.tag);
+    }
+  }(ch, got));
+  sched.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, ManySendersOneReceiver) {
+  Scheduler sched;
+  Channel ch(sched);
+  std::vector<int> got;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    for (int i = 0; i < 3; ++i) {
+      auto r = co_await c.recv();
+      EXPECT_TRUE(r.ok);
+      out.push_back(r.msg.tag);
+    }
+  }(ch, got));
+  for (int i = 0; i < 3; ++i)
+    sched.spawn([](Channel& c, int tag) -> SimTask {
+      c.push(msg_with_tag(tag));
+      co_return;
+    }(ch, 10 + i));
+  sched.run();
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12}));  // spawn order is FIFO
+}
+
+TEST(ChannelTest, WatchdogFailsWaiter) {
+  Scheduler sched;
+  Channel ch(sched);
+  bool ok = true;
+  int after = 0;
+  sched.spawn([](Channel& c, bool& okflag, int& cont) -> SimTask {
+    auto r = co_await c.recv();
+    okflag = r.ok;
+    cont = 1;  // the coroutine resumes and finishes after the timeout
+  }(ch, ok, after));
+  const int watchdog_rounds = sched.run();
+  EXPECT_EQ(watchdog_rounds, 1);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(after, 1);
+}
+
+TEST(ChannelTest, HasMessage) {
+  Scheduler sched;
+  Channel ch(sched);
+  EXPECT_FALSE(ch.has_message());
+  ch.push({});
+  EXPECT_TRUE(ch.has_message());
+}
+
+}  // namespace
+}  // namespace aoft::sim

@@ -1,0 +1,36 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::sim {
+namespace {
+
+TEST(CostModelTest, MessageCostIsAffineInWords) {
+  CostModel cm;
+  cm.alpha_send = 8.0;
+  cm.beta = 0.5;
+  EXPECT_DOUBLE_EQ(cm.msg_cost(0), 8.0);
+  EXPECT_DOUBLE_EQ(cm.msg_cost(10), 13.0);
+}
+
+TEST(CostModelTest, HostMessageCost) {
+  CostModel cm;
+  cm.host_alpha = 1.0;
+  cm.host_beta = 7.0;
+  EXPECT_DOUBLE_EQ(cm.host_msg_cost(4), 29.0);
+}
+
+TEST(CostModelTest, DefaultsMatchCalibration) {
+  // The calibration constants documented in cost_model.h; the table bench
+  // depends on these defaults reproducing the paper's fitted forms.
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.alpha_send, 5.5);
+  EXPECT_DOUBLE_EQ(cm.alpha_recv, 5.5);
+  EXPECT_DOUBLE_EQ(cm.beta, 0.0207);
+  EXPECT_DOUBLE_EQ(cm.merge_entry, 0.62);
+  EXPECT_DOUBLE_EQ(cm.host_beta, 7.0);
+  EXPECT_DOUBLE_EQ(cm.host_cmp, 0.45);
+}
+
+}  // namespace
+}  // namespace aoft::sim

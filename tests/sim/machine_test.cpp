@@ -1,0 +1,260 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::sim {
+namespace {
+
+// Each node sends its id to every neighbor and sums what it hears back.
+TEST(MachineTest, NeighborExchange) {
+  Machine machine(cube::Topology{3}, CostModel{});
+  std::vector<long> sums(8, 0);
+  machine.run([&sums](Ctx& ctx) -> SimTask {
+    for (int k = 0; k < ctx.dim(); ++k) {
+      Message m;
+      m.kind = MsgKind::kApp;
+      m.data = {static_cast<Key>(ctx.id())};
+      ctx.send(ctx.topo().neighbor(ctx.id(), k), std::move(m));
+    }
+    for (int k = 0; k < ctx.dim(); ++k) {
+      auto r = co_await ctx.recv(ctx.topo().neighbor(ctx.id(), k));
+      EXPECT_TRUE(r.ok);
+      ctx.account_recv(r.msg);
+      sums[ctx.id()] += static_cast<long>(r.msg.data.at(0));
+    }
+  });
+  for (cube::NodeId p = 0; p < 8; ++p) {
+    long expect = 0;
+    for (int k = 0; k < 3; ++k) expect += static_cast<long>(p ^ (1u << k));
+    EXPECT_EQ(sums[p], expect);
+  }
+  EXPECT_TRUE(machine.errors().empty());
+  EXPECT_EQ(machine.summary().watchdog_rounds, 0);
+}
+
+TEST(MachineTest, SendChargesSenderByMessageSize) {
+  CostModel cm;
+  cm.alpha_send = 10.0;
+  cm.beta = 2.0;
+  Machine machine(cube::Topology{1}, cm);
+  machine.run([](Ctx& ctx) -> SimTask {
+    if (ctx.id() == 0) {
+      Message m;
+      m.data = {1, 2, 3};  // 3 words
+      ctx.send(1, std::move(m));
+    } else {
+      auto r = co_await ctx.recv(0);
+      EXPECT_TRUE(r.ok);
+      ctx.account_recv(r.msg);
+    }
+  });
+  EXPECT_DOUBLE_EQ(machine.node_stats(0).comm_ticks, 10.0 + 3 * 2.0);
+  EXPECT_EQ(machine.node_stats(0).msgs_sent, 1u);
+  EXPECT_EQ(machine.node_stats(0).words_sent, 3u);
+}
+
+TEST(MachineTest, ReceiverClockAdvancesToArrival) {
+  CostModel cm;
+  cm.alpha_send = 5.0;
+  cm.beta = 0.0;
+  cm.alpha_recv = 2.0;
+  Machine machine(cube::Topology{1}, cm);
+  machine.run([](Ctx& ctx) -> SimTask {
+    if (ctx.id() == 0) {
+      ctx.charge(100.0);  // sender is far ahead in logical time
+      ctx.send(1, Message{});
+    } else {
+      auto r = co_await ctx.recv(0);
+      EXPECT_TRUE(r.ok);
+      ctx.account_recv(r.msg);
+    }
+    co_return;
+  });
+  // Receiver: max(0, 100 + 5) + 2.
+  EXPECT_DOUBLE_EQ(machine.node_stats(1).clock, 107.0);
+}
+
+TEST(MachineTest, ChargeAccumulatesComputeTicks) {
+  Machine machine(cube::Topology{0}, CostModel{});
+  machine.run([](Ctx& ctx) -> SimTask {
+    ctx.charge(1.5);
+    ctx.charge(2.5);
+    co_return;
+  });
+  EXPECT_DOUBLE_EQ(machine.node_stats(0).comp_ticks, 4.0);
+  EXPECT_DOUBLE_EQ(machine.node_stats(0).clock, 4.0);
+}
+
+TEST(MachineTest, HostGatherScatterRoundTrip) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  std::vector<Key> got(4, -1);
+  machine.run(
+      [&got](Ctx& ctx) -> SimTask {
+        Message up;
+        up.kind = MsgKind::kHostGather;
+        up.data = {static_cast<Key>(ctx.id() * 10)};
+        ctx.send_host(std::move(up));
+        auto r = co_await ctx.recv_host();
+        EXPECT_TRUE(r.ok);
+        ctx.account_recv(r.msg);
+        got[ctx.id()] = r.msg.data.at(0);
+      },
+      [](HostCtx& host) -> SimTask {
+        std::vector<Key> vals(4, 0);
+        for (int i = 0; i < 4; ++i) {
+          auto r = co_await host.recv();
+          EXPECT_TRUE(r.ok);
+          host.account_recv(r.msg);
+          vals[r.msg.from] = r.msg.data.at(0);
+        }
+        for (cube::NodeId p = 0; p < 4; ++p) {
+          Message down;
+          down.kind = MsgKind::kHostScatter;
+          down.data = {vals[p] + 1};
+          host.send(p, std::move(down));
+        }
+      });
+  EXPECT_EQ(got, (std::vector<Key>{1, 11, 21, 31}));
+}
+
+TEST(MachineTest, HostPaysSerialPerWordCost) {
+  CostModel cm;
+  cm.host_alpha = 1.0;
+  cm.host_beta = 7.0;
+  Machine machine(cube::Topology{1}, cm);
+  machine.run(
+      [](Ctx& ctx) -> SimTask {
+        Message up;
+        up.kind = MsgKind::kHostGather;
+        up.data = {1, 2};  // 2 words
+        ctx.send_host(std::move(up));
+        co_return;
+      },
+      [](HostCtx& host) -> SimTask {
+        for (int i = 0; i < 2; ++i) {
+          auto r = co_await host.recv();
+          EXPECT_TRUE(r.ok);
+          host.account_recv(r.msg);
+        }
+      });
+  EXPECT_DOUBLE_EQ(machine.host_stats().comm_ticks, 2 * (1.0 + 2 * 7.0));
+}
+
+// Dropping interceptor: the receiver's watchdog fires and the node reports.
+struct DropAll : LinkInterceptor {
+  bool on_send(cube::NodeId, cube::NodeId, Message&) override { return false; }
+};
+
+TEST(MachineTest, DroppedMessageIsDetectedAsAbsence) {
+  DropAll drop;
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.set_interceptor(&drop);
+  machine.run([](Ctx& ctx) -> SimTask {
+    if (ctx.id() == 0) {
+      ctx.send(1, Message{});
+    } else {
+      auto r = co_await ctx.recv(0);
+      if (!r.ok)
+        ctx.error({0, 0, 0, ErrorSource::kTimeout, "absent"});
+    }
+    co_return;
+  });
+  ASSERT_EQ(machine.errors().size(), 1u);
+  EXPECT_EQ(machine.errors()[0].node, 1u);
+  EXPECT_EQ(machine.errors()[0].source, ErrorSource::kTimeout);
+  EXPECT_TRUE(machine.failed_stop());
+  EXPECT_GE(machine.summary().watchdog_rounds, 1);
+}
+
+// Mutating interceptor: payload is changed in flight.
+struct AddOne : LinkInterceptor {
+  bool on_send(cube::NodeId, cube::NodeId, Message& m) override {
+    for (auto& k : m.data) k += 1;
+    return true;
+  }
+};
+
+TEST(MachineTest, InterceptorCanMutatePayload) {
+  AddOne bump;
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.set_interceptor(&bump);
+  std::vector<Key> got(2, 0);
+  machine.run([&got](Ctx& ctx) -> SimTask {
+    if (ctx.id() == 0) {
+      Message m;
+      m.data = {41};
+      ctx.send(1, std::move(m));
+    } else {
+      auto r = co_await ctx.recv(0);
+      EXPECT_TRUE(r.ok);
+      got[1] = r.msg.data.at(0);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got[1], 42);
+}
+
+TEST(MachineTest, LinkEventsRecordTraffic) {
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.record_link_events(true);
+  machine.run([](Ctx& ctx) -> SimTask {
+    if (ctx.id() == 0) {
+      Message m;
+      m.stage = 2;
+      m.iter = 1;
+      m.data = {1, 2, 3};
+      ctx.send(1, std::move(m));
+    } else {
+      auto r = co_await ctx.recv(0);
+      (void)r;
+    }
+    co_return;
+  });
+  ASSERT_EQ(machine.link_events().size(), 1u);
+  const auto& e = machine.link_events()[0];
+  EXPECT_EQ(e.from, 0u);
+  EXPECT_EQ(e.to, 1u);
+  EXPECT_EQ(e.stage, 2);
+  EXPECT_EQ(e.iter, 1);
+  EXPECT_EQ(e.words, 3u);
+  EXPECT_TRUE(e.delivered);
+}
+
+TEST(MachineTest, SummaryAggregates) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  machine.run([](Ctx& ctx) -> SimTask {
+    ctx.charge(static_cast<double>(ctx.id()));
+    co_return;
+  });
+  const auto s = machine.summary();
+  EXPECT_DOUBLE_EQ(s.max_comp, 3.0);
+  EXPECT_DOUBLE_EQ(s.elapsed, 3.0);
+  EXPECT_EQ(s.total_msgs, 0u);
+}
+
+TEST(MachineTest, RunTwiceIsAnError) {
+  Machine machine(cube::Topology{0}, CostModel{});
+  auto noop = [](Ctx&) -> SimTask { co_return; };
+  machine.run(noop);
+  EXPECT_THROW(machine.run(noop), std::logic_error);
+}
+
+TEST(MachineTest, ErrorNotifiesHostInbox) {
+  Machine machine(cube::Topology{0}, CostModel{});
+  int host_heard = 0;
+  machine.run(
+      [](Ctx& ctx) -> SimTask {
+        ctx.error({0, 3, 1, ErrorSource::kPhiP, "test"});
+        co_return;
+      },
+      [&host_heard](HostCtx& host) -> SimTask {
+        auto r = co_await host.recv();
+        if (r.ok && r.msg.kind == MsgKind::kHostError) ++host_heard;
+      });
+  EXPECT_EQ(host_heard, 1);
+  ASSERT_EQ(machine.errors().size(), 1u);
+  EXPECT_EQ(machine.errors()[0].stage, 3);
+}
+
+}  // namespace
+}  // namespace aoft::sim

@@ -1,0 +1,155 @@
+// Mutation fuzzing of the constraint predicate.
+//
+// bit_compare is the last line of defence, so it must be *complete* for the
+// states the protocol can reach: accept exactly the valid (LLBS, LBS) pairs
+// and reject every corruption of LBS.  We check it against an executable
+// specification (naive bitonicity + multiset equality via sorting) over
+// hundreds of randomized instances and single-element mutations —
+// equivalence, not just spot checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/predicates.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+struct Instance {
+  std::vector<Key> llbs;  // full outer window, bitonic inner halves
+  std::vector<Key> lbs;   // full outer window, sorted halves
+  cube::Subcube outer;
+  cube::Subcube inner;    // lower or upper half of outer
+  bool inner_ascending;
+};
+
+// Build a valid stage-end instance over a window of 2^(i+1) keys: lbs has
+// the lower dim-i half ascending and the upper descending; llbs holds, over
+// the inner half, a bitonic (evens-up, odds-down) permutation of the same
+// keys; the node under test sits in the lower or upper half.
+Instance make_valid(int i, bool lower_half, util::Rng& rng, std::int64_t alphabet) {
+  const std::size_t n = std::size_t{1} << (i + 1);
+  const std::size_t half = n / 2;
+  std::vector<Key> keys(n);
+  for (auto& k : keys)
+    k = alphabet == 0 ? rng.next_in(-1000, 1000) : rng.next_in(0, alphabet - 1);
+  std::sort(keys.begin(), keys.end());
+
+  Instance inst;
+  inst.outer = cube::Subcube{0, static_cast<cube::NodeId>(n - 1), i + 1};
+  inst.lbs.resize(n);
+  for (std::size_t k = 0; k < half; ++k) inst.lbs[k] = keys[k];          // asc
+  for (std::size_t k = 0; k < half; ++k) inst.lbs[half + k] = keys[n - 1 - k];
+
+  // llbs: per outer half, a bitonic-halves permutation of that half's keys —
+  // even-ranked values ascending, then odd-ranked values descending.
+  inst.llbs.resize(n);
+  auto fill_half = [&](std::size_t lo, std::vector<Key> vals) {
+    std::sort(vals.begin(), vals.end());
+    std::vector<Key> evens, odds;
+    for (std::size_t k = 0; k < vals.size(); ++k)
+      (k % 2 == 0 ? evens : odds).push_back(vals[k]);
+    std::size_t idx = lo;
+    for (auto v : evens) inst.llbs[idx++] = v;
+    for (auto it = odds.rbegin(); it != odds.rend(); ++it) inst.llbs[idx++] = *it;
+  };
+  fill_half(0, std::vector<Key>(inst.lbs.begin(),
+                                inst.lbs.begin() + static_cast<std::ptrdiff_t>(half)));
+  fill_half(half,
+            std::vector<Key>(inst.lbs.begin() + static_cast<std::ptrdiff_t>(half),
+                             inst.lbs.end()));
+
+  inst.inner = lower_half ? inst.outer.lower_half() : inst.outer.upper_half();
+  inst.inner_ascending = lower_half;
+  return inst;
+}
+
+// Executable specification of what bit_compare must accept.
+bool spec_accepts(const Instance& inst) {
+  const std::size_t n = inst.lbs.size();
+  const std::size_t half = n / 2;
+  if (!is_non_decreasing(std::span<const Key>(inst.lbs).subspan(0, half)))
+    return false;
+  if (!is_non_increasing(std::span<const Key>(inst.lbs).subspan(half)))
+    return false;
+  const std::size_t lo = inst.inner.start;
+  const std::size_t sz = inst.inner.size();
+  return is_permutation_of(std::span<const Key>(inst.lbs).subspan(lo, sz),
+                           std::span<const Key>(inst.llbs).subspan(lo, sz));
+}
+
+bool predicate_accepts(const Instance& inst) {
+  return !bit_compare(inst.llbs, inst.lbs, inst.outer, inst.inner,
+                      inst.inner_ascending, /*final_stage=*/false, 1)
+              .has_value();
+}
+
+TEST(PredicatesFuzzTest, ValidInstancesAlwaysAccepted) {
+  util::Rng rng(101);
+  for (int rep = 0; rep < 300; ++rep) {
+    const int i = 1 + static_cast<int>(rng.next_below(4));
+    const std::int64_t alphabet = rng.next_bool() ? 0 : rng.next_in(1, 6);
+    const auto inst = make_valid(i, rng.next_bool(), rng, alphabet);
+    ASSERT_TRUE(spec_accepts(inst)) << "broken generator, rep=" << rep;
+    EXPECT_TRUE(predicate_accepts(inst)) << "false alarm, rep=" << rep;
+  }
+}
+
+TEST(PredicatesFuzzTest, LbsMutationsMatchTheSpecExactly) {
+  // Mutate one LBS element to a fresh value; the predicate must agree with
+  // the specification on every instance (usually reject; accepting is only
+  // allowed if the spec still accepts, e.g. the mutation hit the half the
+  // inner check does not cover while preserving sortedness).
+  util::Rng rng(202);
+  int rejected = 0, accepted = 0;
+  for (int rep = 0; rep < 500; ++rep) {
+    const int i = 1 + static_cast<int>(rng.next_below(3));
+    auto inst = make_valid(i, rng.next_bool(), rng, 0);
+    const std::size_t pos = rng.next_below(inst.lbs.size());
+    inst.lbs[pos] += rng.next_bool() ? rng.next_in(1, 50) : rng.next_in(-50, -1);
+    const bool spec = spec_accepts(inst);
+    const bool pred = predicate_accepts(inst);
+    EXPECT_EQ(pred, spec) << "rep=" << rep << " pos=" << pos;
+    spec ? ++accepted : ++rejected;
+  }
+  // Mutations inside the inner window always break the multiset; those in
+  // the other half only get caught here when they break sortedness — the
+  // *partner's* Φ_F covers that half.  Both outcomes must occur in bulk.
+  EXPECT_GT(rejected, 200);
+  EXPECT_GT(accepted, 100);
+}
+
+TEST(PredicatesFuzzTest, LbsSwapsMatchTheSpecExactly) {
+  // Swapping two distinct values preserves the multiset, so only the
+  // sortedness component can convict — the spec captures exactly when.
+  util::Rng rng(303);
+  for (int rep = 0; rep < 500; ++rep) {
+    const int i = 1 + static_cast<int>(rng.next_below(3));
+    auto inst = make_valid(i, rng.next_bool(), rng, 0);
+    const std::size_t a = rng.next_below(inst.lbs.size());
+    const std::size_t b = rng.next_below(inst.lbs.size());
+    std::swap(inst.lbs[a], inst.lbs[b]);
+    EXPECT_EQ(predicate_accepts(inst), spec_accepts(inst))
+        << "rep=" << rep << " a=" << a << " b=" << b;
+  }
+}
+
+TEST(PredicatesFuzzTest, LlbsTamperingIsAlwaysRejected) {
+  // Changing a covered LLBS element to a fresh value breaks the multiset
+  // equality over the inner window; Φ_F must reject no matter what shape the
+  // tampering produced.
+  util::Rng rng(404);
+  for (int rep = 0; rep < 300; ++rep) {
+    const int i = 1 + static_cast<int>(rng.next_below(3));
+    auto inst = make_valid(i, rng.next_bool(), rng, 0);
+    const std::size_t pos =
+        inst.inner.start + rng.next_below(inst.inner.size());
+    inst.llbs[pos] += 7001;  // outside the generator's value range
+    EXPECT_FALSE(predicate_accepts(inst)) << "rep=" << rep << " pos=" << pos;
+  }
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,257 @@
+// Unit tests for the constraint predicate Φ = (Φ_P, Φ_F, Φ_C) as pure
+// functions (paper Figs. 4a-4c), independent of the simulator.
+
+#include "sort/predicates.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::sort {
+namespace {
+
+using util::BitVec;
+
+// ---- Φ_P --------------------------------------------------------------------
+
+TEST(PhiPTest, AcceptsBitonicHalves) {
+  const std::vector<Key> v{1, 3, 5, 9, 8, 6, 4, 2};
+  EXPECT_FALSE(phi_p(v, false).has_value());
+}
+
+TEST(PhiPTest, AcceptsPlateaus) {
+  const std::vector<Key> v{1, 1, 2, 2, 2, 2, 1, 1};
+  EXPECT_FALSE(phi_p(v, false).has_value());
+}
+
+TEST(PhiPTest, NoConstraintAcrossTheMidpoint) {
+  // Ascending half may end below the start of the descending half.
+  const std::vector<Key> v{1, 2, 9, 8};
+  EXPECT_FALSE(phi_p(v, false).has_value());
+}
+
+TEST(PhiPTest, RejectsBrokenAscendingRun) {
+  const std::vector<Key> v{1, 5, 3, 9, 8, 6, 4, 2};
+  const auto viol = phi_p(v, false);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->position, 1);
+  EXPECT_NE(viol->what.find("ascending"), std::string::npos);
+}
+
+TEST(PhiPTest, RejectsBrokenDescendingRun) {
+  const std::vector<Key> v{1, 3, 5, 9, 8, 6, 7, 2};
+  const auto viol = phi_p(v, false);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->position, 5);
+  EXPECT_NE(viol->what.find("descending"), std::string::npos);
+}
+
+TEST(PhiPTest, FinalStageDemandsFullyAscending) {
+  const std::vector<Key> bitonic{1, 3, 5, 9, 8, 6, 4, 2};
+  EXPECT_TRUE(phi_p(bitonic, true).has_value());
+  const std::vector<Key> sorted{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(phi_p(sorted, true).has_value());
+}
+
+TEST(PhiPTest, TrivialWindows) {
+  EXPECT_FALSE(phi_p(std::vector<Key>{}, false).has_value());
+  EXPECT_FALSE(phi_p(std::vector<Key>{5}, false).has_value());
+  EXPECT_FALSE(phi_p(std::vector<Key>{5, 1}, false).has_value());  // halves of 1
+  EXPECT_TRUE(phi_p(std::vector<Key>{5, 1}, true).has_value());
+}
+
+// ---- Φ_F --------------------------------------------------------------------
+
+TEST(PhiFTest, AcceptsSortedPermutationOfBitonic) {
+  const std::vector<Key> llbs{1, 4, 9, 7};  // asc run {1,4}, desc run {9,7}
+  const std::vector<Key> lbs{1, 4, 7, 9};
+  EXPECT_FALSE(phi_f(llbs, lbs, true).has_value());
+}
+
+TEST(PhiFTest, AcceptsDescendingDirection) {
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{9, 7, 4, 1};
+  EXPECT_FALSE(phi_f(llbs, lbs, false).has_value());
+}
+
+TEST(PhiFTest, RejectsSubstitutedElement) {
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{1, 5, 7, 9};  // 4 replaced by 5
+  EXPECT_TRUE(phi_f(llbs, lbs, true).has_value());
+}
+
+TEST(PhiFTest, RejectsDuplicatedElement) {
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{1, 1, 7, 9};  // 4 dropped, 1 duplicated
+  EXPECT_TRUE(phi_f(llbs, lbs, true).has_value());
+}
+
+TEST(PhiFTest, RejectsValueFromOutside) {
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{0, 4, 7, 9};
+  const auto viol = phi_f(llbs, lbs, true);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->position, 0);
+}
+
+TEST(PhiFTest, HandlesHeavyDuplicates) {
+  const std::vector<Key> llbs{2, 2, 2, 2};
+  const std::vector<Key> lbs{2, 2, 2, 2};
+  EXPECT_FALSE(phi_f(llbs, lbs, true).has_value());
+  EXPECT_FALSE(phi_f(llbs, lbs, false).has_value());
+}
+
+TEST(PhiFTest, DuplicateAcrossRunBoundary) {
+  // The same key sits at the tail of the ascending and the head of the
+  // descending run; greedy consumption must still succeed.
+  const std::vector<Key> llbs{1, 5, 5, 3};
+  const std::vector<Key> lbs{1, 3, 5, 5};
+  EXPECT_FALSE(phi_f(llbs, lbs, true).has_value());
+}
+
+TEST(PhiFTest, SingletonWindow) {
+  EXPECT_FALSE(phi_f(std::vector<Key>{3}, std::vector<Key>{3}, true).has_value());
+  EXPECT_TRUE(phi_f(std::vector<Key>{3}, std::vector<Key>{4}, true).has_value());
+}
+
+TEST(PhiFTest, PairWindowEitherOrder) {
+  // LLBS of size 2 is bitonic in either arrangement; LBS must be its sorted
+  // permutation.
+  EXPECT_FALSE(phi_f(std::vector<Key>{8, 2}, std::vector<Key>{2, 8}, true).has_value());
+  EXPECT_FALSE(phi_f(std::vector<Key>{2, 8}, std::vector<Key>{2, 8}, true).has_value());
+  EXPECT_TRUE(phi_f(std::vector<Key>{2, 8}, std::vector<Key>{2, 9}, true).has_value());
+}
+
+TEST(PhiFTest, CatchesReorderedNotSorted) {
+  // phi_f iterates lbs in claimed sorted order; a non-sorted lbs that is a
+  // true permutation can still fail, which is fine: phi_p already vouched for
+  // sortedness when called through bit_compare.
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{9, 1, 4, 7};
+  EXPECT_TRUE(phi_f(llbs, lbs, true).has_value());
+}
+
+// ---- Φ_C --------------------------------------------------------------------
+
+class PhiCTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 8;
+  cube::Subcube window_{0, 3, 2};  // nodes 0..3
+  std::vector<Key> local_ = std::vector<Key>(kNodes, 0);
+  BitVec cover_{kNodes};
+};
+
+TEST_F(PhiCTest, AbsorbsFreshEntries) {
+  local_[0] = 10;
+  cover_.set(0);
+  const std::vector<Key> slice{99, 20, 0, 0};  // entries for nodes 0..3
+  BitVec sender(kNodes, {1});                  // sender only has node 1
+  MergeStats stats;
+  auto v = phi_c_merge(local_, cover_, slice, sender, window_, 1, &stats);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(local_[1], 20);
+  EXPECT_EQ(local_[0], 10);  // untouched: sender did not cover it
+  EXPECT_TRUE(cover_.test(1));
+  EXPECT_EQ(stats.absorbed, 1u);
+  EXPECT_EQ(stats.checked, 0u);
+}
+
+TEST_F(PhiCTest, CrossChecksOverlap) {
+  local_[2] = 30;
+  cover_.set(2);
+  const std::vector<Key> slice{0, 0, 30, 0};
+  BitVec sender(kNodes, {2});
+  MergeStats stats;
+  auto v = phi_c_merge(local_, cover_, slice, sender, window_, 1, &stats);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(stats.checked, 1u);
+}
+
+TEST_F(PhiCTest, FlagsDisagreeingCopies) {
+  local_[2] = 30;
+  cover_.set(2);
+  const std::vector<Key> slice{0, 0, 31, 0};
+  BitVec sender(kNodes, {2});
+  auto v = phi_c_merge(local_, cover_, slice, sender, window_, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->position, 2);
+  EXPECT_NE(v->what.find("phi_C"), std::string::npos);
+  EXPECT_EQ(local_[2], 30);  // local copy is never overwritten
+}
+
+TEST_F(PhiCTest, IgnoresUncoveredGarbage) {
+  // Positions the sender has not collected contain stale bytes; they must be
+  // ignored even if they disagree with local state.
+  local_[3] = 7;
+  cover_.set(3);
+  const std::vector<Key> slice{-1, -1, -1, -999};
+  BitVec sender(kNodes);  // sender covers nothing
+  auto v = phi_c_merge(local_, cover_, slice, sender, window_, 1);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(local_[3], 7);
+}
+
+TEST_F(PhiCTest, WindowOffsetsAreRespected) {
+  cube::Subcube upper{4, 7, 2};
+  local_[5] = 50;
+  cover_.set(5);
+  const std::vector<Key> slice{0, 50, 60, 0};  // nodes 4..7
+  BitVec sender(kNodes, {5, 6});
+  auto v = phi_c_merge(local_, cover_, slice, sender, upper, 1);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(local_[6], 60);
+}
+
+TEST_F(PhiCTest, BlockEntriesCompareAllWords) {
+  // m = 2: one corrupted word inside a block must be caught.
+  std::vector<Key> local(16, 0);
+  BitVec cover(8, {1});
+  local[2] = 5;
+  local[3] = 6;  // node 1's block
+  std::vector<Key> slice(8, 0);
+  slice[2] = 5;
+  slice[3] = 7;  // second word differs
+  BitVec sender(8, {1});
+  auto v = phi_c_merge(local, cover, slice, sender, cube::Subcube{0, 3, 2}, 2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->position, 1);
+}
+
+// ---- bit_compare ------------------------------------------------------------
+
+TEST(BitCompareTest, ChecksProgressThenFeasibility) {
+  // Full-cube arrays for a dim-2 cube; outer = whole cube, inner = lower half.
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{1, 4, 9, 7};
+  const cube::Subcube outer{0, 3, 2};
+  const cube::Subcube inner{0, 1, 1};
+  // lbs over inner = {1,4} sorted ascending; llbs over inner = {1,4}.
+  EXPECT_FALSE(
+      bit_compare(llbs, lbs, outer, inner, true, false, 1).has_value());
+}
+
+TEST(BitCompareTest, ProgressViolationWinsFirst) {
+  const std::vector<Key> llbs{1, 4, 9, 7};
+  const std::vector<Key> lbs{4, 1, 9, 7};  // lower half not ascending
+  const auto v = bit_compare(llbs, lbs, {0, 3, 2}, {0, 1, 1}, true, false, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->what.find("phi_P"), std::string::npos);
+}
+
+TEST(BitCompareTest, FeasibilityViolationDetected) {
+  const std::vector<Key> llbs{2, 4, 9, 7};
+  const std::vector<Key> lbs{1, 4, 9, 7};  // bitonic, but 1 not in llbs inner
+  const auto v = bit_compare(llbs, lbs, {0, 3, 2}, {0, 1, 1}, true, false, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->what.find("phi_F"), std::string::npos);
+}
+
+TEST(BitCompareTest, FinalStageWholeCube) {
+  const std::vector<Key> llbs{1, 5, 8, 3};  // bitonic over the cube
+  const std::vector<Key> sorted{1, 3, 5, 8};
+  const cube::Subcube cube{0, 3, 2};
+  EXPECT_FALSE(bit_compare(llbs, sorted, cube, cube, true, true, 1).has_value());
+  const std::vector<Key> wrong{1, 3, 8, 5};
+  EXPECT_TRUE(bit_compare(llbs, wrong, cube, cube, true, true, 1).has_value());
+}
+
+}  // namespace
+}  // namespace aoft::sort

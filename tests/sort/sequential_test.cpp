@@ -1,0 +1,104 @@
+// Host-based baselines: correctness, cost-shape and centralized detection.
+
+#include "sort/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+std::vector<Key> sorted_copy(std::span<const Key> v) {
+  std::vector<Key> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+TEST(HostSortTest, SortsAllDimensions) {
+  for (int dim = 0; dim <= 7; ++dim) {
+    auto input = util::random_keys(200 + static_cast<std::uint64_t>(dim),
+                                   std::size_t{1} << dim);
+    auto run = run_host_sort(dim, input);
+    EXPECT_EQ(run.output, sorted_copy(input)) << "dim=" << dim;
+    EXPECT_TRUE(run.errors.empty());
+  }
+}
+
+TEST(HostSortTest, SortsBlocks) {
+  HostSortOptions opts;
+  opts.block = 8;
+  auto input = util::random_keys(3, 32 * 8);
+  auto run = run_host_sort(5, input, opts);
+  EXPECT_EQ(run.output, sorted_copy(input));
+}
+
+TEST(HostSortTest, HostCommunicationIsLinearInN) {
+  // The paper's sequential comm component ~ 14N: gather + scatter of one
+  // word per node through the serial host link.
+  auto comm = [](int dim) {
+    auto input = util::random_keys(7, std::size_t{1} << dim);
+    return run_host_sort(dim, input).summary.host_comm;
+  };
+  const double c5 = comm(5), c7 = comm(7);
+  EXPECT_NEAR(c7 / c5, 4.0, 0.3);  // 4x nodes -> ~4x host communication
+  // Absolute scale: 2 messages per node, each 1 + host_beta·1 = 8 ticks.
+  EXPECT_NEAR(c5, 32 * 2 * 8.0, 1.0);
+}
+
+TEST(HostSortTest, HostComputationIsNLogN) {
+  auto comp = [](int dim) {
+    auto input = util::random_keys(7, std::size_t{1} << dim);
+    return run_host_sort(dim, input).summary.host_comp;
+  };
+  // 0.45 · N · log2 N exactly, by construction.
+  EXPECT_DOUBLE_EQ(comp(5), 0.45 * 32 * 5);
+  EXPECT_DOUBLE_EQ(comp(8), 0.45 * 256 * 8);
+}
+
+TEST(HostVerifyTest, AcceptsFaultFreeRun) {
+  for (int dim : {2, 4, 6}) {
+    auto input = util::random_keys(300 + static_cast<std::uint64_t>(dim),
+                                   std::size_t{1} << dim);
+    auto run = run_host_verified_snr(dim, input);
+    EXPECT_EQ(run.output, sorted_copy(input)) << "dim=" << dim;
+    EXPECT_TRUE(run.errors.empty()) << "dim=" << dim;
+  }
+}
+
+TEST(HostVerifyTest, DetectsCorruptedOutputAtTermination) {
+  // The same inverted-direction fault S_NR alone silently accepts is caught
+  // by the host's Theorem-1 assertion — but only after the sort completed.
+  auto input = util::random_keys(23, 16);
+  HostVerifyOptions opts;
+  opts.node_faults[5].invert_direction_from = fault::StagePoint{1, 1};
+  auto run = run_host_verified_snr(4, input, opts);
+  EXPECT_EQ(classify(run, input), Outcome::kFailStop);
+  ASSERT_FALSE(run.errors.empty());
+  EXPECT_EQ(run.errors.front().source, sim::ErrorSource::kApp);
+}
+
+TEST(HostVerifyTest, DetectsHaltedNode) {
+  auto input = util::random_keys(29, 16);
+  HostVerifyOptions opts;
+  opts.node_faults[3].halt_at = fault::StagePoint{1, 0};
+  auto run = run_host_verified_snr(4, input, opts);
+  EXPECT_EQ(classify(run, input), Outcome::kFailStop);
+}
+
+TEST(HostVerifyTest, CostsMoreThanPlainHostSort) {
+  // Verification uploads the data twice (raw and sorted) where the plain
+  // host sort moves it up once and down once; on top of that it runs the
+  // whole parallel sort first, so it finishes strictly later.
+  auto input = util::random_keys(31, 64);
+  const auto verified = run_host_verified_snr(6, input);
+  const auto plain = run_host_sort(6, input);
+  EXPECT_GT(verified.summary.host_comm, plain.summary.host_comm);
+  EXPECT_GT(verified.summary.elapsed, plain.summary.elapsed);
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,138 @@
+// Fault detection in the block (m keys per node) variant: corruption at the
+// granularity of single words inside blocks, which exercises the
+// word-by-word comparisons the scaled predicates perform.
+
+#include <gtest/gtest.h>
+
+#include "fault/adversary.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+constexpr std::size_t kM = 4;
+constexpr int kDim = 3;
+
+std::vector<Key> block_input(std::uint64_t seed) {
+  return util::random_keys(seed, (std::size_t{1} << kDim) * kM);
+}
+
+// Corrupt exactly one word of the data operand at one exchange.
+fault::Mutator corrupt_one_word(cube::NodeId faulty, fault::StagePoint at,
+                                std::size_t word, Key delta) {
+  return [=](cube::NodeId from, cube::NodeId, sim::Message& m) {
+    if (from != faulty || m.stage != at.stage || m.iter != at.iter ||
+        m.data.size() <= word)
+      return fault::Action::kPass;
+    m.data[word] += delta;
+    return fault::Action::kMutated;
+  };
+}
+
+TEST(SftBlockFaultTest, SingleWordOperandCorruptionDetected) {
+  // Corrupt words of the reply's *second* half — the half the passive
+  // partner adopts as its new block.  (Corrupting the first half touches
+  // only the redundant checking copy: the active node already kept its half
+  // locally, so a wire glitch there that happens to preserve sortedness is
+  // genuinely harmless and may be masked.)
+  for (std::size_t word : {kM, 2 * kM - 1}) {
+    fault::Adversary a;
+    a.add(corrupt_one_word(5, {1, 1}, word, 1000001));
+    SftOptions opts;
+    opts.block = kM;
+    opts.interceptor = &a;
+    auto in = block_input(1);
+    auto run = run_sft(kDim, in, opts);
+    EXPECT_EQ(classify(run, in), Outcome::kFailStop) << "word=" << word;
+  }
+}
+
+TEST(SftBlockFaultTest, CheckingCopyGlitchNeverProducesWrongOutput) {
+  // The complementary property for first-half corruption: whatever the
+  // glitch does to the redundant copy, the run ends correct or fail-stop.
+  for (std::size_t word = 0; word < kM; ++word) {
+    fault::Adversary a;
+    a.add(corrupt_one_word(5, {1, 1}, word, -999983));
+    SftOptions opts;
+    opts.block = kM;
+    opts.interceptor = &a;
+    auto in = block_input(7 + word);
+    auto run = run_sft(kDim, in, opts);
+    EXPECT_NE(classify(run, in), Outcome::kSilentWrong) << "word=" << word;
+  }
+}
+
+TEST(SftBlockFaultTest, MiddleWordOfGossipBlockDetected) {
+  // Corrupt the 3rd word of node 2's own gossiped block: the Φ_C merge
+  // compares all m words, so a single interior word must convict.
+  fault::Adversary a;
+  a.add([](cube::NodeId from, cube::NodeId, sim::Message& m) {
+    if (from != 2 || m.stage != 1 || m.lbs.size() < 3 * kM)
+      return fault::Action::kPass;
+    // Node 2's entry in its stage-1 window [0..3] sits at slice offset 2*kM.
+    m.lbs[2 * kM + 2] += 77777;
+    return fault::Action::kMutated;
+  });
+  SftOptions opts;
+  opts.block = kM;
+  opts.interceptor = &a;
+  auto in = block_input(2);
+  auto run = run_sft(kDim, in, opts);
+  EXPECT_EQ(classify(run, in), Outcome::kFailStop);
+}
+
+TEST(SftBlockFaultTest, SubstitutionInsideBlockDetected) {
+  SftOptions opts;
+  opts.block = kM;
+  opts.node_faults[6].substitute_at = fault::StagePoint{1, 0};
+  opts.node_faults[6].substitute_value = -123456789;
+  auto in = block_input(3);
+  auto run = run_sft(kDim, in, opts);
+  EXPECT_EQ(classify(run, in), Outcome::kFailStop);
+}
+
+TEST(SftBlockFaultTest, InvertedMergeSplitDetectedImmediately) {
+  // With m > 1 an inverted merge direction yields a block sorted the wrong
+  // way, which the operand sortedness assertion catches on arrival.
+  SftOptions opts;
+  opts.block = kM;
+  opts.node_faults[3].invert_direction_from = fault::StagePoint{1, 1};
+  auto in = block_input(4);
+  auto run = run_sft(kDim, in, opts);
+  ASSERT_EQ(classify(run, in), Outcome::kFailStop);
+  EXPECT_LE(run.errors.front().stage, 1);
+}
+
+TEST(SftBlockFaultTest, TwoFacedBlockGossipDetected) {
+  fault::Adversary a;
+  a.add(fault::two_faced_gossip(2, {2, 0}, /*entry=*/3, 555, kM,
+                                [](cube::NodeId d) { return (d & 1u) == 1u; }));
+  SftOptions opts;
+  opts.block = kM;
+  opts.interceptor = &a;
+  auto in = block_input(5);
+  auto run = run_sft(kDim, in, opts);
+  EXPECT_EQ(classify(run, in), Outcome::kFailStop);
+}
+
+TEST(SftBlockFaultTest, TruncatedBlockDetected) {
+  // A Byzantine sender ships a short operand block (node 3 is the passive
+  // sender at stage 1, iteration 1): malformed-operand assertion.
+  fault::Adversary a;
+  a.add([](cube::NodeId from, cube::NodeId, sim::Message& m) {
+    if (from != 3 || m.stage != 1 || m.iter != 1 || m.data.size() != kM)
+      return fault::Action::kPass;
+    m.data.pop_back();
+    return fault::Action::kMutated;
+  });
+  SftOptions opts;
+  opts.block = kM;
+  opts.interceptor = &a;
+  auto in = block_input(6);
+  auto run = run_sft(kDim, in, opts);
+  EXPECT_EQ(classify(run, in), Outcome::kFailStop);
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,115 @@
+// Exact communication-structure tests for S_FT: the paper's efficiency claim
+// is not just asymptotic — the message *schedule* is S_NR's schedule plus
+// one final round, and the piggybacked volume follows a closed form.
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+std::uint64_t expected_msgs(int dim) {
+  // Per iteration (i, j): every node sends exactly one message; iterations
+  // n(n+1)/2 in the main loop plus n in the final round.
+  const std::uint64_t n = static_cast<std::uint64_t>(dim);
+  return (std::uint64_t{1} << dim) * (n * (n + 1) / 2 + n);
+}
+
+std::uint64_t expected_words(int dim, std::uint64_t m) {
+  // Main loop, iteration (i, j): the passive node sends m data words, the
+  // active one 2m; both send the window slice of 2^{i+1} blocks.  The final
+  // round sends the whole cube's slice, no data.
+  const std::uint64_t nodes = std::uint64_t{1} << dim;
+  std::uint64_t words = 0;
+  for (int i = 0; i < dim; ++i)
+    for (int j = 0; j <= i; ++j) {
+      const std::uint64_t slice = (std::uint64_t{1} << (i + 1)) * m;
+      words += (nodes / 2) * (m + slice) + (nodes / 2) * (2 * m + slice);
+    }
+  words += nodes * static_cast<std::uint64_t>(dim) * nodes * m;
+  return words;
+}
+
+TEST(SftStatsTest, MessageCountMatchesClosedForm) {
+  for (int dim : {1, 2, 3, 4, 5, 6}) {
+    auto input = util::random_keys(4, std::size_t{1} << dim);
+    const auto run = run_sft(dim, input);
+    EXPECT_EQ(run.summary.total_msgs, expected_msgs(dim)) << "dim=" << dim;
+  }
+}
+
+TEST(SftStatsTest, WordVolumeMatchesClosedForm) {
+  for (int dim : {2, 3, 4, 5}) {
+    auto input = util::random_keys(5, std::size_t{1} << dim);
+    const auto run = run_sft(dim, input);
+    EXPECT_EQ(run.summary.total_words, expected_words(dim, 1)) << "dim=" << dim;
+  }
+}
+
+TEST(SftStatsTest, WordVolumeScalesByBlockSize) {
+  const int dim = 4;
+  for (std::uint64_t m : {2ULL, 4ULL}) {
+    SftOptions opts;
+    opts.block = m;
+    auto input = util::random_keys(6, (std::size_t{1} << dim) * m);
+    const auto run = run_sft(dim, input, opts);
+    EXPECT_EQ(run.summary.total_words, expected_words(dim, m)) << "m=" << m;
+  }
+}
+
+TEST(SftStatsTest, VolumeIsThetaNLogNPerNode) {
+  // Per-node word volume ~ 3·N·log2 N for m = 1 (2·N·logN main loop slices
+  // + N·logN final round), within a factor accounting for the data words.
+  const int dim = 8;
+  const double n = 256.0;
+  auto input = util::random_keys(7, 256);
+  const auto run = run_sft(dim, input);
+  const double per_node = static_cast<double>(run.summary.total_words) / n;
+  const double nlogn = n * dim;
+  EXPECT_GT(per_node, 2.0 * nlogn);
+  EXPECT_LT(per_node, 3.5 * nlogn);
+}
+
+TEST(SftStatsTest, ComputationScalesLinearly) {
+  // Thm 4: S_FT computes in O(N) per node; doubling the cube should roughly
+  // double max_comp, not quadruple it.
+  auto comp = [](int dim) {
+    auto input = util::random_keys(8, std::size_t{1} << dim);
+    return run_sft(dim, input).summary.max_comp;
+  };
+  const double c7 = comp(7), c9 = comp(9);
+  EXPECT_NEAR(c9 / c7, 4.0, 1.0);  // 4x nodes -> ~4x per-node computation
+}
+
+TEST(SftStatsTest, DeterministicAcrossRuns) {
+  auto input = util::random_keys(9, 64);
+  const auto a = run_sft(6, input);
+  const auto b = run_sft(6, input);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_DOUBLE_EQ(a.summary.elapsed, b.summary.elapsed);
+  EXPECT_EQ(a.summary.total_msgs, b.summary.total_msgs);
+  EXPECT_EQ(a.summary.total_words, b.summary.total_words);
+}
+
+TEST(SftStatsTest, AblationTogglesReduceComputationNotTraffic) {
+  // Disabling the checks must not change the message schedule (the gossip
+  // still rides along) but strictly reduces charged computation.
+  auto input = util::random_keys(10, 64);
+  SftOptions all_on;
+  SftOptions all_off;
+  all_off.check_progress = all_off.check_feasibility = false;
+  all_off.check_consistency = all_off.check_exchange = false;
+  const auto on = run_sft(6, input, all_on);
+  const auto off = run_sft(6, input, all_off);
+  EXPECT_EQ(on.summary.total_msgs, off.summary.total_msgs);
+  EXPECT_EQ(on.summary.total_words, off.summary.total_words);
+  EXPECT_GT(on.summary.max_comp, off.summary.max_comp);
+  EXPECT_EQ(on.output, off.output);
+}
+
+}  // namespace
+}  // namespace aoft::sort

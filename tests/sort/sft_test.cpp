@@ -1,0 +1,85 @@
+// S_FT unit tests: fault-free correctness across dimensions, block sizes and
+// key distributions; alarm-freedom; the paper's Figure-5 input; cost sanity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+std::vector<Key> sorted_copy(std::span<const Key> v) {
+  std::vector<Key> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+TEST(SftTest, SortsFigure5Example) {
+  // The paper's worked example (Fig. 5): n = 3, list {10,8,3,9,4,2,7,5}.
+  const std::vector<Key> input{10, 8, 3, 9, 4, 2, 7, 5};
+  auto run = run_sft(3, input);
+  EXPECT_TRUE(run.errors.empty());
+  EXPECT_EQ(run.output, (std::vector<Key>{2, 3, 4, 5, 7, 8, 9, 10}));
+  EXPECT_EQ(classify(run, input), Outcome::kCorrect);
+}
+
+TEST(SftTest, SortsAllDimensionsFaultFree) {
+  for (int dim = 0; dim <= 7; ++dim) {
+    auto input = util::random_keys(42 + static_cast<std::uint64_t>(dim),
+                                   std::size_t{1} << dim);
+    auto run = run_sft(dim, input);
+    ASSERT_TRUE(run.errors.empty()) << "dim=" << dim << " first error: "
+                                    << run.errors.front().detail;
+    EXPECT_EQ(run.output, sorted_copy(input)) << "dim=" << dim;
+  }
+}
+
+TEST(SftTest, SortsWithDuplicateKeys) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    auto input = util::random_keys_small_alphabet(
+        7 + static_cast<std::uint64_t>(dim), std::size_t{1} << dim, 4);
+    auto run = run_sft(dim, input);
+    ASSERT_TRUE(run.errors.empty()) << "dim=" << dim;
+    EXPECT_EQ(run.output, sorted_copy(input)) << "dim=" << dim;
+  }
+}
+
+TEST(SftTest, SortsBlocks) {
+  for (std::size_t m : {2u, 5u, 16u}) {
+    SftOptions opts;
+    opts.block = m;
+    const int dim = 4;
+    auto input = util::random_keys(m, (std::size_t{1} << dim) * m);
+    auto run = run_sft(dim, input, opts);
+    ASSERT_TRUE(run.errors.empty()) << "m=" << m;
+    EXPECT_EQ(run.output, sorted_copy(input)) << "m=" << m;
+  }
+}
+
+TEST(SftTest, AlreadySortedAndReversedInputs) {
+  const int dim = 5;
+  const std::size_t n = std::size_t{1} << dim;
+  std::vector<Key> asc(n), desc(n), constant(n, 7);
+  for (std::size_t i = 0; i < n; ++i) {
+    asc[i] = static_cast<Key>(i);
+    desc[i] = static_cast<Key>(n - i);
+  }
+  for (const auto& input : {asc, desc, constant}) {
+    auto run = run_sft(dim, input);
+    ASSERT_TRUE(run.errors.empty());
+    EXPECT_EQ(run.output, sorted_copy(input));
+  }
+}
+
+TEST(SftTest, NoWatchdogInFaultFreeRun) {
+  auto input = util::random_keys(3, 64);
+  auto run = run_sft(6, input);
+  EXPECT_EQ(run.summary.watchdog_rounds, 0);
+  EXPECT_TRUE(run.errors.empty());
+}
+
+}  // namespace
+}  // namespace aoft::sort

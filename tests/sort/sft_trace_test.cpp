@@ -1,0 +1,132 @@
+// Stage-by-stage trace checks of S_FT on the paper's Figure-5 example and on
+// random inputs: every intermediate LBS must satisfy the invariants Lemma 2
+// promises (bitonic windows, permutations of the stage's subcube inputs) and
+// all members of a window must agree on its content.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sort/keys.h"
+#include "sort/predicates.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+using SnapshotKey = std::pair<int, cube::NodeId>;  // (stage, window start)
+
+std::map<SnapshotKey, std::vector<StageSnapshot>> collect_snapshots(
+    int dim, std::span<const Key> input, std::size_t m = 1) {
+  std::map<SnapshotKey, std::vector<StageSnapshot>> by_window;
+  SftOptions opts;
+  opts.block = m;
+  opts.observer = [&by_window](const StageSnapshot& s) {
+    by_window[{s.stage, s.window.start}].push_back(s);
+  };
+  auto run = run_sft(dim, input, opts);
+  EXPECT_TRUE(run.errors.empty());
+  return by_window;
+}
+
+TEST(SftTraceTest, Figure5StageZeroHoldsInitialPairs) {
+  const std::vector<Key> input{10, 8, 3, 9, 4, 2, 7, 5};
+  auto snaps = collect_snapshots(3, input);
+  // Stage 0 windows are the pairs; their LBS is the initial data of the pair.
+  EXPECT_EQ(snaps.at({0, 0}).front().lbs_window, (std::vector<Key>{10, 8}));
+  EXPECT_EQ(snaps.at({0, 2}).front().lbs_window, (std::vector<Key>{3, 9}));
+  EXPECT_EQ(snaps.at({0, 4}).front().lbs_window, (std::vector<Key>{4, 2}));
+  EXPECT_EQ(snaps.at({0, 6}).front().lbs_window, (std::vector<Key>{7, 5}));
+}
+
+TEST(SftTraceTest, Figure5StageOneWindows) {
+  // After stage 0, pairs are sorted alternately: (8,10),(9,3),(2,4),(7,5).
+  // Stage 1 gossips those values across each 4-node window.
+  const std::vector<Key> input{10, 8, 3, 9, 4, 2, 7, 5};
+  auto snaps = collect_snapshots(3, input);
+  EXPECT_EQ(snaps.at({1, 0}).front().lbs_window, (std::vector<Key>{8, 10, 9, 3}));
+  EXPECT_EQ(snaps.at({1, 4}).front().lbs_window, (std::vector<Key>{2, 4, 7, 5}));
+}
+
+TEST(SftTraceTest, Figure5FinalStageIsSorted) {
+  const std::vector<Key> input{10, 8, 3, 9, 4, 2, 7, 5};
+  auto snaps = collect_snapshots(3, input);
+  EXPECT_EQ(snaps.at({3, 0}).front().lbs_window,
+            (std::vector<Key>{2, 3, 4, 5, 7, 8, 9, 10}));
+}
+
+TEST(SftTraceTest, AllWindowMembersAgreeOnTheSequence) {
+  auto input = util::random_keys(11, 32);
+  auto snaps = collect_snapshots(5, input);
+  for (const auto& [key, group] : snaps) {
+    ASSERT_EQ(group.size(), group.front().window.size())
+        << "every member of the window reports once";
+    for (const auto& s : group)
+      EXPECT_EQ(s.lbs_window, group.front().lbs_window)
+          << "stage " << key.first << " window @" << key.second;
+  }
+}
+
+TEST(SftTraceTest, EveryStageWindowIsBitonic) {
+  auto input = util::random_keys(13, 64);
+  auto snaps = collect_snapshots(6, input);
+  for (const auto& [key, group] : snaps) {
+    const bool final_stage = key.first == 6;
+    EXPECT_FALSE(phi_p(group.front().lbs_window, final_stage).has_value())
+        << "stage " << key.first << " window @" << key.second;
+  }
+}
+
+TEST(SftTraceTest, StageWindowsArePermutationsOfTheirInputs) {
+  auto input = util::random_keys(17, 32);
+  auto snaps = collect_snapshots(5, input);
+  for (const auto& [key, group] : snaps) {
+    const auto& s = group.front();
+    const std::span<const Key> window_input(
+        input.data() + s.window.start, s.window.size());
+    EXPECT_TRUE(is_permutation_of(s.lbs_window, window_input))
+        << "stage " << key.first << " window @" << key.second;
+  }
+}
+
+TEST(SftTraceTest, LlbsOfStageIsLbsOfPreviousStage) {
+  auto input = util::random_keys(19, 16);
+  std::map<SnapshotKey, std::vector<StageSnapshot>> snaps =
+      collect_snapshots(4, input);
+  // For stage i >= 1, the LLBS a node carries over its previous window must
+  // equal the LBS it validated at stage i-1.
+  for (const auto& [key, group] : snaps) {
+    const auto [stage, start] = key;
+    if (stage == 0 || stage == 4) continue;
+    for (const auto& s : group) {
+      const auto prev_window = cube::home_subcube(stage, s.node);
+      auto it = snaps.find({stage - 1, prev_window.start});
+      ASSERT_NE(it, snaps.end());
+      const auto& prev = it->second.front().lbs_window;
+      // Extract the prev window slice from this stage's llbs_window.
+      const std::size_t off = prev_window.start - s.window.start;
+      std::vector<Key> llbs_slice(
+          s.llbs_window.begin() + static_cast<std::ptrdiff_t>(off),
+          s.llbs_window.begin() + static_cast<std::ptrdiff_t>(off + prev_window.size()));
+      EXPECT_EQ(llbs_slice, prev) << "stage " << stage << " node " << s.node;
+    }
+  }
+}
+
+TEST(SftTraceTest, BlockTraceKeepsInvariants) {
+  const std::size_t m = 3;
+  auto input = util::random_keys(23, 16 * m);
+  auto snaps = collect_snapshots(4, input, m);
+  for (const auto& [key, group] : snaps) {
+    const bool final_stage = key.first == 4;
+    EXPECT_FALSE(phi_p(group.front().lbs_window, final_stage).has_value());
+    const auto& s = group.front();
+    const std::span<const Key> window_input(input.data() + s.window.start * m,
+                                            s.window.size() * m);
+    EXPECT_TRUE(is_permutation_of(s.lbs_window, window_input));
+  }
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,92 @@
+// S_NR baseline: sorts correctly when fault-free, has the textbook message
+// complexity, and silently corrupts under faults (its raison d'être here).
+
+#include "sort/snr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+std::vector<Key> sorted_copy(std::span<const Key> v) {
+  std::vector<Key> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+TEST(SnrTest, SortsAllDimensions) {
+  for (int dim = 0; dim <= 8; ++dim) {
+    auto input = util::random_keys(100 + static_cast<std::uint64_t>(dim),
+                                   std::size_t{1} << dim);
+    auto run = run_snr(dim, input);
+    EXPECT_EQ(run.output, sorted_copy(input)) << "dim=" << dim;
+    EXPECT_TRUE(run.errors.empty());
+  }
+}
+
+TEST(SnrTest, SortsDuplicates) {
+  auto input = util::random_keys_small_alphabet(5, 128, 3);
+  auto run = run_snr(7, input);
+  EXPECT_EQ(run.output, sorted_copy(input));
+}
+
+TEST(SnrTest, SortsBlocks) {
+  for (std::size_t m : {2u, 7u, 32u}) {
+    SnrOptions opts;
+    opts.block = m;
+    auto input = util::random_keys(m * 31, 16 * m);
+    auto run = run_snr(4, input, opts);
+    EXPECT_EQ(run.output, sorted_copy(input)) << "m=" << m;
+  }
+}
+
+TEST(SnrTest, MessageCountMatchesTheSchedule) {
+  // Each of the n(n+1)/2 iterations exchanges one message each way per pair:
+  // N messages per iteration in total.
+  for (int dim : {2, 3, 4, 5}) {
+    auto input = util::random_keys(9, std::size_t{1} << dim);
+    auto run = run_snr(dim, input);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim);
+    const std::uint64_t expected = (std::uint64_t{1} << dim) * n * (n + 1) / 2;
+    EXPECT_EQ(run.summary.total_msgs, expected) << "dim=" << dim;
+  }
+}
+
+TEST(SnrTest, RunTimeGrowsAsLogSquared) {
+  // Elapsed simulated time should grow ~ log²N, far below linear in N.
+  auto t = [](int dim) {
+    auto input = util::random_keys(17, std::size_t{1} << dim);
+    return run_snr(dim, input).summary.elapsed;
+  };
+  const double t4 = t(4), t8 = t(8);
+  // log²: 16 -> 64 vs 64 -> 256 nodes: time ratio ~ (8/4)^2 = 4.
+  EXPECT_LT(t8 / t4, 6.0);
+  EXPECT_GT(t8 / t4, 2.0);
+}
+
+TEST(SnrTest, SilentlyCorruptsUnderInvertedDirection) {
+  // The motivating failure: a node that keeps the wrong half produces a
+  // wrong output with no indication whatsoever.
+  auto input = util::random_keys(23, 16);
+  SnrOptions opts;
+  opts.node_faults[5].invert_direction_from = fault::StagePoint{1, 1};
+  auto run = run_snr(4, input, opts);
+  EXPECT_TRUE(run.errors.empty()) << "S_NR must stay silent";
+  EXPECT_EQ(classify(run, input), Outcome::kSilentWrong);
+}
+
+TEST(SnrTest, HaltedNodeCausesSilentPartialResult) {
+  auto input = util::random_keys(29, 16);
+  SnrOptions opts;
+  opts.node_faults[3].halt_at = fault::StagePoint{1, 0};
+  auto run = run_snr(4, input, opts);
+  EXPECT_TRUE(run.errors.empty());
+  EXPECT_NE(classify(run, input), Outcome::kFailStop);
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,134 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace aoft::util {
+namespace {
+
+TEST(BitVecTest, DefaultConstructedIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVecTest, StartsAllClear) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVecTest, SetResetTest) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVecTest, InitializerListConstruction) {
+  BitVec v(16, {1, 3, 5});
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_TRUE(v.test(1));
+  EXPECT_TRUE(v.test(3));
+  EXPECT_TRUE(v.test(5));
+}
+
+TEST(BitVecTest, SingleFactory) {
+  auto v = BitVec::single(128, 127);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_TRUE(v.test(127));
+}
+
+TEST(BitVecTest, ClearResetsEverything) {
+  BitVec v(80, {0, 40, 79});
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVecTest, AnyNone) {
+  BitVec v(65);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+  v.set(64);
+  EXPECT_TRUE(v.any());
+  EXPECT_FALSE(v.none());
+}
+
+TEST(BitVecTest, BitwiseOr) {
+  BitVec a(10, {1, 2});
+  BitVec b(10, {2, 3});
+  auto c = a | b;
+  EXPECT_EQ(c, BitVec(10, {1, 2, 3}));
+}
+
+TEST(BitVecTest, BitwiseAnd) {
+  BitVec a(10, {1, 2, 5});
+  BitVec b(10, {2, 3, 5});
+  EXPECT_EQ(a & b, BitVec(10, {2, 5}));
+}
+
+TEST(BitVecTest, BitwiseXor) {
+  BitVec a(10, {1, 2});
+  BitVec b(10, {2, 3});
+  EXPECT_EQ(a ^ b, BitVec(10, {1, 3}));
+}
+
+TEST(BitVecTest, ComplementRespectsSize) {
+  BitVec a(66, {0, 65});
+  auto c = ~a;
+  EXPECT_EQ(c.count(), 64u);  // everything except the two set bits
+  EXPECT_FALSE(c.test(0));
+  EXPECT_FALSE(c.test(65));
+  EXPECT_TRUE(c.test(1));
+  // Complement twice is identity (checks the trailing-word trim).
+  EXPECT_EQ(~c, a);
+}
+
+TEST(BitVecTest, SubsetRelation) {
+  BitVec small(20, {3, 7});
+  BitVec big(20, {3, 7, 11});
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+  EXPECT_TRUE(BitVec(20).is_subset_of(small));
+}
+
+TEST(BitVecTest, Intersects) {
+  BitVec a(20, {3});
+  BitVec b(20, {4});
+  BitVec c(20, {3, 4});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_TRUE(c.intersects(b));
+}
+
+TEST(BitVecTest, SetBitsAscending) {
+  BitVec v(130, {129, 0, 64});
+  EXPECT_EQ(v.set_bits(), (std::vector<std::size_t>{0, 64, 129}));
+}
+
+TEST(BitVecTest, ToStringBitZeroLeftmost) {
+  BitVec v(5, {0, 3});
+  EXPECT_EQ(v.to_string(), "10010");
+}
+
+TEST(BitVecTest, EqualityIncludesSize) {
+  BitVec a(10, {1});
+  BitVec b(11, {1});
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a, BitVec(10, {1}));
+}
+
+}  // namespace
+}  // namespace aoft::util

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace aoft::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBelowStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextUnitInHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[i] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // probability of identity is astronomically small
+}
+
+TEST(RngTest, RandomKeysAre32Bit) {
+  auto keys = random_keys(21, 1000);
+  EXPECT_EQ(keys.size(), 1000u);
+  for (auto k : keys) {
+    EXPECT_GE(k, -2147483648LL);
+    EXPECT_LE(k, 2147483647LL);
+  }
+}
+
+TEST(RngTest, RandomKeysDeterministic) {
+  EXPECT_EQ(random_keys(5, 64), random_keys(5, 64));
+  EXPECT_NE(random_keys(5, 64), random_keys(6, 64));
+}
+
+TEST(RngTest, SmallAlphabetProducesDuplicates) {
+  auto keys = random_keys_small_alphabet(23, 256, 3);
+  for (auto k : keys) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 3);
+  }
+  // With 256 draws from 3 symbols, all three appear.
+  std::set<std::int64_t> seen(keys.begin(), keys.end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace aoft::util

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aoft::util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"N", "time"});
+  t.add_row({"4", "1.0"});
+  t.add_row({"1024", "123.5"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("N     time"), std::string::npos);
+  EXPECT_NE(text.find("1024  123.5"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableFmtTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+TEST(TableFmtTest, FmtInt) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(-123456789012345LL), "-123456789012345");
+}
+
+TEST(TableFmtTest, FmtSci) {
+  EXPECT_EQ(fmt_sci(1234.5, 2), "1.23e+03");
+}
+
+}  // namespace
+}  // namespace aoft::util

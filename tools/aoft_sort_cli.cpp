@@ -1,0 +1,183 @@
+// aoft-sort command-line driver.
+//
+// Run any of the four sorting algorithms on a simulated hypercube with
+// optional fault injection, from the shell:
+//
+//   aoft_sort_cli --algo=sft --dim=5 --block=4 --seed=7
+//   aoft_sort_cli --algo=snr --dim=4 --halt=3@1:0
+//   aoft_sort_cli --algo=sft --dim=4 --invert=5@1:1 --diagnose
+//   aoft_sort_cli --algo=sft --dim=4 --two-faced=2@2:0 --diagnose
+//
+// Prints the outcome, timing summary and (with --diagnose) the host-side
+// fault localization.  Exit status: 0 = correct, 2 = fail-stop detected,
+// 3 = silent wrong (only reachable with --algo=snr under faults).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/adversary.h"
+#include "fault/localization.h"
+#include "sort/sequential.h"
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aoft;
+
+struct Args {
+  std::string algo = "sft";
+  int dim = 4;
+  std::size_t block = 1;
+  std::uint64_t seed = 1;
+  bool diagnose = false;
+  bool quiet = false;
+  // fault specs "node@stage:iter"
+  bool has_halt = false, has_invert = false, has_two_faced = false;
+  cube::NodeId fault_node = 0;
+  fault::StagePoint fault_point{};
+};
+
+bool parse_point(const char* s, cube::NodeId& node, fault::StagePoint& p) {
+  unsigned n = 0;
+  int stage = 0, iter = 0;
+  if (std::sscanf(s, "%u@%d:%d", &n, &stage, &iter) != 3) return false;
+  node = n;
+  p = {stage, iter};
+  return true;
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return a.size() > std::strlen(prefix) ? a.c_str() + std::strlen(prefix)
+                                            : "";
+    };
+    if (a.rfind("--algo=", 0) == 0) {
+      args.algo = value("--algo=");
+    } else if (a.rfind("--dim=", 0) == 0) {
+      args.dim = std::atoi(value("--dim="));
+    } else if (a.rfind("--block=", 0) == 0) {
+      args.block = static_cast<std::size_t>(std::atoll(value("--block=")));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value("--seed=")));
+    } else if (a.rfind("--halt=", 0) == 0) {
+      args.has_halt = parse_point(value("--halt="), args.fault_node, args.fault_point);
+      if (!args.has_halt) return false;
+    } else if (a.rfind("--invert=", 0) == 0) {
+      args.has_invert =
+          parse_point(value("--invert="), args.fault_node, args.fault_point);
+      if (!args.has_invert) return false;
+    } else if (a.rfind("--two-faced=", 0) == 0) {
+      args.has_two_faced =
+          parse_point(value("--two-faced="), args.fault_node, args.fault_point);
+      if (!args.has_two_faced) return false;
+    } else if (a == "--diagnose") {
+      args.diagnose = true;
+    } else if (a == "--quiet") {
+      args.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args.dim < 0 || args.dim > 14) {
+    std::fprintf(stderr, "--dim must be in [0, 14]\n");
+    return false;
+  }
+  if (args.block == 0) {
+    std::fprintf(stderr, "--block must be >= 1\n");
+    return false;
+  }
+  if (args.algo != "sft" && args.algo != "snr" && args.algo != "host" &&
+      args.algo != "host-verified") {
+    std::fprintf(stderr, "--algo must be sft|snr|host|host-verified\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--algo=sft|snr|host|host-verified] [--dim=N]\n"
+                 "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
+                 "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
+                 "          [--diagnose] [--quiet]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const auto input = util::random_keys(
+      args.seed, (std::size_t{1} << args.dim) * args.block);
+
+  fault::NodeFaultMap node_faults;
+  if (args.has_halt) node_faults[args.fault_node].halt_at = args.fault_point;
+  if (args.has_invert)
+    node_faults[args.fault_node].invert_direction_from = args.fault_point;
+  fault::Adversary adversary;
+  if (args.has_two_faced)
+    adversary.add(fault::two_faced_gossip(
+        args.fault_node, args.fault_point, args.fault_node ^ 1u, 4097,
+        args.block, [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
+  sim::LinkInterceptor* interceptor = args.has_two_faced ? &adversary : nullptr;
+
+  sort::SortRun run;
+  if (args.algo == "sft") {
+    sort::SftOptions opts;
+    opts.block = args.block;
+    opts.node_faults = node_faults;
+    opts.interceptor = interceptor;
+    run = sort::run_sft(args.dim, input, opts);
+  } else if (args.algo == "snr") {
+    sort::SnrOptions opts;
+    opts.block = args.block;
+    opts.node_faults = node_faults;
+    opts.interceptor = interceptor;
+    run = sort::run_snr(args.dim, input, opts);
+  } else if (args.algo == "host") {
+    sort::HostSortOptions opts;
+    opts.block = args.block;
+    run = sort::run_host_sort(args.dim, input, opts);
+  } else {
+    sort::HostVerifyOptions opts;
+    opts.block = args.block;
+    opts.node_faults = node_faults;
+    opts.interceptor = interceptor;
+    run = sort::run_host_verified_snr(args.dim, input, opts);
+  }
+
+  const auto outcome = sort::classify(run, input);
+  if (!args.quiet) {
+    std::printf("algo=%s nodes=%u keys=%zu outcome=%s\n", args.algo.c_str(),
+                1u << args.dim, input.size(), sort::to_string(outcome));
+    std::printf("elapsed=%.1f ticks  comm(max/node)=%.1f  comp(max/node)=%.1f  "
+                "msgs=%llu  words=%llu\n",
+                run.summary.elapsed, run.summary.max_comm, run.summary.max_comp,
+                static_cast<unsigned long long>(run.summary.total_msgs),
+                static_cast<unsigned long long>(run.summary.total_words));
+    for (const auto& e : run.errors)
+      std::printf("error: node %u stage %d iter %d %s: %s\n", e.node, e.stage,
+                  e.iter, sim::to_string(e.source), e.detail.c_str());
+    if (args.diagnose && !run.errors.empty()) {
+      const auto d = fault::localize(run.errors, args.dim);
+      std::printf("diagnosis: suspects =");
+      for (auto s : d.suspects) std::printf(" %u", s);
+      std::printf("%s%s\n", d.conclusive ? " (conclusive)" : "",
+                  d.link_suspected ? " (link fault suspected)" : "");
+    }
+  }
+  switch (outcome) {
+    case sort::Outcome::kCorrect: return 0;
+    case sort::Outcome::kFailStop: return 2;
+    case sort::Outcome::kSilentWrong: return 3;
+  }
+  return 1;
+}
