@@ -2,43 +2,46 @@
 
 #include <algorithm>
 
+#include "fault/supervisor.h"
+
 namespace aoft::fault {
 
-std::vector<cube::NodeId> persistent_suspects(const RecoveryRun& run) {
+std::vector<cube::NodeId> persistent_suspects(std::span<const Diagnosis> diagnoses) {
   std::vector<cube::NodeId> common;
-  bool first = true;
-  for (const auto& d : run.diagnoses) {
-    if (first) {
+  bool any = false;
+  for (const auto& d : diagnoses) {
+    // An inconclusive diagnosis (no suspects) carries no exculpatory
+    // evidence; skipping it keeps the intersection from vacuously emptying.
+    if (d.suspects.empty()) continue;
+    if (!any) {
       common = d.suspects;  // already ascending
-      first = false;
+      any = true;
       continue;
     }
     std::vector<cube::NodeId> next;
     std::set_intersection(common.begin(), common.end(), d.suspects.begin(),
                           d.suspects.end(), std::back_inserter(next));
     common = std::move(next);
+    if (common.empty()) break;
   }
-  return first ? std::vector<cube::NodeId>{} : common;
+  return any ? common : std::vector<cube::NodeId>{};
+}
+
+std::vector<cube::NodeId> persistent_suspects(const RecoveryRun& run) {
+  return persistent_suspects(run.diagnoses);
 }
 
 RecoveryRun run_sft_with_recovery(int dim, std::span<const sort::Key> input,
                                   const sort::SftOptions& base,
                                   const InterceptorFactory& interceptors,
                                   int max_attempts) {
+  SupervisedRun sup = run_supervised_sort(
+      dim, input, base, RecoveryPolicy::full_restart(max_attempts), interceptors);
   RecoveryRun out;
-  bool failed_before = false;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    sort::SftOptions opts = base;
-    opts.interceptor = interceptors ? interceptors(attempt) : nullptr;
-    out.last = sort::run_sft(dim, input, opts);
-    ++out.attempts;
-    if (!out.last.fail_stop()) {
-      out.recovered = failed_before;
-      return out;
-    }
-    failed_before = true;
-    out.diagnoses.push_back(localize(out.last.errors, dim));
-  }
+  out.last = std::move(sup.last);
+  out.attempts = sup.attempts;
+  out.recovered = sup.recovered;
+  out.diagnoses = std::move(sup.diagnoses);
   return out;
 }
 

@@ -38,13 +38,23 @@ struct RecoveryRun {
   std::vector<Diagnosis> diagnoses;  // one per failed attempt
 };
 
-// Suspects implicated by *every* failed attempt — the permanent-fault
-// candidates.  Empty when any attempt produced no suspects or none recur.
+// Suspects implicated by every *conclusive* failed attempt — the
+// permanent-fault candidates.  An inconclusive diagnosis (no suspects at
+// all, e.g. the fail-stop cascaded before localization could pin anyone)
+// carries no exculpatory evidence, so it is skipped rather than vacuously
+// emptying the intersection; a link-pair diagnosis (Definition 3 case 2a)
+// participates with both endpoints, so a recurring dead link intersects to
+// its stable endpoint pair.  Empty when no conclusive diagnosis exists or no
+// suspect recurs through all of them.
+std::vector<cube::NodeId> persistent_suspects(std::span<const Diagnosis> diagnoses);
 std::vector<cube::NodeId> persistent_suspects(const RecoveryRun& run);
 
 // Run S_FT up to `max_attempts` times.  `base` supplies everything except
 // the interceptor (taken from the factory per attempt); node faults in
 // `base` model permanent processor faults and apply to every attempt.
+// Since the recovery-supervisor PR this is a compatibility shim over
+// fault/supervisor.h with RecoveryPolicy::full_restart(max_attempts): blind
+// full restarts, no reconfiguration, no host fallback.
 RecoveryRun run_sft_with_recovery(int dim, std::span<const sort::Key> input,
                                   const sort::SftOptions& base,
                                   const InterceptorFactory& interceptors,

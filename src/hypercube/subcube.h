@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cassert>
+#include <optional>
+#include <span>
 
 #include "hypercube/topology.h"
 
@@ -62,6 +64,48 @@ inline bool stage_ascending(NodeId node, int stage) {
 // "ascending".
 inline bool subcube_sorted_ascending(int i, NodeId j) {
   return !node_bit(j, i);
+}
+
+// ---- degraded-mode reconfiguration algebra (recovery supervisor) ------------
+
+// A single-dimension cut of a dim-cube: keep the (dim-1)-subcube whose labels
+// have node_bit(p, bit) == keep_high, discard the other half.
+struct SubcubeCut {
+  int bit = 0;
+  bool keep_high = false;
+
+  bool keeps(NodeId p) const { return node_bit(p, bit) == keep_high; }
+
+  // Relabel a kept node into the collapsed (dim-1)-cube: drop `bit`.
+  NodeId relabel(NodeId p) const {
+    assert(keeps(p));
+    const NodeId low = p & ((NodeId{1} << bit) - 1);
+    return ((p >> (bit + 1)) << bit) | low;
+  }
+};
+
+// Choose the cut whose kept half contains the fewest suspects — the greedy
+// step of remapping the workload onto a fault-free subcube.  Deterministic:
+// ties resolve to the lowest bit, then to keeping the low half.  nullopt when
+// dim == 0 or there are no suspects (no cut can make progress).
+inline std::optional<SubcubeCut> best_excluding_cut(
+    int dim, std::span<const NodeId> suspects) {
+  if (dim <= 0 || suspects.empty()) return std::nullopt;
+  SubcubeCut best;
+  std::size_t best_kept = suspects.size() + 1;
+  for (int b = 0; b < dim; ++b) {
+    std::size_t high = 0;
+    for (NodeId s : suspects) high += node_bit(s, b) ? 1 : 0;
+    const std::size_t low = suspects.size() - high;
+    for (bool keep_high : {false, true}) {
+      const std::size_t kept = keep_high ? high : low;
+      if (kept < best_kept) {
+        best = SubcubeCut{b, keep_high};
+        best_kept = kept;
+      }
+    }
+  }
+  return best;
 }
 
 }  // namespace aoft::cube

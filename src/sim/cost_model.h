@@ -44,6 +44,12 @@ struct CostModel {
   double host_alpha = 1.0;
   double host_beta = 7.0;  // per word; dominated by the serial host bottleneck
 
+  // Checkpoint drain at the host (recovery supervisor).  Stage-boundary
+  // checkpoints stream to the host's spool off the critical path, so the
+  // drain pays a bulk per-word rate instead of the interactive host_beta;
+  // nodes still pay alpha_send per upload, so checkpointing is not free.
+  double ckpt_word = 0.1;
+
   // Node computation.
   double cmp = 1.0;          // one key comparison or min/max
   double copy = 0.1;         // move one key word locally

@@ -99,6 +99,14 @@ void HostCtx::account_recv(const Message& m) {
   stats_.comm_ticks += cost;
 }
 
+void HostCtx::account_bulk_recv(const Message& m) {
+  stats_.clock = std::max(stats_.clock, m.arrival);
+  const double cost = machine_->cost_.host_alpha +
+                      machine_->cost_.ckpt_word * static_cast<double>(m.words());
+  stats_.clock += cost;
+  stats_.comm_ticks += cost;
+}
+
 // ---- Machine ----
 
 Machine::Machine(cube::Topology topo, CostModel cost)

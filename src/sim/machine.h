@@ -135,6 +135,10 @@ class HostCtx {
   // describes for host-based sorting.
   void account_recv(const Message& m);
 
+  // Bulk-path accounting for checkpoint drains (CostModel::ckpt_word): the
+  // spool absorbs the words off the interactive link's critical path.
+  void account_bulk_recv(const Message& m);
+
   // Record a fail-stop diagnostic from the host side (e.g. the Theorem-1
   // verifier rejecting an upload, or an expected upload never arriving).
   void error(ErrorReport r);

@@ -31,6 +31,7 @@ enum class MsgKind : std::uint8_t {
   kHostGather,  // node -> host: initial or sorted values
   kHostScatter, // host -> node: sorted values
   kHostError,   // node -> host: fail-stop error report
+  kCheckpoint,  // node -> host: validated stage-boundary state (recovery)
   kApp,         // application-defined payload (e.g. AOFT relaxation)
 };
 

@@ -1,5 +1,7 @@
 #include "sort/driver.h"
 
+#include <algorithm>
+
 namespace aoft::sort {
 
 const char* to_string(Outcome o) {
@@ -17,6 +19,25 @@ Outcome classify(const SortRun& run, std::span<const Key> input) {
       is_permutation_of(run.output, input))
     return Outcome::kCorrect;
   return Outcome::kSilentWrong;
+}
+
+std::optional<ResumeState> make_resume_state(
+    std::span<const StageCheckpoint> checkpoints) {
+  auto certified = [&](int stage) -> const StageCheckpoint* {
+    for (const auto& ck : checkpoints)
+      if (ck.certified && ck.stage == stage) return &ck;
+    return nullptr;
+  };
+  int max_stage = -1;
+  for (const auto& ck : checkpoints)
+    if (ck.certified) max_stage = std::max(max_stage, ck.stage);
+  for (int k = max_stage; k >= 1; --k) {
+    const auto* ck = certified(k);
+    const auto* prev = certified(k - 1);
+    if (ck == nullptr || prev == nullptr) continue;
+    return ResumeState{k, ck->state, prev->state};
+  }
+  return std::nullopt;
 }
 
 }  // namespace aoft::sort

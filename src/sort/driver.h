@@ -1,7 +1,9 @@
-// Common result type and outcome classification for all sorting runs.
+// Common result type, outcome classification and the checkpoint/resume
+// surface shared by all sorting runs.
 
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -20,15 +22,55 @@ enum class Outcome {
 
 const char* to_string(Outcome o);
 
+// One host-certified stage checkpoint (recovery supervisor, DESIGN §7).
+// `state` is the full-cube flattened start-of-stage-`stage` state, assembled
+// from the per-window uploads of S_FT's stage boundary; `certified` means
+// every SC_{stage+1} window's representative slice matched every member's
+// digest, the assembled state is a permutation of the run's start state, and
+// every dim-`stage` subcube is sorted in its direction-bit orientation.
+struct StageCheckpoint {
+  int stage = -1;
+  std::vector<Key> state;
+  int windows_agreed = 0;
+  int windows_total = 0;
+  bool certified = false;
+};
+
 struct SortRun {
   std::vector<Key> output;  // flattened N*m keys, node p's block at [p*m, (p+1)*m)
   std::vector<sim::ErrorReport> errors;
   sim::RunSummary summary;
+  std::vector<StageCheckpoint> checkpoints;  // when SftOptions::checkpoint
 
   bool fail_stop() const { return !errors.empty(); }
 };
 
 // Classify a finished run against the original input.
 Outcome classify(const SortRun& run, std::span<const Key> input);
+
+// A consistent recovery line: re-enter S_FT at the start of `stage` with
+// `blocks` (the certified start-of-stage state, C_stage) and `llbs` (the
+// previous boundary's certified state, C_{stage-1}, consulted by the stage's
+// own Phi_F evaluation).  Both are full-cube flattened (N*m keys).
+struct ResumeState {
+  int stage = 0;
+  std::vector<Key> blocks;
+  std::vector<Key> llbs;
+};
+
+// Build the deepest resume point available from a run's checkpoint list:
+// the highest k >= 1 with both C_k and C_{k-1} certified.  nullopt when no
+// such pair exists (then only a full restart can follow).
+std::optional<ResumeState> make_resume_state(
+    std::span<const StageCheckpoint> checkpoints);
+
+struct SftOptions;  // sort/sft.h
+
+// Resume-from-stage entry point: run the tail of S_FT (stages rs.stage..n-1
+// plus the final verification round) from a certified checkpoint.  A resumed
+// run is bit-identical, in output and in every downstream Phi evaluation, to
+// the uninterrupted run that produced the checkpoint (defined in sft.cpp;
+// tested by tests/integration/checkpoint_resume_test.cpp).
+SortRun resume_sft(int dim, const ResumeState& rs, const SftOptions& opts);
 
 }  // namespace aoft::sort

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
 #include "hypercube/masks.h"
 #include "sort/blockops.h"
@@ -11,18 +12,41 @@ namespace aoft::sort {
 
 namespace {
 
+// One node's stage-boundary upload, as drained by the host collector.
+struct CkptUpload {
+  cube::NodeId node = 0;
+  int stage = -1;
+  std::vector<Key> slice;  // window representative (lowest label) only
+  Key digest = 0;          // every other window member
+  bool is_slice = false;
+};
+
 struct SftShared {
   SftOptions opts;
   int dim = 0;
   std::size_t m = 1;
+  int start_stage = 0;          // resume_sft: first stage to execute
+  std::vector<Key> resume_llbs; // resume_sft: C_{start_stage-1}, full cube
   std::vector<Key> input;
   std::vector<Key> output;
+  std::vector<CkptUpload> uploads;
 
   const fault::NodeFault* fault_for(cube::NodeId p) const {
     auto it = opts.node_faults.find(p);
     return it == opts.node_faults.end() ? nullptr : &it->second;
   }
 };
+
+// Order-sensitive FNV-1a fold over a key slice; the digest the non-
+// representative window members upload in place of the full slice.
+Key slice_digest(std::span<const Key> s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (Key k : s) {
+    h ^= static_cast<std::uint64_t>(k);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<Key>(h);
+}
 
 double local_sort_cost(const sim::CostModel& cm, std::size_t m) {
   return m > 1 ? cm.cmp * static_cast<double>(m) * std::log2(static_cast<double>(m))
@@ -156,17 +180,36 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
     co_return;
   }
 
-  // Initial local sort.  The direction alternates on bit 0 so that, per pair,
-  // the flattened initial blocks already form an ascending-then-descending
-  // sequence: the stage-0 gossip then has the bitonic-halves shape every
-  // later Φ_F relies on (the "SC_i sorted in direction bit i" invariant holds
-  // from i = 0).  With m = 1 the direction is vacuous, matching Fig. 3.
-  st.cur_asc = cube::subcube_sorted_ascending(0, me);
-  blockops::sort_dir(st.a, st.cur_asc);
-  ctx.charge(local_sort_cost(cm, m));
+  const int start = sh.start_stage;
+  if (start == 0) {
+    // Initial local sort.  The direction alternates on bit 0 so that, per
+    // pair, the flattened initial blocks already form an ascending-then-
+    // descending sequence: the stage-0 gossip then has the bitonic-halves
+    // shape every later Φ_F relies on (the "SC_i sorted in direction bit i"
+    // invariant holds from i = 0).  With m = 1 the direction is vacuous,
+    // matching Fig. 3.
+    st.cur_asc = cube::subcube_sorted_ascending(0, me);
+    blockops::sort_dir(st.a, st.cur_asc);
+    ctx.charge(local_sort_cost(cm, m));
+  } else {
+    // Resuming from a host-certified checkpoint: the block arrives already
+    // sorted in the direction stage start-1's merge left SC_start in, and no
+    // initial local sort is re-charged — that is the salvaged work.
+    st.cur_asc = cube::subcube_sorted_ascending(start, me);
+  }
 
   st.lbs.assign(num_nodes * m, 0);
   st.llbs.assign(num_nodes * m, 0);
+  if (start > 0) {
+    // C_{start-1}, restricted to the node's own SC_start window — exactly the
+    // entries the uninterrupted run carried over its stage-(start-1) boundary
+    // (Φ_F reads nothing outside it), so downstream state stays bit-identical.
+    const auto prev = cube::home_subcube(start, me);
+    std::copy(
+        sh.resume_llbs.begin() + static_cast<std::ptrdiff_t>(prev.start * m),
+        sh.resume_llbs.begin() + static_cast<std::ptrdiff_t>((prev.end + 1) * m),
+        st.llbs.begin() + static_cast<std::ptrdiff_t>(prev.start * m));
+  }
   st.lmask = util::BitVec(num_nodes);
   auto reset_lbs = [&] {
     std::copy(st.a.begin(), st.a.end(),
@@ -178,7 +221,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
 
   const auto& topo = ctx.topo();
 
-  for (int i = 0; i < n; ++i) {
+  for (int i = start; i < n; ++i) {
     const cube::Subcube window = cube::home_subcube(i + 1, me);
     bool asc = cube::stage_ascending(me, i);
     if (st.fault && st.fault->invert_direction_from &&
@@ -314,6 +357,25 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
           st.llbs.begin() + static_cast<std::ptrdiff_t>((window.end + 1) * m));
       sh.opts.observer(snap);
     }
+    if (sh.opts.checkpoint) {
+      // Upload the just-validated window to the host: the window's lowest
+      // label ships the slice, every other member only a digest, so one stage
+      // boundary costs the host N*m words plus N-per-stage digest messages.
+      sim::Message ck;
+      ck.kind = sim::MsgKind::kCheckpoint;
+      ck.stage = i;
+      if (me == window.start) {
+        ck.lbs = st.slice(window);
+        ctx.charge(cm.copy * static_cast<double>(window.size() * m));
+      } else {
+        ck.data.push_back(slice_digest(std::span<const Key>(st.lbs).subspan(
+            static_cast<std::size_t>(window.start) * m,
+            static_cast<std::size_t>(window.size()) * m)));
+        // A streaming hash fold touches each word once: copy-rate, not cmp.
+        ctx.charge(cm.copy * static_cast<double>(window.size() * m));
+      }
+      ctx.send_host(std::move(ck));
+    }
     std::copy(st.lbs.begin() + static_cast<std::ptrdiff_t>(window.start * m),
               st.lbs.begin() + static_cast<std::ptrdiff_t>((window.end + 1) * m),
               st.llbs.begin() + static_cast<std::ptrdiff_t>(window.start * m));
@@ -390,6 +452,96 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
   co_return;
 }
 
+// Host-side checkpoint collector.  Drains the inbox until global quiescence
+// (the watchdog fails the receive once the sort is over — Environmental
+// Assumption 4 works for the host too); error reports pass through untouched.
+sim::SimTask ckpt_collector(sim::HostCtx& host, SftShared& sh) {
+  for (;;) {
+    auto r = co_await host.recv();
+    if (!r.ok) co_return;
+    if (r.msg.kind != sim::MsgKind::kCheckpoint) continue;
+    host.account_bulk_recv(r.msg);
+    CkptUpload up;
+    up.node = r.msg.from;
+    up.stage = r.msg.stage;
+    if (!r.msg.lbs.empty()) {
+      up.slice = std::move(r.msg.lbs);
+      up.is_slice = true;
+    } else if (!r.msg.data.empty()) {
+      up.digest = r.msg.data.front();
+    }
+    sh.uploads.push_back(std::move(up));
+  }
+}
+
+// Certify the drained uploads into per-stage checkpoints.  A stage-i
+// checkpoint is certified when every SC_{i+1} window has its representative
+// slice confirmed by every member's digest, the assembled full-cube state is
+// a permutation of the run's start state, and every dim-i subcube is sorted
+// in its direction-bit orientation — the exact invariants a resume relies on.
+// Colluding forgeries that survive all three are still permutations of the
+// input, so a resumed sort of one still yields the correct sorted output.
+std::vector<StageCheckpoint> certify_checkpoints(const SftShared& sh) {
+  const int n = sh.dim;
+  const std::size_t m = sh.m;
+  const cube::NodeId num_nodes = cube::NodeId{1} << n;
+  std::vector<StageCheckpoint> out;
+  for (int i = sh.start_stage; i < n; ++i) {
+    StageCheckpoint ck;
+    ck.stage = i;
+    ck.state.assign(num_nodes * m, 0);
+    const cube::NodeId wsize = cube::NodeId{1} << (i + 1);
+    ck.windows_total = static_cast<int>(num_nodes / wsize);
+    for (cube::NodeId ws = 0; ws < num_nodes; ws += wsize) {
+      const CkptUpload* rep = nullptr;
+      int digests_ok = 0;
+      for (const auto& up : sh.uploads) {
+        if (up.stage != i || up.node < ws || up.node >= ws + wsize) continue;
+        if (up.node == ws && up.is_slice) rep = &up;
+      }
+      if (rep == nullptr || rep->slice.size() != wsize * m) continue;
+      const Key expect = slice_digest(rep->slice);
+      for (const auto& up : sh.uploads)
+        if (up.stage == i && up.node > ws && up.node < ws + wsize &&
+            !up.is_slice && up.digest == expect)
+          ++digests_ok;
+      if (digests_ok != static_cast<int>(wsize) - 1) continue;
+      std::copy(rep->slice.begin(), rep->slice.end(),
+                ck.state.begin() + static_cast<std::ptrdiff_t>(ws * m));
+      ++ck.windows_agreed;
+    }
+    if (ck.windows_agreed == ck.windows_total &&
+        is_permutation_of(ck.state, sh.input)) {
+      ck.certified = true;
+      const cube::NodeId ssize = cube::NodeId{1} << i;
+      for (cube::NodeId s = 0; s < num_nodes && ck.certified; s += ssize) {
+        const std::span<const Key> sub(ck.state.data() + s * m, ssize * m);
+        if (!blockops::is_sorted_dir(sub, cube::subcube_sorted_ascending(i, s)))
+          ck.certified = false;
+      }
+    }
+    out.push_back(std::move(ck));
+  }
+  return out;
+}
+
+SortRun run_sft_impl(int dim, SftShared& sh) {
+  sim::Machine machine(cube::Topology{dim}, sh.opts.cost);
+  machine.set_interceptor(sh.opts.interceptor);
+  if (sh.opts.checkpoint)
+    machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); },
+                [&sh](sim::HostCtx& host) { return ckpt_collector(host, sh); });
+  else
+    machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
+
+  SortRun run;
+  run.output = std::move(sh.output);
+  run.errors = machine.errors();
+  run.summary = machine.summary();
+  if (sh.opts.checkpoint) run.checkpoints = certify_checkpoints(sh);
+  return run;
+}
+
 }  // namespace
 
 SortRun run_sft(int dim, std::span<const Key> input, const SftOptions& opts) {
@@ -400,16 +552,24 @@ SortRun run_sft(int dim, std::span<const Key> input, const SftOptions& opts) {
   sh.m = opts.block;
   sh.input.assign(input.begin(), input.end());
   sh.output.assign(input.size(), 0);
+  return run_sft_impl(dim, sh);
+}
 
-  sim::Machine machine(cube::Topology{dim}, opts.cost);
-  machine.set_interceptor(opts.interceptor);
-  machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
-
-  SortRun run;
-  run.output = std::move(sh.output);
-  run.errors = machine.errors();
-  run.summary = machine.summary();
-  return run;
+// Declared in sort/driver.h next to ResumeState; lives here with the node
+// program it re-enters.
+SortRun resume_sft(int dim, const ResumeState& rs, const SftOptions& opts) {
+  assert(rs.stage >= 1 && rs.stage < dim);
+  assert(rs.blocks.size() == (std::size_t{1} << dim) * opts.block);
+  assert(rs.llbs.size() == rs.blocks.size());
+  SftShared sh;
+  sh.opts = opts;
+  sh.dim = dim;
+  sh.m = opts.block;
+  sh.start_stage = rs.stage;
+  sh.resume_llbs = rs.llbs;
+  sh.input = rs.blocks;
+  sh.output.assign(rs.blocks.size(), 0);
+  return run_sft_impl(dim, sh);
 }
 
 }  // namespace aoft::sort

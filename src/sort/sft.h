@@ -65,6 +65,14 @@ struct SftOptions {
   sim::LinkInterceptor* interceptor = nullptr;  // Byzantine links
   fault::NodeFaultMap node_faults;              // Byzantine processors
 
+  // Stage checkpointing (recovery supervisor, DESIGN §7).  At every validated
+  // stage boundary each node uploads its window state to the reliable host:
+  // the window's lowest label ships the full slice, every other member a
+  // digest for cross-checking.  The host assembles and certifies per-stage
+  // checkpoints into SortRun::checkpoints; a later resume_sft() re-enters the
+  // sort at the last certified boundary instead of stage 0.
+  bool checkpoint = false;
+
   // Invoked at every stage boundary of every node (small cubes only; the
   // snapshots copy the stage window).
   std::function<void(const StageSnapshot&)> observer;

@@ -75,5 +75,43 @@ TEST(RecoveryTest, NoDiagnosesMeansNoPersistentSuspects) {
   EXPECT_TRUE(persistent_suspects(RecoveryRun{}).empty());
 }
 
+TEST(RecoveryTest, InconclusiveDiagnosisDoesNotVacateIntersection) {
+  // The middle attempt cascaded before localization could pin anyone: it
+  // carries no exculpatory evidence and must not empty the intersection.
+  std::vector<Diagnosis> diagnoses(3);
+  diagnoses[0].suspects = {5};
+  diagnoses[1].suspects = {};
+  diagnoses[2].suspects = {5};
+  const auto persistent = persistent_suspects(diagnoses);
+  ASSERT_EQ(persistent.size(), 1u);
+  EXPECT_EQ(persistent.front(), 5u);
+}
+
+TEST(RecoveryTest, AllInconclusiveYieldsEmpty) {
+  std::vector<Diagnosis> diagnoses(3);  // all empty suspect lists
+  EXPECT_TRUE(persistent_suspects(diagnoses).empty());
+}
+
+TEST(RecoveryTest, LinkPairSurvivesIntersection) {
+  // Definition 3 case 2a: a dead link accuses both endpoints; the recurring
+  // pair intersects to itself, not to an arbitrary pick.
+  std::vector<Diagnosis> diagnoses(2);
+  for (auto& d : diagnoses) {
+    d.suspects = {2, 3};
+    d.link_suspected = true;
+  }
+  const auto persistent = persistent_suspects(diagnoses);
+  EXPECT_EQ(persistent, (std::vector<cube::NodeId>{2, 3}));
+}
+
+TEST(RecoveryTest, NonRecurringSuspectDropped) {
+  std::vector<Diagnosis> diagnoses(2);
+  diagnoses[0].suspects = {1, 2};
+  diagnoses[1].suspects = {2, 4};
+  const auto persistent = persistent_suspects(diagnoses);
+  ASSERT_EQ(persistent.size(), 1u);
+  EXPECT_EQ(persistent.front(), 2u);
+}
+
 }  // namespace
 }  // namespace aoft::fault

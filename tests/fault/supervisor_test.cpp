@@ -1,0 +1,165 @@
+#include "fault/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/adversary.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+TEST(SupervisorTest, CleanRunIsOneInitialAttempt) {
+  auto input = util::random_keys(11, 16);
+  const auto run = run_supervised_sort(4, input, {});
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_EQ(run.attempts, 1);
+  EXPECT_EQ(run.final_rung, Rung::kInitial);
+  EXPECT_FALSE(run.recovered);
+  EXPECT_TRUE(run.retired.empty());
+  ASSERT_EQ(run.events.size(), 1u);
+  EXPECT_EQ(run.events[0].rung, Rung::kInitial);
+  EXPECT_EQ(run.events[0].resume_stage, 0);
+  EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+}
+
+TEST(SupervisorTest, TransientMidSortFaultRecoveredByRollback) {
+  auto input = util::random_keys(12, 16);
+  Adversary glitch;
+  glitch.add(drop_message(6, {2, 1}));  // mid-sort: boundaries 0 and 1 done
+  const auto run = run_supervised_sort(
+      4, input, {}, {},
+      [&glitch](int attempt) -> sim::LinkInterceptor* {
+        return attempt == 0 ? &glitch : nullptr;  // transient
+      });
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_TRUE(run.recovered);
+  EXPECT_EQ(run.final_rung, Rung::kRollback);
+  EXPECT_GT(run.stages_salvaged, 0);
+  ASSERT_EQ(run.events.size(), 2u);
+  EXPECT_EQ(run.events[1].rung, Rung::kRollback);
+  EXPECT_GT(run.events[1].resume_stage, 0);
+  EXPECT_TRUE(run.retired.empty());  // transient: nobody loses their seat
+}
+
+TEST(SupervisorTest, EarlyFaultFallsBackToFullRestart) {
+  auto input = util::random_keys(13, 16);
+  Adversary glitch;
+  glitch.add(drop_message(6, {0, 0}));  // before any certified boundary
+  const auto run = run_supervised_sort(
+      4, input, {}, {},
+      [&glitch](int attempt) -> sim::LinkInterceptor* {
+        return attempt == 0 ? &glitch : nullptr;
+      });
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_EQ(run.final_rung, Rung::kRestart);
+  EXPECT_EQ(run.stages_salvaged, 0);
+}
+
+TEST(SupervisorTest, PermanentProcessorFaultTriggersReconfiguration) {
+  auto input = util::random_keys(14, 16);
+  sort::SftOptions base;
+  base.node_faults[9].halt_at = StagePoint{2, 0};  // permanent
+  const auto run = run_supervised_sort(4, input, base);
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_TRUE(run.recovered);
+  EXPECT_EQ(run.final_rung, Rung::kSubcube);
+  ASSERT_EQ(run.retired.size(), 1u);
+  EXPECT_EQ(run.retired.front(), 9u);
+  // The successful attempt ran on the collapsed cube with doubled blocks.
+  const auto& last = run.events.back();
+  EXPECT_EQ(last.config_dim, 3);
+  EXPECT_EQ(last.block, 2u);
+  EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+}
+
+TEST(SupervisorTest, PermanentLinkFaultRetiresBothEndpoints) {
+  auto input = util::random_keys(15, 16);
+  Adversary dead;
+  dead.add(dead_link(3, 2, {1, 0}));  // permanent: installed on every attempt
+  const auto run = run_supervised_sort(
+      4, input, {}, {},
+      [&dead](int) -> sim::LinkInterceptor* { return &dead; });
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_EQ(run.final_rung, Rung::kSubcube);
+  // Definition 3 case 2a: the pair cannot be split, so both endpoints go.
+  for (auto s : run.retired) EXPECT_TRUE(s == 2u || s == 3u) << s;
+  EXPECT_FALSE(run.retired.empty());
+}
+
+TEST(SupervisorTest, ReconfigurationDisabledEndsInHostSort) {
+  auto input = util::random_keys(16, 16);
+  sort::SftOptions base;
+  base.node_faults[5].halt_at = StagePoint{1, 0};  // permanent
+  RecoveryPolicy policy;
+  policy.reconfigure = false;
+  policy.attempts_per_config = 2;
+  policy.max_attempts = 2;
+  const auto run = run_supervised_sort(4, input, base, policy);
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  EXPECT_TRUE(run.recovered);
+  EXPECT_EQ(run.final_rung, Rung::kHostSort);
+  EXPECT_EQ(run.attempts, 3);  // two S_FT attempts + the terminal host sort
+  EXPECT_EQ(run.events.back().rung, Rung::kHostSort);
+  EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+}
+
+TEST(SupervisorTest, FullRestartPolicyMatchesLegacySemantics) {
+  auto input = util::random_keys(17, 16);
+  sort::SftOptions base;
+  base.node_faults[9].halt_at = StagePoint{2, 0};
+  const auto run =
+      run_supervised_sort(4, input, base, RecoveryPolicy::full_restart(3));
+  EXPECT_EQ(run.outcome, sort::Outcome::kFailStop);
+  EXPECT_EQ(run.attempts, 3);
+  EXPECT_FALSE(run.recovered);
+  EXPECT_EQ(run.final_rung, Rung::kRestart);
+  ASSERT_EQ(run.diagnoses.size(), 3u);
+  for (const auto& ev : run.events) {
+    EXPECT_EQ(ev.resume_stage, 0);  // no rollback under full restart
+    EXPECT_EQ(ev.config_dim, 4);    // no reconfiguration either
+  }
+}
+
+TEST(SupervisorTest, EventLogIsConsistent) {
+  auto input = util::random_keys(18, 32);
+  sort::SftOptions base;
+  base.block = 2;
+  base.node_faults[7].halt_at = StagePoint{2, 1};
+  const auto run = run_supervised_sort(4, input, base);
+  EXPECT_EQ(run.outcome, sort::Outcome::kCorrect);
+  ASSERT_EQ(static_cast<int>(run.events.size()), run.attempts);
+  double ticks = 0.0;
+  for (int i = 0; i < run.attempts; ++i) {
+    EXPECT_EQ(run.events[i].attempt, i);
+    EXPECT_GT(run.events[i].ticks, 0.0);
+    ticks += run.events[i].ticks;
+  }
+  EXPECT_DOUBLE_EQ(ticks, run.total_ticks);
+  EXPECT_EQ(run.events.back().outcome, sort::Outcome::kCorrect);
+  for (int i = 0; i + 1 < run.attempts; ++i)
+    EXPECT_NE(run.events[i].outcome, sort::Outcome::kCorrect);
+}
+
+TEST(SupervisorTest, BackoffChargesIntoTotalTicks) {
+  auto input = util::random_keys(19, 16);
+  Adversary glitch;
+  glitch.add(drop_message(6, {2, 1}));
+  auto transient = [&glitch](int attempt) -> sim::LinkInterceptor* {
+    return attempt == 0 ? &glitch : nullptr;
+  };
+  RecoveryPolicy quiet;
+  RecoveryPolicy waity;
+  waity.backoff_ticks = 1000.0;
+  const auto a = run_supervised_sort(4, input, {}, quiet, transient);
+  const auto b = run_supervised_sort(4, input, {}, waity, transient);
+  EXPECT_EQ(a.outcome, sort::Outcome::kCorrect);
+  EXPECT_EQ(b.outcome, sort::Outcome::kCorrect);
+  EXPECT_DOUBLE_EQ(b.total_ticks, a.total_ticks + 1000.0);
+}
+
+}  // namespace
+}  // namespace aoft::fault

@@ -1,0 +1,141 @@
+// Checkpoint/resume determinism (recovery supervisor, DESIGN §7).
+//
+// The rollback rung is only sound if re-entering S_FT at a certified stage
+// boundary reproduces the uninterrupted run exactly: same output bits, same
+// downstream Φ evaluations, and — when a fault hits after the resume point —
+// the same fail-stop diagnostics.  The deterministic scheduler makes this a
+// strict equality property, not a statistical one.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "fault/adversary.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+// Key: (stage, node) -> (lbs_window, llbs_window) as seen by the observer.
+using SnapshotMap =
+    std::map<std::pair<int, cube::NodeId>, std::pair<std::vector<Key>, std::vector<Key>>>;
+
+SftOptions snapshotting(SnapshotMap& into, std::size_t block) {
+  SftOptions opts;
+  opts.block = block;
+  opts.checkpoint = true;
+  opts.observer = [&into](const StageSnapshot& s) {
+    into[{s.stage, s.node}] = {s.lbs_window, s.llbs_window};
+  };
+  return opts;
+}
+
+TEST(CheckpointResumeTest, CleanRunCertifiesEveryBoundary) {
+  for (int dim = 2; dim <= 6; ++dim) {
+    const std::size_t block = 1 + dim % 2;
+    auto input = util::random_keys(100 + dim, (std::size_t{1} << dim) * block);
+    SftOptions opts;
+    opts.block = block;
+    opts.checkpoint = true;
+    const auto run = run_sft(dim, input, opts);
+    EXPECT_EQ(classify(run, input), Outcome::kCorrect) << "dim " << dim;
+    ASSERT_EQ(run.checkpoints.size(), static_cast<std::size_t>(dim));
+    for (const auto& ck : run.checkpoints) {
+      EXPECT_TRUE(ck.certified) << "dim " << dim << " stage " << ck.stage;
+      EXPECT_EQ(ck.windows_agreed, ck.windows_total);
+      EXPECT_TRUE(is_permutation_of(ck.state, input));
+    }
+    // The collector drains until quiescence: exactly one watchdog round.
+    EXPECT_EQ(run.summary.watchdog_rounds, 1);
+  }
+}
+
+TEST(CheckpointResumeTest, ResumedRunIsBitIdentical) {
+  for (int dim = 2; dim <= 6; ++dim) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      const std::size_t block = 1 + seed % 2;
+      auto input =
+          util::random_keys(200 * dim + seed, (std::size_t{1} << dim) * block);
+      SnapshotMap full_snaps;
+      const auto full = run_sft(dim, input, snapshotting(full_snaps, block));
+      ASSERT_EQ(classify(full, input), Outcome::kCorrect);
+
+      for (int k = 1; k < dim; ++k) {
+        ResumeState rs;
+        rs.stage = k;
+        rs.blocks = full.checkpoints[k].state;
+        rs.llbs = full.checkpoints[k - 1].state;
+        SnapshotMap resumed_snaps;
+        const auto resumed =
+            resume_sft(dim, rs, snapshotting(resumed_snaps, block));
+        EXPECT_EQ(resumed.output, full.output)
+            << "dim " << dim << " resume from " << k;
+        EXPECT_TRUE(resumed.errors.empty());
+        // Every downstream Φ evaluation saw the same bits.
+        for (const auto& [key, windows] : resumed_snaps) {
+          ASSERT_TRUE(full_snaps.count(key));
+          EXPECT_EQ(windows, full_snaps.at(key))
+              << "stage " << key.first << " node " << key.second;
+        }
+        // Re-certified checkpoints match the originals word for word.
+        for (const auto& ck : resumed.checkpoints) {
+          EXPECT_TRUE(ck.certified);
+          EXPECT_EQ(ck.state, full.checkpoints[ck.stage].state);
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointResumeTest, ResumedRunReproducesDownstreamFailStop) {
+  // A fault that strikes after the resume point must produce the identical
+  // diagnosis whether the run started at stage 0 or at the checkpoint.
+  const int dim = 4;
+  for (std::uint64_t seed : {7u, 8u}) {
+    auto input = util::random_keys(seed, std::size_t{1} << dim);
+    fault::Adversary adv;
+    adv.add(fault::drop_message(6, {3, 1}));
+
+    SftOptions opts;
+    opts.checkpoint = true;
+    opts.interceptor = &adv;
+    const auto full = run_sft(dim, input, opts);
+    ASSERT_EQ(classify(full, input), Outcome::kFailStop);
+
+    const auto rs = make_resume_state(full.checkpoints);
+    ASSERT_TRUE(rs.has_value());
+    EXPECT_EQ(rs->stage, 2);  // C_2 and C_1 certified before the stage-3 hit
+    const auto resumed = resume_sft(dim, *rs, opts);
+    // Each node detects at the identical protocol position; only the order
+    // the reports reach the host differs (the resumed run's clocks restart
+    // at zero, so the watchdog drains blocked receivers in another order).
+    auto positions = [](const std::vector<sim::ErrorReport>& errors) {
+      std::vector<std::tuple<cube::NodeId, int, int, sim::ErrorSource>> out;
+      for (const auto& e : errors) out.emplace_back(e.node, e.stage, e.iter, e.source);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(positions(resumed.errors), positions(full.errors));
+  }
+}
+
+TEST(CheckpointResumeTest, MakeResumeStateNeedsACertifiedPair) {
+  std::vector<StageCheckpoint> cks(3);
+  for (int i = 0; i < 3; ++i) cks[i].stage = i;
+  EXPECT_FALSE(make_resume_state(cks).has_value());  // nothing certified
+  cks[0].certified = true;
+  EXPECT_FALSE(make_resume_state(cks).has_value());  // C_0 alone: k >= 1 needed
+  cks[2].certified = true;
+  EXPECT_FALSE(make_resume_state(cks).has_value());  // C_2 without C_1
+  cks[1].certified = true;
+  const auto rs = make_resume_state(cks);
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_EQ(rs->stage, 2);  // deepest pair wins
+}
+
+}  // namespace
+}  // namespace aoft::sort

@@ -1,0 +1,113 @@
+// Never-wrong, always-terminating: under the full escalation ladder every
+// fault pattern the predicates catch must end in a *correct* sorted output —
+// fail-stop is no longer an acceptable final state, only a rung.  The
+// terminal host rung is reliable (Environmental Assumption 2), so the ladder
+// converts Theorem 3's "correct or fail-stop" into plain "correct".
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/adversary.h"
+#include "fault/supervisor.h"
+#include "util/rng.h"
+
+namespace aoft::fault {
+namespace {
+
+struct LinkScenario {
+  std::string name;
+  std::function<Mutator(StagePoint)> make;
+};
+
+const std::vector<LinkScenario>& link_scenarios() {
+  static const std::vector<LinkScenario> scenarios = {
+      {"corrupt_data", [](StagePoint p) { return corrupt_data(6, p, 41); }},
+      {"corrupt_gossip",
+       [](StagePoint p) { return corrupt_gossip_entry(6, p, 3, 17, 1); }},
+      {"two_faced",
+       [](StagePoint p) {
+         return two_faced_gossip(6, p, 3, 17, 1,
+                                 [](cube::NodeId d) { return d % 2 == 0; });
+       }},
+      {"drop_message", [](StagePoint p) { return drop_message(6, p); }},
+      {"dead_link", [](StagePoint p) { return dead_link(6, 7, p); }},
+      {"garble_lbs", [](StagePoint p) { return garble_lbs(6, p, 99); }},
+      {"replay_stale", [](StagePoint p) { return replay_stale_lbs(6, p); }},
+  };
+  return scenarios;
+}
+
+TEST(SupervisorLadderTest, PermanentLinkFaultsAlwaysEndCorrect) {
+  const int dim = 4;
+  auto input = util::random_keys(31, std::size_t{1} << dim);
+  for (const auto& sc : link_scenarios()) {
+    for (StagePoint p : {StagePoint{1, 1}, StagePoint{2, 0}, StagePoint{3, 2}}) {
+      Adversary adv;
+      adv.add(sc.make(p));
+      const auto run = run_supervised_sort(
+          dim, input, {}, {},
+          [&adv](int) -> sim::LinkInterceptor* { return &adv; });
+      EXPECT_EQ(run.outcome, sort::Outcome::kCorrect)
+          << sc.name << " at s" << p.stage << "i" << p.iter
+          << " ended " << sort::to_string(run.outcome) << " on rung "
+          << to_string(run.final_rung);
+      EXPECT_EQ(sort::classify(run.last, input), sort::Outcome::kCorrect);
+    }
+  }
+}
+
+TEST(SupervisorLadderTest, TransientLinkFaultsRecoverWithoutRetiringAnyone) {
+  const int dim = 4;
+  auto input = util::random_keys(32, std::size_t{1} << dim);
+  for (const auto& sc : link_scenarios()) {
+    Adversary adv;
+    adv.add(sc.make({2, 1}));
+    const auto run = run_supervised_sort(
+        dim, input, {}, {},
+        [&adv](int attempt) -> sim::LinkInterceptor* {
+          return attempt == 0 ? &adv : nullptr;
+        });
+    EXPECT_EQ(run.outcome, sort::Outcome::kCorrect) << sc.name;
+    EXPECT_TRUE(run.retired.empty()) << sc.name;
+    EXPECT_LE(run.attempts, 2) << sc.name;
+  }
+}
+
+TEST(SupervisorLadderTest, PermanentProcessorFaultsAlwaysEndCorrect) {
+  const int dim = 4;
+  auto input = util::random_keys(33, std::size_t{1} << dim);
+  std::vector<std::pair<std::string, NodeFault>> faults;
+  {
+    NodeFault f;
+    f.halt_at = StagePoint{2, 0};
+    faults.emplace_back("halt", f);
+  }
+  {
+    NodeFault f;
+    f.invert_direction_from = StagePoint{1, 1};
+    faults.emplace_back("invert", f);
+  }
+  {
+    NodeFault f;
+    f.substitute_at = StagePoint{2, 2};
+    f.substitute_value = 1;
+    faults.emplace_back("substitute", f);
+  }
+  for (const auto& [name, fault] : faults) {
+    for (cube::NodeId victim : {cube::NodeId{0}, cube::NodeId{9}}) {
+      sort::SftOptions base;
+      base.node_faults[victim] = fault;
+      const auto run = run_supervised_sort(dim, input, base);
+      EXPECT_EQ(run.outcome, sort::Outcome::kCorrect)
+          << name << " on node " << victim << " ended "
+          << sort::to_string(run.outcome) << " on rung "
+          << to_string(run.final_rung);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aoft::fault

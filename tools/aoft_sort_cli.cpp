@@ -7,10 +7,15 @@
 //   aoft_sort_cli --algo=snr --dim=4 --halt=3@1:0
 //   aoft_sort_cli --algo=sft --dim=4 --invert=5@1:1 --diagnose
 //   aoft_sort_cli --algo=sft --dim=4 --two-faced=2@2:0 --diagnose
+//   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --recover=ladder
+//   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --transient --recover=rollback
 //
 // Prints the outcome, timing summary and (with --diagnose) the host-side
-// fault localization.  Exit status: 0 = correct, 2 = fail-stop detected,
-// 3 = silent wrong (only reachable with --algo=snr under faults).
+// fault localization.  With --recover the run goes through the recovery
+// supervisor (fault/supervisor.h) and every escalation-ladder attempt is
+// printed; --transient confines the injected fault to the first attempt.
+// Exit status: 0 = correct, 2 = fail-stop detected, 3 = silent wrong (only
+// reachable with --algo=snr under faults).
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +24,7 @@
 
 #include "fault/adversary.h"
 #include "fault/localization.h"
+#include "fault/supervisor.h"
 #include "sort/sequential.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
@@ -35,6 +41,8 @@ struct Args {
   std::uint64_t seed = 1;
   bool diagnose = false;
   bool quiet = false;
+  std::string recover = "off";  // off|restart|rollback|ladder
+  bool transient = false;       // injected faults hit attempt 0 only
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
   cube::NodeId fault_node = 0;
@@ -76,6 +84,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.has_two_faced =
           parse_point(value("--two-faced="), args.fault_node, args.fault_point);
       if (!args.has_two_faced) return false;
+    } else if (a.rfind("--recover=", 0) == 0) {
+      args.recover = value("--recover=");
+    } else if (a == "--transient") {
+      args.transient = true;
     } else if (a == "--diagnose") {
       args.diagnose = true;
     } else if (a == "--quiet") {
@@ -98,7 +110,29 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--algo must be sft|snr|host|host-verified\n");
     return false;
   }
+  if (args.recover != "off" && args.recover != "restart" &&
+      args.recover != "rollback" && args.recover != "ladder") {
+    std::fprintf(stderr, "--recover must be off|restart|rollback|ladder\n");
+    return false;
+  }
+  if (args.recover != "off" && args.algo != "sft") {
+    std::fprintf(stderr, "--recover requires --algo=sft\n");
+    return false;
+  }
   return true;
+}
+
+fault::RecoveryPolicy recovery_policy(const std::string& name) {
+  fault::RecoveryPolicy p;  // "ladder": every rung enabled
+  if (name == "restart") {
+    p = fault::RecoveryPolicy::full_restart(3);
+  } else if (name == "rollback") {
+    p.reconfigure = false;
+    p.host_fallback = false;
+    p.max_attempts = 3;
+    p.attempts_per_config = 3;
+  }
+  return p;
 }
 
 }  // namespace
@@ -110,6 +144,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--algo=sft|snr|host|host-verified] [--dim=N]\n"
                  "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
                  "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
+                 "          [--recover=off|restart|rollback|ladder] [--transient]\n"
                  "          [--diagnose] [--quiet]\n",
                  argv[0]);
     return 1;
@@ -128,6 +163,56 @@ int main(int argc, char** argv) {
         args.fault_node, args.fault_point, args.fault_node ^ 1u, 4097,
         args.block, [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
   sim::LinkInterceptor* interceptor = args.has_two_faced ? &adversary : nullptr;
+
+  if (args.recover != "off") {
+    sort::SftOptions base;
+    base.block = args.block;
+    const auto run = fault::run_supervised_sort(
+        args.dim, input, base, recovery_policy(args.recover),
+        [&](int attempt) -> sim::LinkInterceptor* {
+          if (!args.has_two_faced) return nullptr;
+          return (args.transient && attempt > 0) ? nullptr : &adversary;
+        },
+        [&](int attempt) -> fault::NodeFaultMap {
+          return (args.transient && attempt > 0) ? fault::NodeFaultMap{}
+                                                 : node_faults;
+        });
+    const auto outcome = run.outcome;
+    if (!args.quiet) {
+      std::printf("algo=sft(recover=%s) nodes=%u keys=%zu outcome=%s\n",
+                  args.recover.c_str(), 1u << args.dim, input.size(),
+                  sort::to_string(outcome));
+      for (const auto& ev : run.events) {
+        std::printf("attempt %d: rung=%-9s dim=%d block=%zu resume=%d "
+                    "outcome=%s ticks=%.1f",
+                    ev.attempt, fault::to_string(ev.rung), ev.config_dim,
+                    ev.block, ev.resume_stage, sort::to_string(ev.outcome),
+                    ev.ticks);
+        if (!ev.suspects.empty()) {
+          std::printf("  suspects =");
+          for (auto s : ev.suspects) std::printf(" %u", s);
+          if (ev.link_suspected) std::printf(" (link)");
+        }
+        std::printf("\n");
+      }
+      if (!run.retired.empty()) {
+        std::printf("retired:");
+        for (auto s : run.retired) std::printf(" %u", s);
+        std::printf("\n");
+      }
+      std::printf("attempts=%d final-rung=%s recovered=%s salvaged-stages=%d "
+                  "total=%.1f ticks\n",
+                  run.attempts, fault::to_string(run.final_rung),
+                  run.recovered ? "yes" : "no", run.stages_salvaged,
+                  run.total_ticks);
+    }
+    switch (outcome) {
+      case sort::Outcome::kCorrect: return 0;
+      case sort::Outcome::kFailStop: return 2;
+      case sort::Outcome::kSilentWrong: return 3;
+    }
+    return 1;
+  }
 
   sort::SortRun run;
   if (args.algo == "sft") {
