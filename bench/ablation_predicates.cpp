@@ -9,10 +9,14 @@
 #include <iostream>
 
 #include "fault/campaign.h"
+#include "util/flags.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aoft;
+
+  const int jobs = util::flag_int(argc, argv, "--jobs", 1);
+  const int runs = util::flag_int(argc, argv, "--runs", 15);
 
   struct Config {
     const char* name;
@@ -37,19 +41,28 @@ int main() {
       std::size(fault::kAllFaultClasses),
       std::vector<std::string>(std::size(configs)));
 
+  int total_dropped = 0;
   for (std::size_t c = 0; c < std::size(configs); ++c) {
     fault::CampaignConfig cfg;
     cfg.dim = 4;
-    cfg.runs_per_class = 15;
+    cfg.runs_per_class = runs;
     cfg.seed = 77;  // identical scenarios across ablation columns
+    cfg.jobs = jobs;
     cfg.check_progress = configs[c].progress;
     cfg.check_feasibility = configs[c].feasibility;
     cfg.check_consistency = configs[c].consistency;
     cfg.check_exchange = configs[c].exchange;
     const auto summary = fault::run_campaign(cfg);
-    for (std::size_t i = 0; i < summary.sft.size(); ++i)
+    for (std::size_t i = 0; i < summary.sft.size(); ++i) {
       cells[i][c] = util::fmt_int(summary.sft[i].silent_wrong) + "/" +
                     util::fmt_int(summary.sft[i].detected);
+      // Surface short-fills: a dropped slot means this cell's denominator is
+      // smaller than the requested run count.
+      if (summary.sft[i].dropped > 0) {
+        cells[i][c] += " (-" + util::fmt_int(summary.sft[i].dropped) + ")";
+        total_dropped += summary.sft[i].dropped;
+      }
+    }
   }
   for (std::size_t i = 0; i < std::size(fault::kAllFaultClasses); ++i)
     table.add_row({fault::to_string(fault::kAllFaultClasses[i]), cells[i][0],
@@ -57,7 +70,11 @@ int main() {
                    cells[i][5]});
   table.print(std::cout);
 
-  std::cout << "\ncell format: silent-wrong/detected out of 15 runs.\n"
+  if (total_dropped > 0)
+    std::cout << "\nWARNING: (-d) cells dropped d slot(s) whose fault never "
+              << "fired; their denominators are " << runs << " minus d.\n";
+  std::cout << "\ncell format: silent-wrong/detected out of " << runs
+            << " runs.\n"
             << "reading: the 'full' column must be silent-free; removing a\n"
             << "component opens exactly the holes it was designed to close\n"
             << "(e.g. timeouts still catch drops with every check off, but\n"

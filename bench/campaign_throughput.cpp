@@ -1,0 +1,155 @@
+// Campaign engine throughput: serial vs parallel scenarios/sec.
+//
+// The §4 campaigns are the statistical backbone of the Theorem 3 claim; how
+// many fault scenarios we can afford bounds how strong that evidence is.
+// This harness times the identical campaign twice — jobs=1 (serial) and
+// jobs=N (one worker per hardware thread by default) — verifies the two
+// CampaignSummaries are bit-identical (the engine's core contract), and
+// writes the numbers to BENCH_campaign.json for CI trend tracking.
+//
+//   campaign_throughput [--dim=4] [--runs=50] [--jobs=0] [--seed=1989]
+//                       [--out=BENCH_campaign.json]
+//
+// Exit status: 0 iff the summaries match, every S_FT tally has
+// silent_wrong == 0, and the JSON was written.  The >= 3x speedup target
+// only applies on >= 4-core machines; the JSON records hardware_concurrency
+// so consumers can judge.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "fault/campaign.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace aoft;
+
+bool same_tally(const fault::ClassTally& a, const fault::ClassTally& b) {
+  return a.fclass == b.fclass && a.runs == b.runs && a.detected == b.detected &&
+         a.masked == b.masked && a.silent_wrong == b.silent_wrong &&
+         a.attempts == b.attempts && a.dropped == b.dropped;
+}
+
+bool same_summary(const fault::CampaignSummary& a,
+                  const fault::CampaignSummary& b) {
+  if (a.sft.size() != b.sft.size() || a.snr.size() != b.snr.size() ||
+      a.runs.size() != b.runs.size())
+    return false;
+  for (std::size_t i = 0; i < a.sft.size(); ++i)
+    if (!same_tally(a.sft[i], b.sft[i]) || !same_tally(a.snr[i], b.snr[i]))
+      return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const auto& x = a.runs[i];
+    const auto& y = b.runs[i];
+    if (x.scenario.fclass != y.scenario.fclass ||
+        x.scenario.faulty != y.scenario.faulty ||
+        !(x.scenario.point == y.scenario.point) ||
+        x.scenario.delta != y.scenario.delta ||
+        x.scenario.input_seed != y.scenario.input_seed ||
+        x.scenario.aux_node != y.scenario.aux_node ||
+        x.outcome != y.outcome || x.fault_exercised != y.fault_exercised ||
+        x.first_detector != y.first_detector ||
+        x.detection_stage != y.detection_stage)
+      return false;
+  }
+  return true;
+}
+
+// Scenario executions the campaign consumed: every S_FT attempt (exercised
+// or redrawn) plus every counted S_NR contrast run.
+long long scenarios_executed(const fault::CampaignSummary& s) {
+  long long total = 0;
+  for (const auto& t : s.sft) total += t.attempts;
+  for (const auto& t : s.snr) total += t.runs;
+  return total;
+}
+
+struct Timed {
+  fault::CampaignSummary summary;
+  double seconds = 0.0;
+};
+
+Timed timed_campaign(fault::CampaignConfig cfg, int jobs) {
+  cfg.jobs = jobs;
+  Timed t;
+  const auto t0 = std::chrono::steady_clock::now();
+  t.summary = fault::run_campaign(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fault::CampaignConfig cfg;
+  cfg.dim = util::flag_int(argc, argv, "--dim", 4);
+  cfg.runs_per_class = util::flag_int(argc, argv, "--runs", 50);
+  cfg.seed = util::flag_u64(argc, argv, "--seed", 1989);
+  const int parallel_jobs =
+      util::ThreadPool::resolve(util::flag_int(argc, argv, "--jobs", 0));
+  const char* out_arg = util::flag_value(argc, argv, "--out");
+  const std::string out_path = out_arg ? out_arg : "BENCH_campaign.json";
+  const int hw = util::ThreadPool::resolve(0);
+
+  std::cout << "campaign throughput: dim=" << cfg.dim << " runs/class="
+            << cfg.runs_per_class << " seed=" << cfg.seed
+            << " parallel jobs=" << parallel_jobs
+            << " (hardware threads: " << hw << ")\n";
+
+  const auto serial = timed_campaign(cfg, 1);
+  const auto parallel = timed_campaign(cfg, parallel_jobs);
+
+  const bool identical = same_summary(serial.summary, parallel.summary);
+  int silent_wrong = 0;
+  for (const auto& t : serial.summary.sft) silent_wrong += t.silent_wrong;
+  const long long scenarios = scenarios_executed(serial.summary);
+  const double serial_rate =
+      serial.seconds > 0 ? scenarios / serial.seconds : 0.0;
+  const double parallel_rate =
+      parallel.seconds > 0 ? scenarios / parallel.seconds : 0.0;
+  const double speedup =
+      parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
+
+  std::printf("serial   : %8.3f s  %9.1f scenarios/s\n", serial.seconds,
+              serial_rate);
+  std::printf("parallel : %8.3f s  %9.1f scenarios/s  (%d jobs, %.2fx)\n",
+              parallel.seconds, parallel_rate, parallel_jobs, speedup);
+  std::printf("summaries bit-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("S_FT silent-wrong total: %d\n", silent_wrong);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"dim\": %d,\n"
+               "  \"runs_per_class\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"hardware_concurrency\": %d,\n"
+               "  \"scenarios_executed\": %lld,\n"
+               "  \"serial_seconds\": %.6f,\n"
+               "  \"serial_scenarios_per_sec\": %.2f,\n"
+               "  \"parallel_jobs\": %d,\n"
+               "  \"parallel_seconds\": %.6f,\n"
+               "  \"parallel_scenarios_per_sec\": %.2f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"summaries_identical\": %s,\n"
+               "  \"silent_wrong_total\": %d\n"
+               "}\n",
+               cfg.dim, cfg.runs_per_class,
+               static_cast<unsigned long long>(cfg.seed), hw, scenarios,
+               serial.seconds, serial_rate, parallel_jobs, parallel.seconds,
+               parallel_rate, speedup, identical ? "true" : "false",
+               silent_wrong);
+  std::fclose(f);
+  std::cout << "wrote " << out_path << "\n";
+
+  return identical && silent_wrong == 0 ? 0 : 1;
+}

@@ -8,11 +8,14 @@
 // earliest error reports.
 
 #include <iostream>
+#include <vector>
 
 #include "fault/campaign.h"
 #include "fault/localization.h"
 #include "sort/sft.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -75,36 +78,72 @@ fault::Diagnosis diagnose(const fault::Scenario& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   fault::CampaignConfig cfg;
-  cfg.dim = 4;
-  cfg.runs_per_class = 30;
-  cfg.seed = 13;
+  cfg.dim = util::flag_int(argc, argv, "--dim", 4);
+  cfg.runs_per_class = util::flag_int(argc, argv, "--runs", 30);
+  cfg.seed = util::flag_u64(argc, argv, "--seed", 13);
+  cfg.jobs = util::flag_int(argc, argv, "--jobs", 1);
 
   std::cout << "Localization accuracy per fault class (dim " << cfg.dim
-            << ", " << cfg.runs_per_class << " detected scenarios each)\n\n";
+            << ", " << cfg.runs_per_class << " detected scenarios each, jobs="
+            << cfg.jobs << ")\n\n";
 
-  util::Table table({"fault class", "detected", "culprit in suspects",
-                     "exact", "avg suspects"});
-  util::Rng rng(cfg.seed);
-  for (auto fclass : fault::kAllFaultClasses) {
-    int detected = 0, contained = 0, exact = 0;
-    double suspects_sum = 0.0;
-    int attempts = 0;
-    while (detected < cfg.runs_per_class && attempts < cfg.runs_per_class * 10) {
-      ++attempts;
+  // One slot = one detected (fail-stop) scenario; attempt a of slot i draws
+  // from derive_seed(seed, class, i, a), the campaign engine's schedule, so
+  // slots are independent and the table is identical for every job count.
+  struct SlotOut {
+    bool detected = false;
+    bool contained = false;
+    bool exact = false;
+    int suspects = 0;
+  };
+  const auto slots = static_cast<std::size_t>(cfg.runs_per_class);
+  const auto classes = std::size(fault::kAllFaultClasses);
+  std::vector<SlotOut> outs(classes * slots);
+  const auto body = [&](std::size_t u) {
+    const auto fclass = fault::kAllFaultClasses[u / slots];
+    const std::size_t slot = u % slots;
+    for (int attempt = 0; attempt < fault::kMaxSlotAttempts; ++attempt) {
+      util::Rng rng(util::derive_seed(
+          cfg.seed, static_cast<std::uint64_t>(fclass), slot,
+          static_cast<std::uint64_t>(attempt)));
       const auto s = fault::draw_scenario(fclass, cfg, rng);
       const auto result = fault::run_scenario_sft(s, cfg);
       if (!result.fault_exercised ||
           result.outcome != sort::Outcome::kFailStop)
         continue;
-      ++detected;
       const auto d = diagnose(s);
-      suspects_sum += static_cast<double>(d.suspects.size());
-      bool in = false;
-      for (auto sus : d.suspects) in |= sus == s.faulty;
-      contained += in;
-      exact += d.conclusive && !d.suspects.empty() && d.suspects[0] == s.faulty;
+      auto& out = outs[u];
+      out.detected = true;
+      out.suspects = static_cast<int>(d.suspects.size());
+      for (auto sus : d.suspects) out.contained |= sus == s.faulty;
+      out.exact =
+          d.conclusive && !d.suspects.empty() && d.suspects[0] == s.faulty;
+      return;
+    }
+  };
+  const int jobs = util::ThreadPool::resolve(cfg.jobs);
+  if (jobs <= 1) {
+    for (std::size_t u = 0; u < outs.size(); ++u) body(u);
+  } else {
+    util::ThreadPool pool(jobs);
+    pool.parallel_for(outs.size(), body);
+  }
+
+  util::Table table({"fault class", "detected", "culprit in suspects",
+                     "exact", "avg suspects"});
+  for (std::size_t c = 0; c < classes; ++c) {
+    const auto fclass = fault::kAllFaultClasses[c];
+    int detected = 0, contained = 0, exact = 0;
+    double suspects_sum = 0.0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const auto& out = outs[c * slots + slot];
+      if (!out.detected) continue;
+      ++detected;
+      contained += out.contained;
+      exact += out.exact;
+      suspects_sum += out.suspects;
     }
     table.add_row({fault::to_string(fclass), util::fmt_int(detected),
                    detected ? util::fmt_double(100.0 * contained / detected, 1) + "%"

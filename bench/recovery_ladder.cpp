@@ -21,8 +21,10 @@
 
 #include "fault/adversary.h"
 #include "fault/supervisor.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -86,9 +88,10 @@ fault::SupervisedRun run_case(int dim, std::span<const sort::Key> input,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int dim = 5;
   const std::size_t m = 8;
+  const int jobs = util::flag_int(argc, argv, "--jobs", 1);
   auto input = util::random_keys(42, (std::size_t{1} << dim) * m);
 
   fault::RecoveryPolicy ladder;  // defaults: rollback + reconfigure + host
@@ -104,9 +107,29 @@ int main() {
   util::Table table({"scenario", "policy", "attempts", "final rung",
                      "salvaged", "recovered-work", "ticks", "speedup"});
   bool all_correct = true;
-  for (const auto& sc : scenarios()) {
-    const auto base = run_case(dim, input, sc, restart);
-    const auto lad = run_case(dim, input, sc, ladder);
+  // Each (scenario, policy) pair is an independent single-OS-thread
+  // simulation; fan them out and report rows in the original order.
+  const auto cases = scenarios();
+  std::vector<fault::SupervisedRun> restarts(cases.size());
+  std::vector<fault::SupervisedRun> ladders(cases.size());
+  const auto body = [&](std::size_t u) {
+    const auto& sc = cases[u / 2];
+    if (u % 2 == 0)
+      restarts[u / 2] = run_case(dim, input, sc, restart);
+    else
+      ladders[u / 2] = run_case(dim, input, sc, ladder);
+  };
+  const int n_jobs = util::ThreadPool::resolve(jobs);
+  if (n_jobs <= 1) {
+    for (std::size_t u = 0; u < cases.size() * 2; ++u) body(u);
+  } else {
+    util::ThreadPool pool(n_jobs);
+    pool.parallel_for(cases.size() * 2, body);
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& sc = cases[i];
+    const auto& base = restarts[i];
+    const auto& lad = ladders[i];
     all_correct &= base.outcome == sort::Outcome::kCorrect;
     all_correct &= lad.outcome == sort::Outcome::kCorrect;
     for (const auto* r : {&base, &lad}) {

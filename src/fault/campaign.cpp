@@ -1,11 +1,15 @@
 #include "fault/campaign.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <iterator>
+#include <optional>
 
 #include "sort/sft.h"
 #include "sort/snr.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aoft::fault {
 
@@ -26,6 +30,16 @@ const char* to_string(FaultClass c) {
   return "?";
 }
 
+int min_dim(FaultClass c) {
+  switch (c) {
+    case FaultClass::kSubstituteValue:
+    case FaultClass::kReplayStale:
+      return 2;  // both need an injection stage >= 1, i.e. at least 2 stages
+    default:
+      return 1;  // every link/processor fault needs at least one link
+  }
+}
+
 Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
                        util::Rng& rng) {
   const int n = cfg.dim;
@@ -39,14 +53,19 @@ Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
   // exchange, so the earliest injection point is after stage 0 begins; value
   // substitution additionally requires a *validated* previous stage, and a
   // stale replay needs at least two same-window messages after its point.
-  const int min_stage = fclass == FaultClass::kSubstituteValue ||
-                                fclass == FaultClass::kReplayStale
-                            ? 1
-                            : 0;
+  // On cubes below min_dim(fclass) those constraints are unsatisfiable;
+  // clamp the stage window to [0, max(n-1, 0)] so the draw stays defined
+  // (next_below requires a nonzero bound) instead of dividing by zero.
+  int min_stage = fclass == FaultClass::kSubstituteValue ||
+                          fclass == FaultClass::kReplayStale
+                      ? 1
+                      : 0;
+  min_stage = std::min(min_stage, std::max(n - 1, 0));
   s.point.stage =
-      min_stage + static_cast<int>(rng.next_below(
-                      static_cast<std::uint64_t>(n - min_stage)));
-  if (fclass == FaultClass::kReplayStale)
+      min_stage +
+      static_cast<int>(rng.next_below(
+          std::max<std::uint64_t>(static_cast<std::uint64_t>(n - min_stage), 1)));
+  if (fclass == FaultClass::kReplayStale && s.point.stage > 0)
     s.point.iter = 1 + static_cast<int>(
                            rng.next_below(static_cast<std::uint64_t>(s.point.stage)));
   else
@@ -62,7 +81,8 @@ Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
     s.aux_node = s.faulty ^ flip;
   } else {
     s.aux_node =
-        s.faulty ^ (cube::NodeId{1} << rng.next_below(static_cast<std::uint64_t>(n)));
+        s.faulty ^ (cube::NodeId{1} << rng.next_below(
+                        std::max<std::uint64_t>(static_cast<std::uint64_t>(n), 1)));
   }
   return s;
 }
@@ -156,6 +176,76 @@ ScenarioResult finish_result(const Scenario& s, const sort::SortRun& run,
   return r;
 }
 
+// ---- slot engine ------------------------------------------------------------
+//
+// One slot = one requested exercised run.  All randomness for (stream, slot,
+// attempt) comes from util::derive_seed, so slots are independent pure
+// functions of the campaign seed: phase 1 pre-draws attempt-0 scenarios
+// serially (cheap, and keeps draw_scenario's contract single-threaded),
+// phase 2 executes slots across the pool (redraws derive later attempt
+// sub-seeds in-worker), and aggregation walks slots in order.
+
+// Seed streams: single-fault classes use their enum value, multi-fault
+// campaigns use a disjoint range keyed by k.
+std::uint64_t class_stream(FaultClass c) {
+  return static_cast<std::uint64_t>(c);
+}
+std::uint64_t multi_stream(int k) {
+  return 0x100u + static_cast<std::uint64_t>(k);
+}
+
+struct SlotOutcome {
+  std::optional<ScenarioResult> sft;  // engaged iff some attempt exercised
+  int attempts = 0;                   // scenario executions consumed
+  bool snr_counted = false;
+  sort::Outcome snr_outcome{};
+};
+
+Scenario draw_slot_attempt(FaultClass fclass, const CampaignConfig& cfg,
+                           std::size_t slot, int attempt) {
+  util::Rng rng(
+      util::derive_seed(cfg.seed, class_stream(fclass), slot,
+                        static_cast<std::uint64_t>(attempt)));
+  return draw_scenario(fclass, cfg, rng);
+}
+
+SlotOutcome run_slot(FaultClass fclass, const CampaignConfig& cfg,
+                     std::size_t slot, const Scenario& first_draw) {
+  SlotOutcome out;
+  for (int attempt = 0; attempt < kMaxSlotAttempts; ++attempt) {
+    const Scenario s = attempt == 0
+                           ? first_draw
+                           : draw_slot_attempt(fclass, cfg, slot, attempt);
+    ++out.attempts;
+    auto r = run_scenario_sft(s, cfg);
+    if (!r.fault_exercised) continue;  // injection point never reached
+    out.sft = std::move(r);
+    if (applies_to_snr(fclass)) {
+      const auto b = run_scenario_snr(s, cfg);
+      if (b.fault_exercised) {
+        out.snr_counted = true;
+        out.snr_outcome = b.outcome;
+      }
+    }
+    break;
+  }
+  return out;
+}
+
+// Run body(i) for i in [0, count): inline when jobs == 1, across a pool
+// otherwise.  Bodies write into disjoint slots of pre-sized vectors, so the
+// execution order never shows in the output.
+void for_each_slot(int jobs, std::size_t count,
+                   const std::function<void(std::size_t)>& body) {
+  const int n = util::ThreadPool::resolve(jobs);
+  if (n <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  util::ThreadPool pool(n);
+  pool.parallel_for(count, body);
+}
+
 }  // namespace
 
 ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg) {
@@ -241,19 +331,61 @@ MultiResult run_multi_scenario_sft(const MultiScenario& ms,
 }
 
 std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k) {
+  const auto slots_per_k = static_cast<std::size_t>(cfg.runs_per_class);
+
+  struct MultiSlotOutcome {
+    std::optional<MultiResult> result;  // engaged iff exercised
+    int attempts = 0;
+  };
+
+  // Phase 1: pre-draw attempt-0 multi-scenarios serially.
+  std::vector<MultiScenario> first_draws(static_cast<std::size_t>(max_k) *
+                                         slots_per_k);
+  for (int k = 1; k <= max_k; ++k)
+    for (std::size_t slot = 0; slot < slots_per_k; ++slot) {
+      util::Rng rng(util::derive_seed(cfg.seed, multi_stream(k), slot, 0));
+      first_draws[static_cast<std::size_t>(k - 1) * slots_per_k + slot] =
+          draw_multi_scenario(k, cfg, rng);
+    }
+
+  // Phase 2: execute every (k, slot) across the pool.
+  std::vector<MultiSlotOutcome> outcomes(first_draws.size());
+  for_each_slot(cfg.jobs, outcomes.size(), [&](std::size_t i) {
+    const int k = static_cast<int>(i / slots_per_k) + 1;
+    const std::size_t slot = i % slots_per_k;
+    auto& out = outcomes[i];
+    for (int attempt = 0; attempt < kMaxSlotAttempts; ++attempt) {
+      MultiScenario ms;
+      if (attempt == 0) {
+        ms = first_draws[i];
+      } else {
+        util::Rng rng(util::derive_seed(
+            cfg.seed, multi_stream(k), slot, static_cast<std::uint64_t>(attempt)));
+        ms = draw_multi_scenario(k, cfg, rng);
+      }
+      ++out.attempts;
+      const auto r = run_multi_scenario_sft(ms, cfg);
+      if (!r.fault_exercised) continue;
+      out.result = r;
+      break;
+    }
+  });
+
+  // Phase 3: aggregate in (k, slot) order — identical for every job count.
   std::vector<MultiTally> tallies;
-  util::Rng rng(cfg.seed ^ 0x6d756c7469ULL);  // "multi"
   for (int k = 1; k <= max_k; ++k) {
     MultiTally tally;
     tally.k = k;
-    int attempts = 0;
-    while (tally.runs < cfg.runs_per_class && attempts < cfg.runs_per_class * 10) {
-      ++attempts;
-      const auto ms = draw_multi_scenario(k, cfg, rng);
-      const auto r = run_multi_scenario_sft(ms, cfg);
-      if (!r.fault_exercised) continue;
+    for (std::size_t slot = 0; slot < slots_per_k; ++slot) {
+      const auto& out =
+          outcomes[static_cast<std::size_t>(k - 1) * slots_per_k + slot];
+      tally.attempts += out.attempts;
+      if (!out.result) {
+        ++tally.dropped;
+        continue;
+      }
       ++tally.runs;
-      switch (r.outcome) {
+      switch (out.result->outcome) {
         case sort::Outcome::kFailStop: ++tally.detected; break;
         case sort::Outcome::kCorrect: ++tally.masked; break;
         case sort::Outcome::kSilentWrong: ++tally.silent_wrong; break;
@@ -265,40 +397,70 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
 }
 
 CampaignSummary run_campaign(const CampaignConfig& cfg) {
+  const auto slots_per_class = static_cast<std::size_t>(cfg.runs_per_class);
+
+  // Supported classes at this dimension; unsupported ones keep a zeroed
+  // tally with every slot reported dropped rather than crashing the draw.
+  std::vector<FaultClass> active;
+  for (FaultClass fclass : kAllFaultClasses)
+    if (cfg.dim >= min_dim(fclass)) active.push_back(fclass);
+
+  // Phase 1: pre-draw attempt-0 scenarios serially.
+  std::vector<Scenario> first_draws(active.size() * slots_per_class);
+  for (std::size_t c = 0; c < active.size(); ++c)
+    for (std::size_t slot = 0; slot < slots_per_class; ++slot)
+      first_draws[c * slots_per_class + slot] =
+          draw_slot_attempt(active[c], cfg, slot, 0);
+
+  // Phase 2: execute every slot, possibly across the pool.
+  std::vector<SlotOutcome> outcomes(first_draws.size());
+  for_each_slot(cfg.jobs, outcomes.size(), [&](std::size_t i) {
+    const FaultClass fclass = active[i / slots_per_class];
+    const std::size_t slot = i % slots_per_class;
+    outcomes[i] = run_slot(fclass, cfg, slot, first_draws[i]);
+  });
+
+  // Phase 3: aggregate in (class, slot) order — identical for every job
+  // count, so jobs == 1 and jobs == N produce the same CampaignSummary.
   CampaignSummary summary;
-  util::Rng rng(cfg.seed);
+  std::size_t c = 0;
   for (FaultClass fclass : kAllFaultClasses) {
-    ClassTally sft_tally{fclass, 0, 0, 0, 0};
-    ClassTally snr_tally{fclass, 0, 0, 0, 0};
-    int attempts = 0;
-    while (sft_tally.runs < cfg.runs_per_class &&
-           attempts < cfg.runs_per_class * 10) {
-      ++attempts;
-      const Scenario s = draw_scenario(fclass, cfg, rng);
-      auto r = run_scenario_sft(s, cfg);
-      if (!r.fault_exercised) continue;  // injection point never reached
+    ClassTally sft_tally;
+    sft_tally.fclass = fclass;
+    ClassTally snr_tally;
+    snr_tally.fclass = fclass;
+    if (cfg.dim < min_dim(fclass)) {
+      sft_tally.dropped = cfg.runs_per_class;
+      summary.sft.push_back(sft_tally);
+      summary.snr.push_back(snr_tally);
+      continue;
+    }
+    for (std::size_t slot = 0; slot < slots_per_class; ++slot) {
+      auto& out = outcomes[c * slots_per_class + slot];
+      sft_tally.attempts += out.attempts;
+      if (!out.sft) {
+        ++sft_tally.dropped;
+        continue;
+      }
       ++sft_tally.runs;
-      switch (r.outcome) {
+      switch (out.sft->outcome) {
         case sort::Outcome::kFailStop: ++sft_tally.detected; break;
         case sort::Outcome::kCorrect: ++sft_tally.masked; break;
         case sort::Outcome::kSilentWrong: ++sft_tally.silent_wrong; break;
       }
-      summary.runs.push_back(std::move(r));
-
-      if (applies_to_snr(fclass)) {
-        auto b = run_scenario_snr(s, cfg);
-        if (b.fault_exercised) {
-          ++snr_tally.runs;
-          switch (b.outcome) {
-            case sort::Outcome::kFailStop: ++snr_tally.detected; break;
-            case sort::Outcome::kCorrect: ++snr_tally.masked; break;
-            case sort::Outcome::kSilentWrong: ++snr_tally.silent_wrong; break;
-          }
+      summary.runs.push_back(std::move(*out.sft));
+      if (out.snr_counted) {
+        ++snr_tally.runs;
+        switch (out.snr_outcome) {
+          case sort::Outcome::kFailStop: ++snr_tally.detected; break;
+          case sort::Outcome::kCorrect: ++snr_tally.masked; break;
+          case sort::Outcome::kSilentWrong: ++snr_tally.silent_wrong; break;
         }
       }
     }
     summary.sft.push_back(sft_tally);
     summary.snr.push_back(snr_tally);
+    ++c;
   }
   return summary;
 }

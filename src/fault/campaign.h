@@ -19,6 +19,17 @@
 // Scenarios whose injection point is never reached (the mutator fired zero
 // times and the node fault is inactive) are re-drawn, so every counted run
 // really contains a fault.
+//
+// Execution engine (docs/PROTOCOL.md §8): campaigns are slot-based.  Class c
+// owns runs_per_class slots; attempt a of slot i draws its scenario from a
+// fresh Rng seeded with util::derive_seed(cfg.seed, stream(c), i, a) — a pure
+// function of the campaign seed, never a shared generator.  A slot redraws
+// (next attempt) while its injection goes unexercised, up to kMaxSlotAttempts;
+// a slot that never lands is *dropped* and surfaced in the tally, not
+// silently backfilled.  Because slots are independent they execute across a
+// util::ThreadPool when cfg.jobs > 1, and aggregation always walks slots in
+// (class, index) order, so the CampaignSummary is bit-identical for any job
+// count, including the serial jobs == 1 path.
 
 #pragma once
 
@@ -47,6 +58,16 @@ enum class FaultClass : std::uint8_t {
 };
 
 const char* to_string(FaultClass c);
+
+// Smallest cube dimension on which the class is injectable.  Value
+// substitution needs a validated previous stage and a stale replay needs an
+// earlier same-window message, so both require stage >= 1, i.e. dim >= 2;
+// every other class fits any cube with at least one link (dim >= 1).
+// Campaigns skip classes with cfg.dim < min_dim(c) (their tally reports every
+// slot dropped); draw_scenario additionally clamps out-of-range stage draws
+// so a direct call on a tiny cube is safe rather than undefined.
+int min_dim(FaultClass c);
+
 inline constexpr FaultClass kAllFaultClasses[] = {
     FaultClass::kCorruptData,   FaultClass::kCorruptGossip,
     FaultClass::kTwoFacedGossip, FaultClass::kRelayTamper,
@@ -83,6 +104,13 @@ struct ClassTally {
   int detected = 0;
   int masked = 0;
   int silent_wrong = 0;
+  // Redraw accounting: `attempts` counts every scenario execution consumed by
+  // this class (exercised or not); `dropped` counts slots that exhausted
+  // their redraw budget without exercising a fault, so runs == requested
+  // slots - dropped.  Benches must surface dropped instead of quietly
+  // reporting percentages over a smaller denominator.
+  int attempts = 0;
+  int dropped = 0;
 };
 
 struct CampaignConfig {
@@ -96,6 +124,10 @@ struct CampaignConfig {
   bool check_feasibility = true;
   bool check_consistency = true;
   bool check_exchange = true;
+  // Worker threads for scenario execution: 1 = serial (default), 0 = one per
+  // hardware thread, N > 1 = fixed pool of N.  The summary is bit-identical
+  // for every value — jobs trades wall-clock only, never results.
+  int jobs = 1;
 };
 
 struct CampaignSummary {
@@ -103,6 +135,12 @@ struct CampaignSummary {
   std::vector<ClassTally> snr;       // per class, unprotected S_NR
   std::vector<ScenarioResult> runs;  // every S_FT run, for drill-down
 };
+
+// Redraw budget per slot: a slot whose injection is never exercised is
+// re-drawn with the next attempt sub-seed at most this many times before it
+// is counted as dropped.  Matches the old serial engine's global
+// runs_per_class * 10 attempt cap, applied per slot.
+inline constexpr int kMaxSlotAttempts = 10;
 
 // Draw a concrete scenario of the given class.
 Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
@@ -143,6 +181,8 @@ struct MultiTally {
   int detected = 0;
   int masked = 0;
   int silent_wrong = 0;
+  int attempts = 0;  // multi-scenario executions consumed (see ClassTally)
+  int dropped = 0;   // slots that never exercised a fault
 };
 
 // For k = 1 .. max_k: cfg.runs_per_class exercised multi-fault runs each.

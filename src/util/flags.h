@@ -1,0 +1,33 @@
+// Minimal --name=value flag parsing shared by the bench harnesses and small
+// tools.  Unknown arguments are ignored by design: every bench keeps running
+// with no arguments at all (the CI default), and flags only override.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace aoft::util {
+
+inline const char* flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return argv[i] + len + 1;
+  }
+  return nullptr;
+}
+
+inline int flag_int(int argc, char** argv, const char* name, int def) {
+  const char* v = flag_value(argc, argv, name);
+  return v ? std::atoi(v) : def;
+}
+
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t def) {
+  const char* v = flag_value(argc, argv, name);
+  return v ? static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10)) : def;
+}
+
+}  // namespace aoft::util

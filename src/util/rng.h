@@ -76,6 +76,31 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+// splitmix64 finalizer: the bijective avalanche mix used to expand seeds.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derive an independent sub-seed from a root seed and a coordinate triple.
+// This is the campaign engine's seed schedule (docs/PROTOCOL.md §8): every
+// (stream, index, attempt) gets its own statistically independent generator,
+// a pure function of the root seed — no shared-Rng draw order, so scenarios
+// can be drawn and executed in any order (or in parallel) and still be
+// bit-identical to a serial run.  Each coordinate is folded in with the
+// splitmix64 golden-ratio increment before finalizing, mirroring how Rng's
+// constructor expands one seed into four state words.
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream,
+                                 std::uint64_t index, std::uint64_t attempt) {
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = root;
+  x = mix64(x + kGolden * (stream + 1));
+  x = mix64(x + kGolden * (index + 1));
+  x = mix64(x + kGolden * (attempt + 1));
+  return x;
+}
+
 // The workloads the paper reports sort 32-bit integers; keys below stay within
 // 32-bit range unless a test asks otherwise.
 std::vector<std::int64_t> random_keys(std::uint64_t seed, std::size_t count);

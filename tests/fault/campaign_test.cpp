@@ -43,6 +43,65 @@ TEST(ScenarioTest, DrawRespectsBounds) {
     }
 }
 
+// Regression: kSubstituteValue/kReplayStale constrain the injection stage to
+// >= 1, so on a dim-1 cube the old draw called next_below(0) — division by
+// zero.  The draw must clamp and the campaign must skip unsupported classes.
+TEST(ScenarioTest, Dim1DrawDoesNotDivideByZero) {
+  CampaignConfig cfg;
+  cfg.dim = 1;
+  util::Rng rng(17);
+  for (int rep = 0; rep < 100; ++rep)
+    for (FaultClass c : kAllFaultClasses) {
+      const auto s = draw_scenario(c, cfg, rng);
+      EXPECT_LT(s.faulty, 2u);
+      EXPECT_EQ(s.point.stage, 0) << to_string(c);
+      EXPECT_EQ(s.point.iter, 0) << to_string(c);
+    }
+}
+
+TEST(ScenarioTest, MinDimMatchesStageConstraints) {
+  for (FaultClass c : kAllFaultClasses) {
+    const bool needs_prior_stage =
+        c == FaultClass::kSubstituteValue || c == FaultClass::kReplayStale;
+    EXPECT_EQ(min_dim(c), needs_prior_stage ? 2 : 1) << to_string(c);
+  }
+}
+
+TEST(CampaignTest, Dim1CampaignSkipsUnsupportedClassesAndCompletes) {
+  CampaignConfig cfg;
+  cfg.dim = 1;
+  cfg.runs_per_class = 3;
+  cfg.seed = 11;
+  const auto summary = run_campaign(cfg);
+  ASSERT_EQ(summary.sft.size(), std::size(kAllFaultClasses));
+  for (const auto& tally : summary.sft) {
+    EXPECT_EQ(tally.silent_wrong, 0) << to_string(tally.fclass);
+    EXPECT_EQ(tally.runs + tally.dropped, cfg.runs_per_class)
+        << to_string(tally.fclass);
+    if (cfg.dim < min_dim(tally.fclass)) {
+      EXPECT_EQ(tally.runs, 0) << to_string(tally.fclass);
+      EXPECT_EQ(tally.attempts, 0) << to_string(tally.fclass);
+      EXPECT_EQ(tally.dropped, cfg.runs_per_class) << to_string(tally.fclass);
+    }
+  }
+}
+
+TEST(CampaignTest, TalliesAccountForEveryAttemptAndDrop) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 5;
+  cfg.seed = 99;
+  const auto summary = run_campaign(cfg);
+  for (const auto& tally : summary.sft) {
+    EXPECT_EQ(tally.runs + tally.dropped, cfg.runs_per_class)
+        << to_string(tally.fclass);
+    // Every counted run consumed at least one attempt; redraws only add.
+    EXPECT_GE(tally.attempts, tally.runs) << to_string(tally.fclass);
+    EXPECT_LE(tally.attempts, cfg.runs_per_class * kMaxSlotAttempts)
+        << to_string(tally.fclass);
+  }
+}
+
 TEST(ScenarioTest, SftScenarioRunsAreDeterministic) {
   CampaignConfig cfg;
   cfg.dim = 3;

@@ -32,6 +32,24 @@ TEST(MachineTest, NeighborExchange) {
   EXPECT_EQ(machine.summary().watchdog_rounds, 0);
 }
 
+// Machine::run may be called once: reusing the machine would replay against
+// consumed channels and dirty scheduler state, so it must hard-fail.
+TEST(MachineTest, SecondRunThrows) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  auto noop = [](Ctx&) -> SimTask { co_return; };
+  machine.run(noop);
+  EXPECT_THROW(machine.run(noop), std::logic_error);
+}
+
+TEST(MachineTest, RunPerNodeAlsoEnforcesRunOnce) {
+  Machine machine(cube::Topology{1}, CostModel{});
+  std::vector<NodeMain> mains(2, [](Ctx&) -> SimTask { co_return; });
+  machine.run_per_node(mains);
+  EXPECT_THROW(machine.run_per_node(mains), std::logic_error);
+  // A failed re-run leaves the first run's results readable.
+  EXPECT_TRUE(machine.errors().empty());
+}
+
 TEST(MachineTest, SendChargesSenderByMessageSize) {
   CostModel cm;
   cm.alpha_send = 10.0;

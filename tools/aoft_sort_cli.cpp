@@ -9,6 +9,8 @@
 //   aoft_sort_cli --algo=sft --dim=4 --two-faced=2@2:0 --diagnose
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --recover=ladder
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --transient --recover=rollback
+//   aoft_sort_cli --campaign --dim=4 --runs=40 --jobs=0 --seed=1989
+//   aoft_sort_cli --campaign --multi=3 --jobs=2
 //
 // Prints the outcome, timing summary and (with --diagnose) the host-side
 // fault localization.  With --recover the run goes through the recovery
@@ -16,19 +18,28 @@
 // printed; --transient confines the injected fault to the first attempt.
 // Exit status: 0 = correct, 2 = fail-stop detected, 3 = silent wrong (only
 // reachable with --algo=snr under faults).
+//
+// --campaign runs the §4 fault-injection campaign instead of a single sort:
+// --runs scenarios per adversary class, fanned out over --jobs worker
+// threads (0 = one per hardware thread; results are bit-identical for every
+// job count), plus an optional --multi=K simultaneous-fault sweep.  Exit
+// status 0 iff every S_FT tally has silent_wrong == 0 (Theorem 3).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "fault/adversary.h"
+#include "fault/campaign.h"
 #include "fault/localization.h"
 #include "fault/supervisor.h"
 #include "sort/sequential.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
 #include "util/rng.h"
+#include "util/table.h"
 
 namespace {
 
@@ -43,6 +54,11 @@ struct Args {
   bool quiet = false;
   std::string recover = "off";  // off|restart|rollback|ladder
   bool transient = false;       // injected faults hit attempt 0 only
+  // campaign mode
+  bool campaign = false;
+  int jobs = 1;      // campaign worker threads; 0 = hardware concurrency
+  int runs = 25;     // exercised scenarios per fault class
+  int multi_k = 0;   // if > 0, also sweep 1..K simultaneous faults
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
   cube::NodeId fault_node = 0;
@@ -86,6 +102,14 @@ bool parse(int argc, char** argv, Args& args) {
       if (!args.has_two_faced) return false;
     } else if (a.rfind("--recover=", 0) == 0) {
       args.recover = value("--recover=");
+    } else if (a == "--campaign") {
+      args.campaign = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      args.jobs = std::atoi(value("--jobs="));
+    } else if (a.rfind("--runs=", 0) == 0) {
+      args.runs = std::atoi(value("--runs="));
+    } else if (a.rfind("--multi=", 0) == 0) {
+      args.multi_k = std::atoi(value("--multi="));
     } else if (a == "--transient") {
       args.transient = true;
     } else if (a == "--diagnose") {
@@ -119,7 +143,76 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--recover requires --algo=sft\n");
     return false;
   }
+  if (args.jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0 (0 = hardware concurrency)\n");
+    return false;
+  }
+  if (args.campaign && args.runs < 1) {
+    std::fprintf(stderr, "--runs must be >= 1\n");
+    return false;
+  }
+  if (args.multi_k < 0 || args.multi_k > (1 << args.dim)) {
+    std::fprintf(stderr, "--multi must be in [0, 2^dim]\n");
+    return false;
+  }
   return true;
+}
+
+int run_campaign_mode(const Args& args) {
+  fault::CampaignConfig cfg;
+  cfg.dim = args.dim;
+  cfg.block = args.block;
+  cfg.runs_per_class = args.runs;
+  cfg.seed = args.seed;
+  cfg.jobs = args.jobs;
+
+  if (!args.quiet)
+    std::printf("fault campaign: dim=%d block=%zu runs/class=%d seed=%llu "
+                "jobs=%d\n\n",
+                cfg.dim, cfg.block, cfg.runs_per_class,
+                static_cast<unsigned long long>(cfg.seed), cfg.jobs);
+
+  const auto summary = fault::run_campaign(cfg);
+  int silent = 0;
+  if (!args.quiet) {
+    util::Table table({"fault class", "runs", "dropped", "attempts",
+                       "detected", "masked", "SILENT-WRONG", "S_NR silent"});
+    for (std::size_t i = 0; i < summary.sft.size(); ++i) {
+      const auto& s = summary.sft[i];
+      const auto& b = summary.snr[i];
+      table.add_row({fault::to_string(s.fclass), util::fmt_int(s.runs),
+                     util::fmt_int(s.dropped), util::fmt_int(s.attempts),
+                     util::fmt_int(s.detected), util::fmt_int(s.masked),
+                     util::fmt_int(s.silent_wrong),
+                     b.runs > 0 ? util::fmt_int(b.silent_wrong) + "/" +
+                                      util::fmt_int(b.runs)
+                                : "n/a"});
+    }
+    table.print(std::cout);
+  }
+  for (const auto& s : summary.sft) silent += s.silent_wrong;
+
+  if (args.multi_k > 0) {
+    const auto tallies = fault::run_multi_campaign(cfg, args.multi_k);
+    if (!args.quiet) {
+      std::printf("\nmulti-fault sweep (k simultaneous faults):\n");
+      util::Table table({"k", "runs", "dropped", "attempts", "detected",
+                         "masked", "SILENT-WRONG"});
+      for (const auto& t : tallies)
+        table.add_row({util::fmt_int(t.k), util::fmt_int(t.runs),
+                       util::fmt_int(t.dropped), util::fmt_int(t.attempts),
+                       util::fmt_int(t.detected), util::fmt_int(t.masked),
+                       util::fmt_int(t.silent_wrong)});
+      table.print(std::cout);
+    }
+    for (const auto& t : tallies)
+      if (t.k <= args.dim - 1) silent += t.silent_wrong;
+  }
+
+  if (!args.quiet)
+    std::printf("\nTheorem 3 verdict: S_FT silent-wrong = %d  [%s]\n", silent,
+                silent == 0 ? "OK" : "VIOLATION");
+  return silent == 0 ? 0 : 1;
 }
 
 fault::RecoveryPolicy recovery_policy(const std::string& name) {
@@ -145,10 +238,14 @@ int main(int argc, char** argv) {
                  "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
                  "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
                  "          [--recover=off|restart|rollback|ladder] [--transient]\n"
-                 "          [--diagnose] [--quiet]\n",
-                 argv[0]);
+                 "          [--diagnose] [--quiet]\n"
+                 "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
+                 "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n",
+                 argv[0], argv[0]);
     return 1;
   }
+
+  if (args.campaign) return run_campaign_mode(args);
 
   const auto input = util::random_keys(
       args.seed, (std::size_t{1} << args.dim) * args.block);
