@@ -21,6 +21,8 @@
 #include <string>
 
 #include "fault/campaign.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -104,7 +106,19 @@ int main(int argc, char** argv) {
   const auto serial = timed_campaign(cfg, 1);
   const auto parallel = timed_campaign(cfg, parallel_jobs);
 
-  const bool identical = same_summary(serial.summary, parallel.summary);
+  // Third run with the observability layer attached: same campaign, tracer +
+  // metrics collected per slot and merged.  Guards the "zero-cost when
+  // disabled / cheap when enabled" contract — the traced summary must still
+  // be bit-identical, and trace_overhead is recorded for trend tracking.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  fault::CampaignConfig traced_cfg = cfg;
+  traced_cfg.tracer = &tracer;
+  traced_cfg.metrics = &metrics;
+  const auto traced = timed_campaign(traced_cfg, parallel_jobs);
+
+  const bool identical = same_summary(serial.summary, parallel.summary) &&
+                         same_summary(serial.summary, traced.summary);
   int silent_wrong = 0;
   for (const auto& t : serial.summary.sft) silent_wrong += t.silent_wrong;
   const long long scenarios = scenarios_executed(serial.summary);
@@ -115,10 +129,17 @@ int main(int argc, char** argv) {
   const double speedup =
       parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
 
+  const double trace_overhead =
+      parallel.seconds > 0
+          ? (traced.seconds - parallel.seconds) / parallel.seconds
+          : 0.0;
+
   std::printf("serial   : %8.3f s  %9.1f scenarios/s\n", serial.seconds,
               serial_rate);
   std::printf("parallel : %8.3f s  %9.1f scenarios/s  (%d jobs, %.2fx)\n",
               parallel.seconds, parallel_rate, parallel_jobs, speedup);
+  std::printf("traced   : %8.3f s  (%zu events, %+.1f%% vs parallel)\n",
+              traced.seconds, tracer.size(), 100.0 * trace_overhead);
   std::printf("summaries bit-identical: %s\n", identical ? "yes" : "NO");
   std::printf("S_FT silent-wrong total: %d\n", silent_wrong);
 
@@ -140,14 +161,17 @@ int main(int argc, char** argv) {
                "  \"parallel_seconds\": %.6f,\n"
                "  \"parallel_scenarios_per_sec\": %.2f,\n"
                "  \"speedup\": %.3f,\n"
+               "  \"traced_seconds\": %.6f,\n"
+               "  \"trace_events\": %zu,\n"
+               "  \"trace_overhead\": %.4f,\n"
                "  \"summaries_identical\": %s,\n"
                "  \"silent_wrong_total\": %d\n"
                "}\n",
                cfg.dim, cfg.runs_per_class,
                static_cast<unsigned long long>(cfg.seed), hw, scenarios,
                serial.seconds, serial_rate, parallel_jobs, parallel.seconds,
-               parallel_rate, speedup, identical ? "true" : "false",
-               silent_wrong);
+               parallel_rate, speedup, traced.seconds, tracer.size(),
+               trace_overhead, identical ? "true" : "false", silent_wrong);
   std::fclose(f);
   std::cout << "wrote " << out_path << "\n";
 

@@ -6,6 +6,9 @@
 #include <iterator>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
 #include "util/rng.h"
@@ -199,6 +202,9 @@ struct SlotOutcome {
   int attempts = 0;                   // scenario executions consumed
   bool snr_counted = false;
   sort::Outcome snr_outcome{};
+  // Per-slot observability collection (merged in slot order by phase 3).
+  obs::Tracer trace;
+  obs::MetricsRegistry metrics;
 };
 
 Scenario draw_slot_attempt(FaultClass fclass, const CampaignConfig& cfg,
@@ -212,11 +218,20 @@ Scenario draw_slot_attempt(FaultClass fclass, const CampaignConfig& cfg,
 SlotOutcome run_slot(FaultClass fclass, const CampaignConfig& cfg,
                      std::size_t slot, const Scenario& first_draw) {
   SlotOutcome out;
+  // Bind this slot's private sinks to the executing worker thread (and shadow
+  // any ambient sink, so inline jobs == 1 runs collect identically).
+  obs::ScopedSink bind(cfg.tracer != nullptr ? &out.trace : nullptr,
+                       cfg.metrics != nullptr ? &out.metrics : nullptr);
   for (int attempt = 0; attempt < kMaxSlotAttempts; ++attempt) {
     const Scenario s = attempt == 0
                            ? first_draw
                            : draw_slot_attempt(fclass, cfg, slot, attempt);
     ++out.attempts;
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kScenario, obs::kGlobal, -1, -1, 0.0,
+                  static_cast<std::int64_t>(slot), attempt,
+                  to_string(fclass));
+    if (auto* me = obs::metrics()) me->inc(obs::Counter::kScenarios);
     auto r = run_scenario_sft(s, cfg);
     if (!r.fault_exercised) continue;  // injection point never reached
     out.sft = std::move(r);
@@ -336,6 +351,8 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
   struct MultiSlotOutcome {
     std::optional<MultiResult> result;  // engaged iff exercised
     int attempts = 0;
+    obs::Tracer trace;
+    obs::MetricsRegistry metrics;
   };
 
   // Phase 1: pre-draw attempt-0 multi-scenarios serially.
@@ -354,6 +371,8 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
     const int k = static_cast<int>(i / slots_per_k) + 1;
     const std::size_t slot = i % slots_per_k;
     auto& out = outcomes[i];
+    obs::ScopedSink bind(cfg.tracer != nullptr ? &out.trace : nullptr,
+                         cfg.metrics != nullptr ? &out.metrics : nullptr);
     for (int attempt = 0; attempt < kMaxSlotAttempts; ++attempt) {
       MultiScenario ms;
       if (attempt == 0) {
@@ -364,6 +383,11 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
         ms = draw_multi_scenario(k, cfg, rng);
       }
       ++out.attempts;
+      if (auto* tr = obs::tracer())
+        tr->instant(obs::Ev::kScenario, obs::kGlobal, -1, -1, 0.0,
+                    static_cast<std::int64_t>(slot), attempt,
+                    "multi-k" + std::to_string(k));
+      if (auto* me = obs::metrics()) me->inc(obs::Counter::kScenarios);
       const auto r = run_multi_scenario_sft(ms, cfg);
       if (!r.fault_exercised) continue;
       out.result = r;
@@ -377,8 +401,10 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
     MultiTally tally;
     tally.k = k;
     for (std::size_t slot = 0; slot < slots_per_k; ++slot) {
-      const auto& out =
+      auto& out =
           outcomes[static_cast<std::size_t>(k - 1) * slots_per_k + slot];
+      if (cfg.tracer != nullptr) cfg.tracer->append(std::move(out.trace));
+      if (cfg.metrics != nullptr) cfg.metrics->merge(out.metrics);
       tally.attempts += out.attempts;
       if (!out.result) {
         ++tally.dropped;
@@ -437,6 +463,8 @@ CampaignSummary run_campaign(const CampaignConfig& cfg) {
     }
     for (std::size_t slot = 0; slot < slots_per_class; ++slot) {
       auto& out = outcomes[c * slots_per_class + slot];
+      if (cfg.tracer != nullptr) cfg.tracer->append(std::move(out.trace));
+      if (cfg.metrics != nullptr) cfg.metrics->merge(out.metrics);
       sft_tally.attempts += out.attempts;
       if (!out.sft) {
         ++sft_tally.dropped;

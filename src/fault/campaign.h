@@ -41,6 +41,11 @@
 #include "sort/driver.h"
 #include "util/rng.h"
 
+namespace aoft::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace aoft::obs
+
 namespace aoft::fault {
 
 enum class FaultClass : std::uint8_t {
@@ -128,6 +133,13 @@ struct CampaignConfig {
   // hardware thread, N > 1 = fixed pool of N.  The summary is bit-identical
   // for every value — jobs trades wall-clock only, never results.
   int jobs = 1;
+  // Optional observability sinks (obs/).  Each slot collects into a private
+  // per-slot tracer/registry bound to the executing worker thread; after the
+  // pool drains, the engine appends/merges them into these in (class, slot)
+  // order — so the combined trace and metrics are bit-identical for every
+  // `jobs` value, exactly like the CampaignSummary.  Null = no collection.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CampaignSummary {

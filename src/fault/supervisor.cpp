@@ -6,8 +6,10 @@
 #include <cmath>
 #include <numeric>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "obs/sink.h"
 #include "sort/sequential.h"
 
 namespace aoft::fault {
@@ -176,6 +178,7 @@ SupervisedRun run_supervised_sort(int dim, std::span<const sort::Key> input,
                            ? &remapped
                            : physical_icpt;
 
+    const double attempt_t0 = out.total_ticks;
     sort::SortRun run = resume ? sort::resume_sft(cfg.dim, *resume, opts)
                                : sort::run_sft(cfg.dim, original, opts);
     ++out.attempts;
@@ -186,6 +189,15 @@ SupervisedRun run_supervised_sort(int dim, std::span<const sort::Key> input,
     const double ticks = run.summary.elapsed + pending_ticks;
     out.total_ticks += ticks;
     pending_ticks = 0.0;
+
+    // Attempt span on the supervisor's cumulative clock: [start, end] of this
+    // attempt, labelled with the rung that scheduled it and how it ended.
+    if (auto* tr = obs::tracer())
+      tr->span(obs::Ev::kAttempt, obs::kGlobal,
+               resume ? resume->stage : 0, attempt_t0, out.total_ticks,
+               attempt, static_cast<std::int64_t>(rung),
+               std::string(to_string(rung)) + " -> " +
+                   sort::to_string(outcome));
 
     RecoveryEvent ev;
     ev.attempt = attempt;
@@ -243,6 +255,18 @@ SupervisedRun run_supervised_sort(int dim, std::span<const sort::Key> input,
         (conclusive_count >= policy.stable_after || exhausted)) {
       reconfigured = try_collapse(cfg, persistent, out.retired);
       if (reconfigured) {
+        if (auto* tr = obs::tracer()) {
+          std::string retired_list;
+          for (cube::NodeId p : out.retired) {
+            if (!retired_list.empty()) retired_list += ',';
+            retired_list += std::to_string(p);
+          }
+          tr->instant(obs::Ev::kReconfigure, obs::kGlobal, -1, -1,
+                      out.total_ticks, cfg.dim,
+                      static_cast<std::int64_t>(cfg.block),
+                      std::move(retired_list));
+        }
+        if (auto* me = obs::metrics()) me->inc(obs::Counter::kReconfigures);
         cert.clear();
         era.clear();
         resume.reset();
@@ -263,12 +287,22 @@ SupervisedRun run_supervised_sort(int dim, std::span<const sort::Key> input,
                       sort::is_permutation_of(resume->blocks, original)))
         resume.reset();
       rung = resume ? Rung::kRollback : Rung::kRestart;
+      if (auto* tr = obs::tracer())
+        tr->instant(resume ? obs::Ev::kRollback : obs::Ev::kRestart,
+                    obs::kGlobal, resume ? resume->stage : 0, -1,
+                    out.total_ticks, resume ? resume->stage : 0);
+      if (auto* me = obs::metrics())
+        me->inc(resume ? obs::Counter::kRollbacks : obs::Counter::kRestarts);
     }
   }
 
   if (policy.host_fallback) {
     // Terminal rung: the host and its links are reliable (Environmental
     // Assumption 2), so this cannot fail and the ladder always terminates.
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kHostFallback, obs::kGlobal, -1, -1,
+                  out.total_ticks, out.attempts);
+    if (auto* me = obs::metrics()) me->inc(obs::Counter::kHostFallbacks);
     sort::HostSortOptions hopts;
     hopts.block = base.block;
     hopts.cost = base.cost;

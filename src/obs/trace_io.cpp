@@ -1,0 +1,648 @@
+#include "obs/trace_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <variant>
+
+#include "util/table.h"
+
+namespace aoft::obs {
+
+namespace {
+
+// ---- JSON writing -----------------------------------------------------------
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Shortest round-trippable decimal: logical clocks are sums of cost-model
+// terms, so the same run always prints the same bytes.
+std::string fmt_ticks(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lg", &back);
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    std::sscanf(shorter, "%lg", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
+  os << "{\"k\":\"" << to_string(e.kind) << "\",\"n\":" << e.node
+     << ",\"s\":" << e.stage << ",\"i\":" << e.iter << ",\"t0\":"
+     << fmt_ticks(e.t0) << ",\"t1\":" << fmt_ticks(e.t1) << ",\"a\":" << e.a
+     << ",\"b\":" << e.b;
+  if (!e.detail.empty()) {
+    os << ",\"d\":";
+    write_escaped(os, e.detail);
+  }
+  os << "}\n";
+}
+
+// ---- minimal JSON reader ----------------------------------------------------
+//
+// Just enough JSON to read back what we (or a Chrome exporter) write:
+// objects, arrays, strings with the common escapes, numbers, true/false/null.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return v.index() == 5; }
+  bool is_array() const { return v.index() == 4; }
+  bool is_string() const { return v.index() == 3; }
+  bool is_number() const { return v.index() == 2; }
+  const JsonObject& object() const { return *std::get<5>(v); }
+  const JsonArray& array() const { return *std::get<4>(v); }
+  const std::string& str() const { return std::get<3>(v); }
+  double num() const { return std::get<2>(v); }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::optional<JsonValue> fail(const std::string& what) {
+    if (error_) *error_ = what + " at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) return JsonValue{obj};
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return fail("expected ':'");
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      (*obj)[key->str()] = std::move(*val);
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue{obj};
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) return JsonValue{arr};
+    for (;;) {
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      arr->push_back(std::move(*val));
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue{arr};
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return JsonValue{{out}};
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Traces only escape control characters; encode as UTF-8 anyway.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<JsonValue> parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return JsonValue{{true}};
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return JsonValue{{false}};
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> parse_null() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    return JsonValue{{d}};
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return JsonParser(text, error).parse();
+}
+
+bool get_num(const JsonObject& o, const char* key, double& out) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_number()) return false;
+  out = it->second.num();
+  return true;
+}
+
+bool get_str(const JsonObject& o, const char* key, std::string& out) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_string()) return false;
+  out = it->second.str();
+  return true;
+}
+
+bool is_verdict(Ev e) {
+  return e == Ev::kPhiP || e == Ev::kPhiF || e == Ev::kPhiC ||
+         e == Ev::kPairCheck;
+}
+
+// ---- Chrome export helpers --------------------------------------------------
+
+// chrome://tracing wants small non-negative thread ids; map the sentinel
+// node ids above the cube's label space.
+long chrome_tid(std::int32_t node) {
+  if (node == kHostNode) return 1000000;
+  if (node == kGlobal) return 1000001;
+  return node;
+}
+
+std::string chrome_name(const TraceEvent& e) {
+  std::string name = to_string(e.kind);
+  if (e.stage >= 0) {
+    name.append(" s");
+    name.append(std::to_string(e.stage));
+  }
+  if (e.iter >= 0) {
+    name.append(":");
+    name.append(std::to_string(e.iter));
+  }
+  if (is_verdict(e.kind)) name.append(e.a != 0 ? " ok" : " FAIL");
+  return name;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const TraceMeta& meta, const Tracer& tracer) {
+  os << "{\"schema\":\"" << kTraceSchema << "\",\"dim\":" << meta.dim
+     << ",\"block\":" << meta.block << ",\"seed\":" << meta.seed
+     << ",\"mode\":";
+  write_escaped(os, meta.mode);
+  os << ",\"events\":" << tracer.size() << "}\n";
+  for (const auto& e : tracer.events()) write_event_jsonl(os, e);
+}
+
+void write_chrome(std::ostream& os, const TraceMeta& meta, const Tracer& tracer) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Thread-name metadata so Perfetto labels rows "node N" / "host".
+  std::vector<std::int32_t> seen;
+  for (const auto& e : tracer.events()) {
+    if (std::find(seen.begin(), seen.end(), e.node) != seen.end()) continue;
+    seen.push_back(e.node);
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << chrome_tid(e.node) << ",\"args\":{\"name\":";
+    const std::string label = e.node == kHostNode ? "host"
+                              : e.node == kGlobal ? "machine"
+                              : "node " + std::to_string(e.node);
+    write_escaped(os, label);
+    os << "}}";
+  }
+  for (const auto& e : tracer.events()) {
+    sep();
+    os << "{\"name\":";
+    write_escaped(os, chrome_name(e));
+    os << ",\"cat\":\"" << to_string(e.kind) << "\",\"ph\":\""
+       << (e.is_span() ? 'X' : 'i') << "\",\"ts\":" << fmt_ticks(e.t0);
+    if (e.is_span()) os << ",\"dur\":" << fmt_ticks(e.t1 - e.t0);
+    else os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << chrome_tid(e.node)
+       << ",\"args\":{\"stage\":" << e.stage << ",\"iter\":" << e.iter
+       << ",\"a\":" << e.a << ",\"b\":" << e.b;
+    if (!e.detail.empty()) {
+      os << ",\"detail\":";
+      write_escaped(os, e.detail);
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\""
+     << kTraceSchema << "\",\"dim\":" << meta.dim << ",\"block\":" << meta.block
+     << ",\"seed\":" << meta.seed << ",\"mode\":";
+  write_escaped(os, meta.mode);
+  os << "}}\n";
+}
+
+bool write_trace_file(const std::string& path, const TraceMeta& meta,
+                      const Tracer& tracer, std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool chrome =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (chrome)
+    write_chrome(os, meta, tracer);
+  else
+    write_jsonl(os, meta, tracer);
+  os.flush();
+  if (!os) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<ParsedTrace> read_jsonl(std::istream& is, std::string* error) {
+  auto fail = [&](std::size_t line, const std::string& what) {
+    if (error) *error = "line " + std::to_string(line) + ": " + what;
+    return std::nullopt;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  ParsedTrace out;
+  bool have_header = false;
+  std::int64_t declared_events = -1;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string perr;
+    auto v = parse_json(line, &perr);
+    if (!v) return fail(lineno, perr);
+    if (!v->is_object()) return fail(lineno, "expected a JSON object");
+    const auto& obj = v->object();
+
+    if (!have_header) {
+      std::string schema;
+      if (!get_str(obj, "schema", schema) || schema != kTraceSchema)
+        return fail(lineno, "missing or unknown schema header");
+      double d = 0, b = 0, s = 0;
+      if (!get_num(obj, "dim", d) || !get_num(obj, "block", b) ||
+          !get_num(obj, "seed", s))
+        return fail(lineno, "header missing dim/block/seed");
+      out.meta.dim = static_cast<int>(d);
+      out.meta.block = static_cast<std::uint64_t>(b);
+      out.meta.seed = static_cast<std::uint64_t>(s);
+      get_str(obj, "mode", out.meta.mode);
+      double ev_count = -1;
+      if (get_num(obj, "events", ev_count))
+        declared_events = static_cast<std::int64_t>(ev_count);
+      have_header = true;
+      continue;
+    }
+
+    TraceEvent e;
+    std::string kind;
+    if (!get_str(obj, "k", kind) || !ev_from_string(kind, e.kind))
+      return fail(lineno, "missing or unknown event kind");
+    double n = 0, s = 0, i = 0, t0 = 0, t1 = 0, a = 0, b = 0;
+    if (!get_num(obj, "n", n) || !get_num(obj, "s", s) ||
+        !get_num(obj, "i", i) || !get_num(obj, "t0", t0) ||
+        !get_num(obj, "t1", t1) || !get_num(obj, "a", a) ||
+        !get_num(obj, "b", b))
+      return fail(lineno, "event missing a required field (n/s/i/t0/t1/a/b)");
+    e.node = static_cast<std::int32_t>(n);
+    e.stage = static_cast<std::int32_t>(s);
+    e.iter = static_cast<std::int32_t>(i);
+    e.t0 = t0;
+    e.t1 = t1;
+    e.a = static_cast<std::int64_t>(a);
+    e.b = static_cast<std::int64_t>(b);
+    get_str(obj, "d", e.detail);
+
+    if (e.node < kGlobal) return fail(lineno, "node id below -2");
+    if (e.t1 < e.t0) return fail(lineno, "span ends before it starts");
+    if (e.t0 < 0.0) return fail(lineno, "negative timestamp");
+    if (is_verdict(e.kind) && e.a != 0 && e.a != 1)
+      return fail(lineno, "verdict payload must be 0 or 1");
+    out.events.push_back(std::move(e));
+  }
+
+  if (!have_header) {
+    if (error) *error = "empty file (no schema header)";
+    return std::nullopt;
+  }
+  if (declared_events >= 0 &&
+      declared_events != static_cast<std::int64_t>(out.events.size())) {
+    if (error)
+      *error = "header declares " + std::to_string(declared_events) +
+               " events, file has " + std::to_string(out.events.size());
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool validate_chrome(std::istream& is, std::string* error,
+                     std::size_t* events) {
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  std::string perr;
+  auto v = parse_json(text, &perr);
+  if (!v) {
+    if (error) *error = perr;
+    return false;
+  }
+  if (!v->is_object()) {
+    if (error) *error = "top level is not an object";
+    return false;
+  }
+  const auto& obj = v->object();
+  auto it = obj.find("traceEvents");
+  if (it == obj.end() || !it->second.is_array()) {
+    if (error) *error = "missing traceEvents array";
+    return false;
+  }
+  std::size_t count = 0;
+  for (const auto& ev : it->second.array()) {
+    if (!ev.is_object()) {
+      if (error) *error = "traceEvents[" + std::to_string(count) + "] is not an object";
+      return false;
+    }
+    const auto& eo = ev.object();
+    std::string name, ph;
+    double ts = 0, pid = 0, tid = 0;
+    if (!get_str(eo, "name", name) || !get_str(eo, "ph", ph) ||
+        !get_num(eo, "pid", pid) || !get_num(eo, "tid", tid)) {
+      if (error)
+        *error = "traceEvents[" + std::to_string(count) +
+                 "] missing name/ph/pid/tid";
+      return false;
+    }
+    // Metadata events (ph "M") carry no timestamp; everything else must.
+    if (ph != "M" && !get_num(eo, "ts", ts)) {
+      if (error)
+        *error = "traceEvents[" + std::to_string(count) + "] missing ts";
+      return false;
+    }
+    if (ph == "X") {
+      double dur = 0;
+      if (!get_num(eo, "dur", dur) || dur < 0) {
+        if (error)
+          *error = "traceEvents[" + std::to_string(count) +
+                   "] complete event without non-negative dur";
+        return false;
+      }
+    }
+    ++count;
+  }
+  if (events) *events = count;
+  return true;
+}
+
+bool validate_trace_file(const std::string& path, std::string* error,
+                         std::string* format, std::size_t* events) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  // Sniff: a JSONL trace's first line contains the schema header; a Chrome
+  // trace is one (possibly multi-line) object with traceEvents.
+  std::string first;
+  std::getline(is, first);
+  is.seekg(0);
+  if (first.find("\"schema\"") != std::string::npos &&
+      first.find(kTraceSchema) != std::string::npos) {
+    if (format) *format = "jsonl";
+    auto parsed = read_jsonl(is, error);
+    if (!parsed) return false;
+    if (events) *events = parsed->events.size();
+    return true;
+  }
+  if (format) *format = "chrome";
+  return validate_chrome(is, error, events);
+}
+
+std::string summarize(const ParsedTrace& trace) {
+  struct StageRow {
+    std::uint64_t spans = 0, iters = 0;
+    std::uint64_t phi_pass = 0, phi_fail = 0;
+    std::uint64_t ckpts = 0, errors = 0;
+    double max_t1 = 0.0;
+  };
+  std::map<int, StageRow> stages;
+  std::uint64_t watchdog = 0, timeouts = 0, drops = 0, errors = 0;
+  std::uint64_t scenarios = 0, attempts = 0;
+  double elapsed = 0.0;
+
+  for (const auto& e : trace.events) {
+    elapsed = std::max(elapsed, e.t1);
+    switch (e.kind) {
+      case Ev::kStage: {
+        auto& r = stages[e.stage];
+        ++r.spans;
+        r.max_t1 = std::max(r.max_t1, e.t1);
+        break;
+      }
+      case Ev::kIter: ++stages[e.stage].iters; break;
+      case Ev::kPhiP:
+      case Ev::kPhiF:
+      case Ev::kPhiC:
+      case Ev::kPairCheck: {
+        auto& r = stages[e.stage];
+        if (e.a != 0) ++r.phi_pass;
+        else ++r.phi_fail;
+        break;
+      }
+      case Ev::kCkptUpload: ++stages[e.stage].ckpts; break;
+      case Ev::kError:
+        ++errors;
+        if (e.stage >= 0) ++stages[e.stage].errors;
+        break;
+      case Ev::kWatchdogRound: ++watchdog; break;
+      case Ev::kTimeout: ++timeouts; break;
+      case Ev::kDrop: ++drops; break;
+      case Ev::kScenario: ++scenarios; break;
+      case Ev::kAttempt: ++attempts; break;
+      default: break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "trace: schema=" << kTraceSchema << " dim=" << trace.meta.dim
+     << " block=" << trace.meta.block << " seed=" << trace.meta.seed
+     << " mode=" << (trace.meta.mode.empty() ? "?" : trace.meta.mode)
+     << " events=" << trace.events.size() << "\n";
+  util::Table table({"stage", "spans", "iters", "phi pass", "phi FAIL",
+                     "ckpt", "errors", "max t1"});
+  for (const auto& [stage, r] : stages)
+    table.add_row({util::fmt_int(stage), util::fmt_int(static_cast<long long>(r.spans)),
+                   util::fmt_int(static_cast<long long>(r.iters)),
+                   util::fmt_int(static_cast<long long>(r.phi_pass)),
+                   util::fmt_int(static_cast<long long>(r.phi_fail)),
+                   util::fmt_int(static_cast<long long>(r.ckpts)),
+                   util::fmt_int(static_cast<long long>(r.errors)),
+                   util::fmt_double(r.max_t1, 1)});
+  table.print(os);
+  os << "totals: errors=" << errors << " watchdog_rounds=" << watchdog
+     << " timeouts=" << timeouts << " drops=" << drops;
+  if (scenarios > 0) os << " scenarios=" << scenarios;
+  if (attempts > 0) os << " attempts=" << attempts;
+  os << " elapsed=" << util::fmt_double(elapsed, 1) << " ticks\n";
+  return os.str();
+}
+
+std::string format_metrics(const MetricsRegistry& m) {
+  std::ostringstream os;
+  os << "metrics:\n";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (m.get(c) == 0) continue;
+    os << "  " << to_string(c) << " = " << m.get(c) << "\n";
+  }
+  if (!m.per_stage().empty()) {
+    os << "  phi verdicts per stage:";
+    for (std::size_t s = 0; s < m.per_stage().size(); ++s)
+      os << " s" << s << "=" << m.per_stage()[s].pass << "/"
+         << m.per_stage()[s].fail;
+    os << " (pass/fail)\n";
+  }
+  if (m.msg_words().total() > 0)
+    os << "  msg words: max=" << m.msg_words().max()
+       << " msgs=" << m.msg_words().total() << "\n";
+  if (m.queue_depth().total() > 0)
+    os << "  queue depth: max=" << m.queue_depth().max() << "\n";
+  return os.str();
+}
+
+}  // namespace aoft::obs

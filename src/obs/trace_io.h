@@ -1,0 +1,75 @@
+// Trace serialization: JSONL (the stable machine-readable schema,
+// docs/PROTOCOL.md §9) and Chrome trace_event JSON (opens directly in
+// chrome://tracing / Perfetto).
+//
+// JSONL is the canonical format: line 1 is a header object, every further
+// line one TraceEvent with a fixed field order, so byte-equality of two
+// files is exactly event-equality of two runs (the determinism tests rely on
+// this).  The Chrome export is a view for humans; trace_inspect can
+// structurally validate both.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aoft::obs {
+
+inline constexpr const char* kTraceSchema = "aoft-trace-v1";
+
+// Run-level metadata, serialized as the JSONL header line.
+struct TraceMeta {
+  int dim = 0;
+  std::uint64_t block = 1;
+  std::uint64_t seed = 0;
+  std::string mode;  // "single" | "supervised" | "campaign" | ...
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+void write_jsonl(std::ostream& os, const TraceMeta& meta, const Tracer& tracer);
+void write_chrome(std::ostream& os, const TraceMeta& meta, const Tracer& tracer);
+
+// Serialize to a file; ".json" picks the Chrome format, everything else
+// JSONL.  Returns false and fills `error` on I/O failure.
+bool write_trace_file(const std::string& path, const TraceMeta& meta,
+                      const Tracer& tracer, std::string* error);
+
+struct ParsedTrace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;
+};
+
+// Parse *and* schema-validate a JSONL trace: header first, known event
+// kinds, node >= -2, spans with t1 >= t0, verdict events with a in {0, 1}.
+// Returns nullopt and fills `error` (with a line number) on any violation.
+std::optional<ParsedTrace> read_jsonl(std::istream& is, std::string* error);
+
+// Structural validation of a Chrome trace_event export: one top-level object
+// whose "traceEvents" array holds objects each carrying name/ph/ts/pid/tid.
+// `events` (optional) receives the event count.
+bool validate_chrome(std::istream& is, std::string* error,
+                     std::size_t* events = nullptr);
+
+// Validate either format, sniffing by content (Chrome starts with an object
+// containing traceEvents; JSONL starts with the schema header line).
+// `format`, when given, receives "jsonl" or "chrome".
+bool validate_trace_file(const std::string& path, std::string* error,
+                         std::string* format = nullptr,
+                         std::size_t* events = nullptr);
+
+// Human-readable per-stage digest of a parsed trace (trace_inspect
+// --summary): stage spans, iteration marks, Φ verdicts, checkpoints, errors,
+// plus run-level totals.
+std::string summarize(const ParsedTrace& trace);
+
+// Render a metrics registry as an aligned text block (CLI --trace output).
+std::string format_metrics(const MetricsRegistry& m);
+
+}  // namespace aoft::obs

@@ -1,11 +1,15 @@
 #include "sim/channel.h"
 
+#include <stdexcept>
+
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 
 namespace aoft::sim {
 
 void Channel::push(Message m) {
   queue_.push_back(std::move(m));
+  if (auto* me = obs::metrics()) me->observe_queue_depth(queue_.size());
   if (waiter_) {
     auto h = waiter_;
     waiter_ = nullptr;
@@ -15,7 +19,11 @@ void Channel::push(Message m) {
 }
 
 void Channel::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
-  assert(ch_.waiter_ == nullptr && "one receiver per channel at a time");
+  // Always-on invariant.  Thrown before any state is mutated, so the
+  // exception propagates out of the offending co_await and leaves the channel
+  // (and the first receiver's suspension) untouched.
+  if (ch_.waiter_ != nullptr)
+    throw std::logic_error("one receiver per channel at a time");
   ch_.waiter_ = h;
   ch_.timed_out_ = false;
   ch_.sched_.add_blocked(&ch_);
@@ -34,6 +42,9 @@ RecvResult Channel::RecvAwaiter::await_resume() {
 
 void Channel::fail_waiter() {
   assert(waiter_ != nullptr);
+  if (auto* me = obs::metrics()) me->inc(obs::Counter::kTimeouts);
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kTimeout, obs::kGlobal, -1, -1, 0.0);
   auto h = waiter_;
   waiter_ = nullptr;
   timed_out_ = true;

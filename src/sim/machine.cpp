@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "obs/sink.h"
 
 namespace aoft::sim {
 
@@ -22,7 +25,12 @@ const char* to_string(ErrorSource s) {
 const cube::Topology& Ctx::topo() const { return machine_->topo_; }
 
 void Ctx::send(cube::NodeId to, Message m) {
-  assert(machine_->topo_.adjacent(id_, to) && "node links join neighbors only");
+  // Always-on invariant (not an assert: protocol code paths that pick a wrong
+  // partner must fail loudly in release builds too).
+  if (!machine_->topo_.adjacent(id_, to))
+    throw std::logic_error("node links join neighbors only: node " +
+                           std::to_string(id_) + " cannot send to " +
+                           std::to_string(to));
   m.from = id_;
   const double cost = machine_->cost_.msg_cost(m.words());
   stats_.clock += cost;
@@ -54,7 +62,7 @@ void Ctx::send_host(Message m) {
   stats_.msgs_sent += 1;
   stats_.words_sent += m.words();
   m.arrival = stats_.clock;
-  machine_->host_inbox_->push(std::move(m));
+  machine_->deliver_host(id_, std::move(m));
 }
 
 Channel::RecvAwaiter Ctx::recv_host() {
@@ -63,6 +71,10 @@ Channel::RecvAwaiter Ctx::recv_host() {
 
 void Ctx::error(ErrorReport r) {
   r.node = id_;
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kError, id_, r.stage, r.iter, stats_.clock,
+                static_cast<std::int64_t>(r.source), 0, r.detail);
+  if (auto* me = obs::metrics()) me->inc(obs::Counter::kErrors);
   Message m;
   m.kind = MsgKind::kHostError;
   m.stage = r.stage;
@@ -83,12 +95,16 @@ void HostCtx::send(cube::NodeId to, Message m) {
   stats_.msgs_sent += 1;
   stats_.words_sent += m.words();
   m.arrival = stats_.clock;
-  machine_->host_out_[to]->push(std::move(m));
+  machine_->deliver_from_host(to, std::move(m));
 }
 
 Channel::RecvAwaiter HostCtx::recv() { return machine_->host_inbox_->recv(); }
 
 void HostCtx::error(ErrorReport r) {
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kError, obs::kHostNode, r.stage, r.iter, stats_.clock,
+                static_cast<std::int64_t>(r.source), 0, r.detail);
+  if (auto* me = obs::metrics()) me->inc(obs::Counter::kErrors);
   machine_->errors_.push_back(std::move(r));
 }
 
@@ -130,7 +146,9 @@ Machine::Machine(cube::Topology topo, CostModel cost)
 Machine::~Machine() = default;
 
 Channel& Machine::link_channel(cube::NodeId to, cube::NodeId from) {
-  assert(topo_.adjacent(to, from));
+  if (!topo_.adjacent(to, from))
+    throw std::logic_error("node links join neighbors only: no link " +
+                           std::to_string(from) + " -> " + std::to_string(to));
   const int k = __builtin_ctz(to ^ from);
   return *in_links_[to][static_cast<std::size_t>(k)];
 }
@@ -141,7 +159,47 @@ void Machine::deliver(cube::NodeId from, cube::NodeId to, Message m) {
   if (record_events_)
     events_.push_back(LinkEvent{from, to, m.kind, m.stage, m.iter,
                                 static_cast<std::uint32_t>(m.words()), pass});
-  if (pass) link_channel(to, from).push(std::move(m));
+  if (auto* me = obs::metrics()) {
+    me->inc(obs::Counter::kLinkMsgs);
+    me->inc(obs::Counter::kLinkWords, m.words());
+    me->observe_msg_words(m.words());
+    if (!pass) me->inc(obs::Counter::kDroppedMsgs);
+  }
+  if (!pass) {
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kDrop, from, m.stage, m.iter, m.arrival, to,
+                  static_cast<std::int64_t>(m.words()));
+    return;
+  }
+  link_channel(to, from).push(std::move(m));
+}
+
+void Machine::deliver_host(cube::NodeId from, Message m) {
+  if (record_events_) {
+    LinkEvent ev{from, 0, m.kind, m.stage, m.iter,
+                 static_cast<std::uint32_t>(m.words()), true};
+    ev.to_host = true;
+    events_.push_back(ev);
+  }
+  if (auto* me = obs::metrics()) {
+    me->inc(obs::Counter::kHostMsgs);
+    me->inc(obs::Counter::kHostWords, m.words());
+  }
+  host_inbox_->push(std::move(m));
+}
+
+void Machine::deliver_from_host(cube::NodeId to, Message m) {
+  if (record_events_) {
+    LinkEvent ev{0, to, m.kind, m.stage, m.iter,
+                 static_cast<std::uint32_t>(m.words()), true};
+    ev.from_host = true;
+    events_.push_back(ev);
+  }
+  if (auto* me = obs::metrics()) {
+    me->inc(obs::Counter::kHostMsgs);
+    me->inc(obs::Counter::kHostWords, m.words());
+  }
+  host_out_[to]->push(std::move(m));
 }
 
 void Machine::run(const NodeMain& node_main, const HostMain& host_main) {

@@ -165,7 +165,10 @@ class LinkInterceptor {
   virtual bool on_send(cube::NodeId from, cube::NodeId to, Message& m) = 0;
 };
 
-// One record per delivered or dropped link message (optional, for tests).
+// One record per delivered or dropped message (optional, for tests).  Host
+// traffic is recorded too: `to_host` marks a node→host upload (`to` is
+// meaningless), `from_host` a host→node push (`from` is meaningless).  Host
+// links are reliable, so host events always have delivered == true.
 struct LinkEvent {
   cube::NodeId from = 0;
   cube::NodeId to = 0;
@@ -174,6 +177,8 @@ struct LinkEvent {
   int iter = -1;
   std::uint32_t words = 0;
   bool delivered = true;
+  bool to_host = false;
+  bool from_host = false;
 };
 
 class Machine {
@@ -199,6 +204,10 @@ class Machine {
   const std::vector<ErrorReport>& errors() const { return errors_; }
   bool failed_stop() const { return !errors_.empty(); }
 
+  // True once run/run_per_node has been entered (even if it threw): the
+  // machine is single-shot, and a failed run must not be re-entered.
+  bool ran() const { return ran_; }
+
   const NodeStats& node_stats(cube::NodeId p) const { return ctxs_[p].stats_; }
   const NodeStats& host_stats() const { return host_ctx_.stats_; }
   const std::vector<LinkEvent>& link_events() const { return events_; }
@@ -211,6 +220,12 @@ class Machine {
 
   Channel& link_channel(cube::NodeId to, cube::NodeId from);
   void deliver(cube::NodeId from, cube::NodeId to, Message m);
+
+  // The host-link counterparts of deliver(): every message still flows
+  // through one recording point (LinkEvent log + metrics), but host links are
+  // reliable by assumption — no interceptor, never dropped.
+  void deliver_host(cube::NodeId from, Message m);
+  void deliver_from_host(cube::NodeId to, Message m);
 
   cube::Topology topo_;
   CostModel cost_;

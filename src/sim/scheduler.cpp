@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/sink.h"
 #include "sim/channel.h"
 
 namespace aoft::sim {
@@ -48,6 +49,11 @@ int Scheduler::run() {
     // Global quiescence with suspended receivers: the watchdog fires and
     // every pending receive fails (message absence detected).
     ++watchdog_rounds;
+    if (auto* me = obs::metrics()) me->inc(obs::Counter::kWatchdogRounds);
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kWatchdogRound, obs::kGlobal, -1, -1, 0.0,
+                  watchdog_rounds,
+                  static_cast<std::int64_t>(blocked_.size()));
     auto blocked = std::move(blocked_);
     blocked_.clear();
     for (Channel* ch : blocked) {

@@ -41,6 +41,7 @@ struct SortRun {
   std::vector<sim::ErrorReport> errors;
   sim::RunSummary summary;
   std::vector<StageCheckpoint> checkpoints;  // when SftOptions::checkpoint
+  std::vector<sim::LinkEvent> link_events;   // when SftOptions::record_link_events
 
   bool fail_stop() const { return !errors.empty(); }
 };

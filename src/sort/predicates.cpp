@@ -2,9 +2,31 @@
 
 #include <cassert>
 
+#include "obs/sink.h"
+
 namespace aoft::sort {
 
 namespace {
+
+// Every predicate evaluation reports its verdict to the bound observability
+// sink (obs/sink.h).  The predicates are pure functions with no protocol
+// position of their own; the caller (sort/sft.cpp) binds (node, stage, iter,
+// clock) via ScopedPredContext around the call.  With no sink bound this is a
+// thread-local load and a branch.
+std::optional<Violation> record_verdict(obs::Ev kind, obs::Counter pass_c,
+                                        obs::Counter fail_c,
+                                        std::optional<Violation> v) {
+  if (!obs::active()) return v;
+  const auto& at = obs::pred_context();
+  if (auto* me = obs::metrics()) {
+    me->inc(v ? fail_c : pass_c);
+    me->phi_verdict(at.stage, !v);
+  }
+  if (auto* tr = obs::tracer())
+    tr->instant(kind, at.node, at.stage, at.iter, at.clock, v ? 0 : 1,
+                v ? v->position : 0, v ? v->what : std::string{});
+  return v;
+}
 
 std::optional<Violation> check_run(std::span<const Key> v, std::size_t lo,
                                    std::size_t hi, bool non_decreasing,
@@ -20,7 +42,10 @@ std::optional<Violation> check_run(std::span<const Key> v, std::size_t lo,
 
 }  // namespace
 
-std::optional<Violation> phi_p(std::span<const Key> window_vals, bool final_stage) {
+namespace {
+
+std::optional<Violation> phi_p_eval(std::span<const Key> window_vals,
+                                    bool final_stage) {
   if (final_stage)
     return check_run(window_vals, 0, window_vals.size(), true, "ascending(final)");
   const std::size_t mid = window_vals.size() / 2;
@@ -28,8 +53,19 @@ std::optional<Violation> phi_p(std::span<const Key> window_vals, bool final_stag
   return check_run(window_vals, mid, window_vals.size(), false, "descending");
 }
 
-std::optional<Violation> phi_f(std::span<const Key> llbs_inner,
-                               std::span<const Key> lbs_inner, bool ascending) {
+}  // namespace
+
+std::optional<Violation> phi_p(std::span<const Key> window_vals, bool final_stage) {
+  return record_verdict(obs::Ev::kPhiP, obs::Counter::kPhiPPass,
+                        obs::Counter::kPhiPFail,
+                        phi_p_eval(window_vals, final_stage));
+}
+
+namespace {
+
+std::optional<Violation> phi_f_eval(std::span<const Key> llbs_inner,
+                                    std::span<const Key> lbs_inner,
+                                    bool ascending) {
   assert(llbs_inner.size() == lbs_inner.size());
   const std::size_t size = lbs_inner.size();
   if (size <= 1) {
@@ -58,7 +94,18 @@ std::optional<Violation> phi_f(std::span<const Key> llbs_inner,
   return std::nullopt;
 }
 
-std::optional<Violation> phi_c_merge(std::span<Key> local, BitVec& local_cover,
+}  // namespace
+
+std::optional<Violation> phi_f(std::span<const Key> llbs_inner,
+                               std::span<const Key> lbs_inner, bool ascending) {
+  return record_verdict(obs::Ev::kPhiF, obs::Counter::kPhiFPass,
+                        obs::Counter::kPhiFFail,
+                        phi_f_eval(llbs_inner, lbs_inner, ascending));
+}
+
+namespace {
+
+std::optional<Violation> phi_c_merge_eval(std::span<Key> local, BitVec& local_cover,
                                      std::span<const Key> recv_slice,
                                      const BitVec& sender_cover,
                                      const cube::Subcube& window, std::size_t m,
@@ -83,6 +130,19 @@ std::optional<Violation> phi_c_merge(std::span<Key> local, BitVec& local_cover,
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> phi_c_merge(std::span<Key> local, BitVec& local_cover,
+                                     std::span<const Key> recv_slice,
+                                     const BitVec& sender_cover,
+                                     const cube::Subcube& window, std::size_t m,
+                                     MergeStats* stats) {
+  return record_verdict(obs::Ev::kPhiC, obs::Counter::kPhiCPass,
+                        obs::Counter::kPhiCFail,
+                        phi_c_merge_eval(local, local_cover, recv_slice,
+                                         sender_cover, window, m, stats));
 }
 
 std::optional<Violation> bit_compare(std::span<const Key> llbs,

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "hypercube/masks.h"
+#include "obs/sink.h"
 #include "sort/blockops.h"
 #include "sort/predicates.h"
 
@@ -102,6 +103,7 @@ struct NodeState {
     // Charge the mask computation (Lemma 7) and the merge scan (Lemma 9).
     ctx->charge(cm.copy * static_cast<double>(cube::vect_mask_count(i, j)));
     MergeStats stats;
+    obs::ScopedPredContext at(ctx->id(), i, j, ctx->clock());
     auto violation = phi_c_merge(lbs, lmask, msg.lbs, sender_cover, window, m, &stats);
     ctx->charge(cm.merge_entry * static_cast<double>(stats.checked + stats.absorbed));
     if (violation && sh->opts.check_consistency)
@@ -116,9 +118,15 @@ struct NodeState {
     const auto& cm = sh->opts.cost;
     ctx->charge(cm.cmp * static_cast<double>(merged.size() + mine.size()));
     if (!sh->opts.check_exchange) return true;
-    if (merged.size() != 2 * sh->m ||
-        !blockops::is_sorted_dir(merged, asc) ||
-        !blockops::contains_submultiset(merged, mine, asc))
+    const bool ok = merged.size() == 2 * sh->m &&
+                    blockops::is_sorted_dir(merged, asc) &&
+                    blockops::contains_submultiset(merged, mine, asc);
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kPairCheck, ctx->id(), i, j, ctx->clock(),
+                  ok ? 1 : 0);
+    if (auto* me = obs::metrics())
+      me->inc(ok ? obs::Counter::kPairPass : obs::Counter::kPairFail);
+    if (!ok)
       return !flag({0, i, j, sim::ErrorSource::kPhiF,
                     "exchange pair inconsistent with contributed block"});
     return true;
@@ -136,6 +144,7 @@ struct NodeState {
           static_cast<std::size_t>(sc.start) * m,
           static_cast<std::size_t>(sc.size()) * m);
     };
+    obs::ScopedPredContext at(ctx->id(), i, -1, ctx->clock());
     if (sh->opts.check_progress) {
       ctx->charge(cm.cmp * static_cast<double>(outer.size() * m));
       if (auto v = phi_p(window_span(lbs, outer), final_stage)) {
@@ -222,6 +231,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
   const auto& topo = ctx.topo();
 
   for (int i = start; i < n; ++i) {
+    const double stage_t0 = ctx.clock();
     const cube::Subcube window = cube::home_subcube(i + 1, me);
     bool asc = cube::stage_ascending(me, i);
     if (st.fault && st.fault->invert_direction_from &&
@@ -334,6 +344,8 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
           st.a.assign(r.msg.data.begin() + static_cast<std::ptrdiff_t>(m),
                       r.msg.data.begin() + static_cast<std::ptrdiff_t>(2 * m));
       }
+      if (auto* tr = obs::tracer())
+        tr->instant(obs::Ev::kIter, me, i, j, ctx.clock());
     }
 
     // Stage boundary: bit_compare (skipped at stage 0 where no LLBS exists),
@@ -374,6 +386,12 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
         // A streaming hash fold touches each word once: copy-rate, not cmp.
         ctx.charge(cm.copy * static_cast<double>(window.size() * m));
       }
+      const bool is_rep = me == window.start;
+      const auto ck_words = static_cast<std::int64_t>(ck.words());
+      if (auto* tr = obs::tracer())
+        tr->instant(obs::Ev::kCkptUpload, me, i, -1, ctx.clock(),
+                    is_rep ? 1 : 0, ck_words);
+      if (auto* mreg = obs::metrics()) mreg->inc(obs::Counter::kCkptUploads);
       ctx.send_host(std::move(ck));
     }
     std::copy(st.lbs.begin() + static_cast<std::ptrdiff_t>(window.start * m),
@@ -381,12 +399,15 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
               st.llbs.begin() + static_cast<std::ptrdiff_t>(window.start * m));
     ctx.charge(cm.copy * static_cast<double>(window.size() * m));
     reset_lbs();
+    if (auto* tr = obs::tracer())
+      tr->span(obs::Ev::kStage, me, i, stage_t0, ctx.clock());
   }
 
   // Final verification: pure exchange of the finished sort over the whole
   // cube, then bit_compare against the last validated bitonic sequence.
   const cube::Subcube cube_window = cube::home_subcube(n, me);
   const int fi = n - 1;  // mask algebra of the last stage spans the whole cube
+  const double final_t0 = ctx.clock();
   for (int j = fi; j >= 0; --j) {
     if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, n, j)) {
       write_out();
@@ -433,12 +454,16 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
         co_return;
       }
     }
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kIter, me, n, j, ctx.clock());
   }
   if (!st.verify_stage(cube_window, cube_window, /*inner_ascending=*/true,
                        /*final_stage=*/true, n)) {
     write_out();
     co_return;
   }
+  if (auto* tr = obs::tracer())
+    tr->span(obs::Ev::kStage, me, n, final_t0, ctx.clock());
   if (sh.opts.observer) {
     StageSnapshot snap;
     snap.node = me;
@@ -528,6 +553,10 @@ std::vector<StageCheckpoint> certify_checkpoints(const SftShared& sh) {
 SortRun run_sft_impl(int dim, SftShared& sh) {
   sim::Machine machine(cube::Topology{dim}, sh.opts.cost);
   machine.set_interceptor(sh.opts.interceptor);
+  machine.record_link_events(sh.opts.record_link_events);
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kRunBegin, obs::kGlobal, sh.start_stage, -1, 0.0, dim,
+                static_cast<std::int64_t>(sh.m));
   if (sh.opts.checkpoint)
     machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); },
                 [&sh](sim::HostCtx& host) { return ckpt_collector(host, sh); });
@@ -539,6 +568,15 @@ SortRun run_sft_impl(int dim, SftShared& sh) {
   run.errors = machine.errors();
   run.summary = machine.summary();
   if (sh.opts.checkpoint) run.checkpoints = certify_checkpoints(sh);
+  if (sh.opts.record_link_events) run.link_events = machine.link_events();
+  if (auto* tr = obs::tracer()) {
+    for (const auto& ck : run.checkpoints)
+      tr->instant(obs::Ev::kCkptCertify, obs::kHostNode, ck.stage, -1,
+                  run.summary.elapsed, ck.certified ? 1 : 0, ck.windows_agreed);
+    tr->instant(obs::Ev::kRunEnd, obs::kGlobal, -1, -1, run.summary.elapsed,
+                static_cast<std::int64_t>(run.errors.size()),
+                run.summary.watchdog_rounds);
+  }
   return run;
 }
 

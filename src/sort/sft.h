@@ -73,6 +73,11 @@ struct SftOptions {
   // sort at the last certified boundary instead of stage 0.
   bool checkpoint = false;
 
+  // Copy the machine's per-message LinkEvent log (node-node and host links)
+  // into SortRun::link_events.  For tests and traffic accounting; off by
+  // default — the log grows with every message sent.
+  bool record_link_events = false;
+
   // Invoked at every stage boundary of every node (small cubes only; the
   // snapshots copy the stage window).
   std::function<void(const StageSnapshot&)> observer;

@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "obs/trace_io.h"
+
 namespace aoft::fault {
 namespace {
 
@@ -118,6 +122,60 @@ TEST(CampaignDeterminismTest, MultiCampaignSameSeedTwiceIdentical) {
   auto cfg = small_config(2);
   cfg.dim = 4;
   expect_same_multi(run_multi_campaign(cfg, 3), run_multi_campaign(cfg, 3));
+}
+
+// The observability layer must not weaken the determinism contract: per-slot
+// tracers/registries are merged in (class, slot) order after the pool
+// drains, so the serialized trace and the merged metrics are byte-identical
+// for every job count.
+TEST(CampaignDeterminismTest, TraceAndMetricsAreJobCountInvariant) {
+  auto traced = [](int jobs) {
+    struct Out {
+      std::string trace;
+      obs::MetricsRegistry metrics;
+    } out;
+    obs::Tracer tracer;
+    auto cfg = small_config(jobs);
+    cfg.tracer = &tracer;
+    cfg.metrics = &out.metrics;
+    run_campaign(cfg);
+    obs::TraceMeta meta;
+    meta.dim = cfg.dim;
+    meta.seed = cfg.seed;
+    meta.mode = "campaign";
+    std::stringstream ss;
+    obs::write_jsonl(ss, meta, tracer);
+    out.trace = ss.str();
+    return out;
+  };
+  const auto serial = traced(1);
+  const auto parallel = traced(4);
+  ASSERT_FALSE(serial.trace.empty());
+  EXPECT_EQ(serial.trace, parallel.trace);
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    EXPECT_EQ(serial.metrics.get(c), parallel.metrics.get(c))
+        << obs::to_string(c);
+  }
+  EXPECT_GT(serial.metrics.get(obs::Counter::kScenarios), 0u);
+
+  // The merged trace is schema-valid as written.
+  std::stringstream ss(serial.trace);
+  std::string error;
+  EXPECT_TRUE(obs::read_jsonl(ss, &error)) << error;
+}
+
+// Attaching a tracer must not perturb the campaign itself.
+TEST(CampaignDeterminismTest, TracingDoesNotChangeTheSummary) {
+  const auto plain = run_campaign(small_config(2));
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  auto cfg = small_config(2);
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  const auto traced = run_campaign(cfg);
+  expect_same_summary(plain, traced);
+  EXPECT_FALSE(tracer.empty());
 }
 
 TEST(CampaignDeterminismTest, JobCountDoesNotLeakIntoTheorem3Verdict) {

@@ -145,5 +145,58 @@ TEST(TrafficMaskTest, PerIterationCoverageIsExactlyTheClosedForm) {
   }
 }
 
+// Host-link traffic appears in the recorded event log alongside node-node
+// traffic (regression: send_host used to bypass the recording path, so
+// checkpoint uploads and error reports were invisible to traffic accounting).
+TEST(TrafficMaskTest, CheckpointUploadsAppearInTheLinkEventLog) {
+  const int dim = 3;
+  const auto num_nodes = cube::NodeId{1} << dim;
+
+  SftOptions opts;
+  opts.checkpoint = true;
+  opts.record_link_events = true;
+  auto input = util::random_keys(35, num_nodes);
+  auto run = run_sft(dim, input, opts);
+  ASSERT_TRUE(run.errors.empty());
+
+  std::size_t uploads = 0, node_node = 0;
+  for (const auto& e : run.link_events) {
+    ASSERT_FALSE(e.to_host && e.from_host);
+    if (e.to_host) {
+      EXPECT_EQ(e.kind, sim::MsgKind::kCheckpoint);
+      EXPECT_TRUE(e.delivered);  // host links never drop
+      EXPECT_GT(e.words, 0u);
+      ++uploads;
+    } else if (!e.from_host) {
+      ++node_node;
+    }
+  }
+  // One upload per node per stage boundary.
+  EXPECT_EQ(uploads, static_cast<std::size_t>(num_nodes) * dim);
+  EXPECT_GT(node_node, 0u);
+}
+
+TEST(TrafficMaskTest, ErrorReportsAppearInTheLinkEventLog) {
+  const int dim = 3;
+  const auto num_nodes = cube::NodeId{1} << dim;
+
+  SftOptions opts;
+  opts.record_link_events = true;
+  opts.node_faults[5].halt_at = fault::StagePoint{1, 0};
+  auto input = util::random_keys(37, num_nodes);
+  auto run = run_sft(dim, input, opts);
+  ASSERT_TRUE(run.fail_stop());
+
+  std::size_t error_msgs = 0;
+  for (const auto& e : run.link_events)
+    if (e.to_host && e.kind == sim::MsgKind::kHostError) {
+      EXPECT_TRUE(e.delivered);
+      ++error_msgs;
+    }
+  // Every fail-stop report travelled the host link and was recorded.
+  EXPECT_EQ(error_msgs, run.errors.size());
+  EXPECT_GE(error_msgs, 1u);
+}
+
 }  // namespace
 }  // namespace aoft::sort

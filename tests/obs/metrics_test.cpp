@@ -1,0 +1,141 @@
+// MetricsRegistry: counters, log2 histograms, per-stage verdict pools, and
+// the in-order merge the parallel campaigns rely on (one registry per slot,
+// merged after the pool drains — same discipline as CampaignSummary, so the
+// totals are bit-identical for every job count).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace aoft::obs {
+namespace {
+
+TEST(MetricsTest, CountersStartAtZeroAndAccumulate) {
+  MetricsRegistry m;
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    EXPECT_EQ(m.get(static_cast<Counter>(i)), 0u);
+  m.inc(Counter::kLinkMsgs);
+  m.inc(Counter::kLinkMsgs);
+  m.inc(Counter::kLinkWords, 40);
+  EXPECT_EQ(m.get(Counter::kLinkMsgs), 2u);
+  EXPECT_EQ(m.get(Counter::kLinkWords), 40u);
+  EXPECT_EQ(m.get(Counter::kTimeouts), 0u);
+}
+
+TEST(MetricsTest, EveryCounterHasADistinctName) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const char* name = to_string(static_cast<Counter>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_STRNE(name, to_string(static_cast<Counter>(j)));
+  }
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  Histogram h;
+  h.observe(0);            // bucket 0
+  h.observe(1);            // bucket 1: [1, 2)
+  h.observe(2);            // bucket 2: [2, 4)
+  h.observe(3);            // bucket 2
+  h.observe(4);            // bucket 3: [4, 8)
+  h.observe(1024);         // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.max(), 1024u);
+}
+
+TEST(MetricsTest, HistogramClampsHugeValuesIntoTheLastBucket) {
+  Histogram h;
+  h.observe(~std::uint64_t{0});  // bit_width 64 >> kBuckets
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+TEST(MetricsTest, PhiVerdictsPoolPerStage) {
+  MetricsRegistry m;
+  m.phi_verdict(0, true);
+  m.phi_verdict(2, true);
+  m.phi_verdict(2, false);
+  ASSERT_EQ(m.per_stage().size(), 3u);
+  EXPECT_EQ(m.per_stage()[0].pass, 1u);
+  EXPECT_EQ(m.per_stage()[0].fail, 0u);
+  EXPECT_EQ(m.per_stage()[1].pass, 0u);
+  EXPECT_EQ(m.per_stage()[2].pass, 1u);
+  EXPECT_EQ(m.per_stage()[2].fail, 1u);
+  // Negative stages (host / global scope) must not grow the table.
+  m.phi_verdict(-1, true);
+  EXPECT_EQ(m.per_stage().size(), 3u);
+}
+
+TEST(MetricsTest, MergeAddsEveryComponent) {
+  MetricsRegistry a, b;
+  a.inc(Counter::kErrors, 2);
+  a.observe_msg_words(8);
+  a.phi_verdict(1, true);
+  b.inc(Counter::kErrors, 3);
+  b.inc(Counter::kRollbacks);
+  b.observe_msg_words(8);
+  b.observe_queue_depth(5);
+  b.phi_verdict(1, false);
+  b.phi_verdict(3, true);
+
+  a.merge(b);
+  EXPECT_EQ(a.get(Counter::kErrors), 5u);
+  EXPECT_EQ(a.get(Counter::kRollbacks), 1u);
+  EXPECT_EQ(a.msg_words().total(), 2u);
+  EXPECT_EQ(a.queue_depth().total(), 1u);
+  ASSERT_EQ(a.per_stage().size(), 4u);
+  EXPECT_EQ(a.per_stage()[1].pass, 1u);
+  EXPECT_EQ(a.per_stage()[1].fail, 1u);
+  EXPECT_EQ(a.per_stage()[3].pass, 1u);
+}
+
+TEST(MetricsTest, SlotMergeEqualsSequentialCollection) {
+  // The campaign discipline: writing into per-slot registries and merging in
+  // slot order must equal writing everything into one registry directly.
+  MetricsRegistry slot0, slot1, merged, direct;
+  auto record = [](MetricsRegistry& m, int base) {
+    m.inc(Counter::kLinkMsgs, static_cast<std::uint64_t>(base));
+    m.observe_msg_words(static_cast<std::uint64_t>(base));
+    m.phi_verdict(base % 3, base % 2 == 0);
+  };
+  record(slot0, 4);
+  record(slot1, 9);
+  record(direct, 4);
+  record(direct, 9);
+  merged.merge(slot0);
+  merged.merge(slot1);
+  EXPECT_EQ(merged.get(Counter::kLinkMsgs), direct.get(Counter::kLinkMsgs));
+  EXPECT_EQ(merged.msg_words().total(), direct.msg_words().total());
+  EXPECT_EQ(merged.msg_words().max(), direct.msg_words().max());
+  ASSERT_EQ(merged.per_stage().size(), direct.per_stage().size());
+  for (std::size_t s = 0; s < merged.per_stage().size(); ++s) {
+    EXPECT_EQ(merged.per_stage()[s].pass, direct.per_stage()[s].pass);
+    EXPECT_EQ(merged.per_stage()[s].fail, direct.per_stage()[s].fail);
+  }
+}
+
+TEST(MetricsTest, TracerAppendKeepsSlotOrder) {
+  Tracer a, b;
+  a.instant(Ev::kScenario, kGlobal, -1, -1, 0.0, /*slot=*/0, 0);
+  b.instant(Ev::kScenario, kGlobal, -1, -1, 0.0, /*slot=*/1, 0);
+  b.instant(Ev::kRunEnd, kGlobal, -1, -1, 1.0);
+  a.append(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.events()[0].a, 0);
+  EXPECT_EQ(a.events()[1].a, 1);
+  EXPECT_EQ(a.events()[2].kind, Ev::kRunEnd);
+}
+
+}  // namespace
+}  // namespace aoft::obs

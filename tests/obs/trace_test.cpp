@@ -1,0 +1,295 @@
+// Observability layer: trace emission and (de)serialization.
+//
+// The JSONL schema is the stable machine-readable record of a run
+// (docs/PROTOCOL.md §9), so these tests pin down (a) the roundtrip — what a
+// Tracer held is exactly what read_jsonl returns, (b) that the validator
+// rejects corrupted files with a line number rather than absorbing them, and
+// (c) that an instrumented S_FT run actually emits the events the Theorem 3
+// argument needs: stage spans, Φ verdicts, and the detection event of an
+// injected fault.
+
+#include "obs/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/sink.h"
+#include "sort/sft.h"
+#include "util/rng.h"
+
+namespace aoft::obs {
+namespace {
+
+TraceMeta test_meta() {
+  TraceMeta m;
+  m.dim = 3;
+  m.block = 2;
+  m.seed = 42;
+  m.mode = "single";
+  return m;
+}
+
+Tracer sample_tracer() {
+  Tracer tr;
+  tr.instant(Ev::kRunBegin, kGlobal, 0, -1, 0.0, 3, 2);
+  tr.span(Ev::kStage, 5, 1, 10.25, 17.5);
+  tr.instant(Ev::kPhiP, 5, 1, -1, 17.5, 1, 0);
+  tr.instant(Ev::kPhiC, 2, 1, 0, 12.0, 0, 7, "stale entry, pos 7");
+  tr.instant(Ev::kError, 2, 1, 0, 12.0, 2, 0, "detail with \"quotes\"\n");
+  tr.instant(Ev::kRunEnd, kGlobal, -1, -1, 99.125, 1, 0);
+  return tr;
+}
+
+TEST(TraceIoTest, EveryEventKindRoundTripsByName) {
+  for (int k = 0; k <= static_cast<int>(Ev::kScenario); ++k) {
+    const auto ev = static_cast<Ev>(k);
+    Ev back;
+    ASSERT_TRUE(ev_from_string(to_string(ev), back)) << to_string(ev);
+    EXPECT_EQ(back, ev);
+  }
+  Ev dummy;
+  EXPECT_FALSE(ev_from_string("no_such_kind", dummy));
+}
+
+TEST(TraceIoTest, JsonlRoundTripPreservesEverything) {
+  const auto meta = test_meta();
+  const auto tr = sample_tracer();
+  std::stringstream ss;
+  write_jsonl(ss, meta, tr);
+
+  std::string error;
+  auto parsed = read_jsonl(ss, &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->meta, meta);
+  ASSERT_EQ(parsed->events.size(), tr.size());
+  for (std::size_t i = 0; i < tr.size(); ++i)
+    EXPECT_EQ(parsed->events[i], tr.events()[i]) << "event " << i;
+}
+
+TEST(TraceIoTest, SameTracerWritesIdenticalBytes) {
+  const auto meta = test_meta();
+  const auto tr = sample_tracer();
+  std::stringstream a, b;
+  write_jsonl(a, meta, tr);
+  write_jsonl(b, meta, tr);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream ss(
+      R"({"k":"stage","n":0,"s":0,"i":-1,"t0":0,"t1":1,"a":0,"b":0})" "\n");
+  std::string error;
+  EXPECT_FALSE(read_jsonl(ss, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, RejectsUnknownEventKindWithLineNumber) {
+  std::stringstream ss;
+  write_jsonl(ss, test_meta(), Tracer{});
+  ss.clear();
+  ss.seekp(0, std::ios::end);
+  ss << R"({"k":"bogus","n":0,"s":0,"i":-1,"t0":0,"t1":0,"a":0,"b":0})" << "\n";
+  std::string error;
+  EXPECT_FALSE(read_jsonl(ss, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, RejectsSpanEndingBeforeItStarts) {
+  std::stringstream ss;
+  write_jsonl(ss, test_meta(), Tracer{});
+  ss.clear();
+  ss.seekp(0, std::ios::end);
+  ss << R"({"k":"stage","n":0,"s":0,"i":-1,"t0":5,"t1":4,"a":0,"b":0})" << "\n";
+  std::string error;
+  EXPECT_FALSE(read_jsonl(ss, &error));
+  EXPECT_NE(error.find("ends before"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, RejectsNonBinaryVerdictPayload) {
+  std::stringstream ss;
+  write_jsonl(ss, test_meta(), Tracer{});
+  ss.clear();
+  ss.seekp(0, std::ios::end);
+  ss << R"({"k":"phi_p","n":0,"s":0,"i":-1,"t0":0,"t1":0,"a":2,"b":0})" << "\n";
+  std::string error;
+  EXPECT_FALSE(read_jsonl(ss, &error));
+  EXPECT_NE(error.find("verdict"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, RejectsTruncatedFileViaDeclaredEventCount) {
+  const auto meta = test_meta();
+  const auto tr = sample_tracer();
+  std::stringstream full;
+  write_jsonl(full, meta, tr);
+  // Drop the last line: the header still declares tr.size() events.
+  std::string text = full.str();
+  text.erase(text.find_last_of('\n', text.size() - 2) + 1);
+  std::stringstream truncated(text);
+  std::string error;
+  EXPECT_FALSE(read_jsonl(truncated, &error));
+  EXPECT_NE(error.find("declares"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, ChromeExportValidates) {
+  std::stringstream ss;
+  write_chrome(ss, test_meta(), sample_tracer());
+  std::string error;
+  std::size_t events = 0;
+  EXPECT_TRUE(validate_chrome(ss, &error, &events)) << error;
+  // 6 events + one thread_name metadata record per distinct node (5, 2,
+  // kGlobal).
+  EXPECT_EQ(events, 6u + 3u);
+}
+
+TEST(TraceIoTest, ChromeValidatorRejectsEventWithoutTimestamp) {
+  std::stringstream ss(
+      R"({"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]})");
+  std::string error;
+  EXPECT_FALSE(validate_chrome(ss, &error));
+  EXPECT_NE(error.find("ts"), std::string::npos) << error;
+}
+
+// ---- instrumented S_FT runs -------------------------------------------------
+
+struct Collected {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  sort::SortRun run;
+};
+
+Collected traced_sft(int dim, const sort::SftOptions& opts, std::uint64_t seed) {
+  Collected c;
+  const auto n = std::size_t{1} << dim;
+  auto input = util::random_keys(seed, n * opts.block);
+  ScopedSink bind(&c.tracer, &c.metrics);
+  c.run = sort::run_sft(dim, input, opts);
+  return c;
+}
+
+TEST(TraceSftTest, FaultFreeRunEmitsSpansAndVerdicts) {
+  const int dim = 3;
+  const auto c = traced_sft(dim, {}, 7);
+  ASSERT_TRUE(c.run.errors.empty());
+  ASSERT_FALSE(c.tracer.empty());
+
+  const auto& evs = c.tracer.events();
+  EXPECT_EQ(evs.front().kind, Ev::kRunBegin);
+  EXPECT_EQ(evs.front().a, dim);
+  EXPECT_EQ(evs.back().kind, Ev::kRunEnd);
+  EXPECT_EQ(evs.back().a, 0);  // no errors
+
+  // Every node closes a span per stage plus the final verification round.
+  std::size_t stage_spans = 0;
+  for (const auto& e : evs)
+    if (e.kind == Ev::kStage) {
+      ++stage_spans;
+      EXPECT_GE(e.t1, e.t0);
+      EXPECT_GE(e.stage, 0);
+      EXPECT_LE(e.stage, dim);
+    }
+  const auto n = std::size_t{1} << dim;
+  EXPECT_EQ(stage_spans, n * (dim + 1));
+
+  // All predicates passed, and the metrics agree with the trace.
+  EXPECT_GT(c.metrics.get(Counter::kPhiPPass), 0u);
+  EXPECT_GT(c.metrics.get(Counter::kPhiFPass), 0u);
+  EXPECT_GT(c.metrics.get(Counter::kPhiCPass), 0u);
+  EXPECT_EQ(c.metrics.get(Counter::kPhiPFail), 0u);
+  EXPECT_EQ(c.metrics.get(Counter::kPhiFFail), 0u);
+  EXPECT_EQ(c.metrics.get(Counter::kPhiCFail), 0u);
+  EXPECT_EQ(c.metrics.get(Counter::kErrors), 0u);
+  for (const auto& e : evs) {
+    if (e.kind == Ev::kPhiP || e.kind == Ev::kPhiF || e.kind == Ev::kPhiC) {
+      EXPECT_EQ(e.a, 1) << to_string(e.kind) << " at stage " << e.stage;
+    }
+  }
+}
+
+TEST(TraceSftTest, LinkCountersMatchTheMachineSummary) {
+  // No checkpointing and no faults: all traffic is node-node, so the metrics
+  // view and the machine's own accounting must coincide exactly.
+  const auto c = traced_sft(3, {}, 11);
+  ASSERT_TRUE(c.run.errors.empty());
+  EXPECT_EQ(c.metrics.get(Counter::kLinkMsgs), c.run.summary.total_msgs);
+  EXPECT_EQ(c.metrics.get(Counter::kLinkWords), c.run.summary.total_words);
+  EXPECT_EQ(c.metrics.get(Counter::kHostMsgs), 0u);
+  EXPECT_EQ(c.metrics.msg_words().total(), c.run.summary.total_msgs);
+}
+
+TEST(TraceSftTest, InjectedHaltShowsUpAsDetectionEvents) {
+  const int dim = 3;
+  sort::SftOptions opts;
+  opts.node_faults[5].halt_at = fault::StagePoint{1, 1};
+  const auto c = traced_sft(dim, opts, 13);
+  ASSERT_TRUE(c.run.fail_stop());
+
+  std::size_t errors = 0, timeouts = 0, watchdogs = 0;
+  for (const auto& e : c.tracer.events()) {
+    if (e.kind == Ev::kError) ++errors;
+    if (e.kind == Ev::kTimeout) ++timeouts;
+    if (e.kind == Ev::kWatchdogRound) ++watchdogs;
+  }
+  EXPECT_EQ(errors, c.run.errors.size());
+  EXPECT_GE(timeouts, 1u);
+  EXPECT_GE(watchdogs, 1u);
+  EXPECT_EQ(c.metrics.get(Counter::kErrors), errors);
+  EXPECT_EQ(c.metrics.get(Counter::kWatchdogRounds),
+            static_cast<std::uint64_t>(c.run.summary.watchdog_rounds));
+
+  // The run-end record carries the failure: a = number of error reports.
+  const auto& last = c.tracer.events().back();
+  ASSERT_EQ(last.kind, Ev::kRunEnd);
+  EXPECT_EQ(last.a, static_cast<std::int64_t>(c.run.errors.size()));
+}
+
+TEST(TraceSftTest, CheckpointRunEmitsUploadsAndCertifications) {
+  const int dim = 3;
+  sort::SftOptions opts;
+  opts.checkpoint = true;
+  const auto c = traced_sft(dim, opts, 17);
+  ASSERT_TRUE(c.run.errors.empty());
+
+  std::size_t uploads = 0, certs = 0;
+  for (const auto& e : c.tracer.events()) {
+    if (e.kind == Ev::kCkptUpload) ++uploads;
+    if (e.kind == Ev::kCkptCertify) ++certs;
+  }
+  // One upload per node per stage boundary.
+  const auto n = std::size_t{1} << dim;
+  EXPECT_EQ(uploads, n * dim);
+  EXPECT_EQ(certs, c.run.checkpoints.size());
+  EXPECT_EQ(c.metrics.get(Counter::kCkptUploads), uploads);
+  EXPECT_GT(c.metrics.get(Counter::kHostMsgs), 0u);
+}
+
+TEST(TraceSftTest, TraceIsDeterministicAcrossRepeatedRuns) {
+  sort::SftOptions opts;
+  opts.node_faults[3].halt_at = fault::StagePoint{2, 0};
+  const auto a = traced_sft(3, opts, 23);
+  const auto b = traced_sft(3, opts, 23);
+  std::stringstream sa, sb;
+  write_jsonl(sa, test_meta(), a.tracer);
+  write_jsonl(sb, test_meta(), b.tracer);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(TraceSftTest, NothingIsEmittedWithoutABoundSink) {
+  // The disabled path must leave no trace: no sink, no events, no counters.
+  Tracer ambient;
+  MetricsRegistry ambient_metrics;
+  {
+    ScopedSink outer(&ambient, &ambient_metrics);
+    // Inner scope rebinds to null: instrumentation inside must see nothing.
+    ScopedSink inner(nullptr, nullptr);
+    auto input = util::random_keys(29, 8);
+    auto run = sort::run_sft(3, input);
+    ASSERT_TRUE(run.errors.empty());
+  }
+  EXPECT_TRUE(ambient.empty());
+  EXPECT_EQ(ambient_metrics.get(Counter::kLinkMsgs), 0u);
+}
+
+}  // namespace
+}  // namespace aoft::obs

@@ -99,6 +99,48 @@ TEST(ChannelTest, WatchdogFailsWaiter) {
   EXPECT_EQ(after, 1);
 }
 
+// One receiver per channel at a time — always-on, not just a debug assert: a
+// second concurrent recv() would corrupt the waiter slot and hang or misroute
+// messages in release builds.  The violation must surface at the offending
+// co_await and leave the first receiver's suspension intact.
+TEST(ChannelTest, SecondConcurrentReceiverThrows) {
+  Scheduler sched;
+  Channel ch(sched);
+  bool first_done = false;
+  sched.spawn([](Channel& c, bool& done) -> SimTask {
+    auto r = co_await c.recv();  // suspends; later failed by the watchdog
+    EXPECT_FALSE(r.ok);
+    done = true;
+  }(ch, first_done));
+  sched.spawn([](Channel& c) -> SimTask {
+    auto r = co_await c.recv();  // the channel is already being waited on
+    (void)r;
+  }(ch));
+  EXPECT_THROW(sched.run(), std::logic_error);
+  // The first receiver is still suspended (the run aborted); its frame is
+  // reclaimed by the scheduler, so nothing leaks under ASan.
+  EXPECT_FALSE(first_done);
+}
+
+// Sequential receives on one channel remain legal: the restriction is on
+// *concurrent* waiters only.
+TEST(ChannelTest, SequentialReceivesOnOneChannelAreFine) {
+  Scheduler sched;
+  Channel ch(sched);
+  ch.push(msg_with_tag(1));
+  ch.push(msg_with_tag(2));
+  std::vector<int> got;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    for (int i = 0; i < 2; ++i) {
+      auto r = co_await c.recv();
+      EXPECT_TRUE(r.ok);
+      out.push_back(r.msg.tag);
+    }
+  }(ch, got));
+  EXPECT_NO_THROW(sched.run());
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
 TEST(ChannelTest, HasMessage) {
   Scheduler sched;
   Channel ch(sched);

@@ -212,6 +212,79 @@ TEST(MachineTest, InterceptorCanMutatePayload) {
   EXPECT_EQ(got[1], 42);
 }
 
+// Host-link traffic must flow through the same recording path as node-node
+// traffic: a gather/scatter round shows up in link_events() with the host
+// flags set.  (Regression: send_host/HostCtx::send used to push straight into
+// the channels, so the event log silently missed every host message.)
+TEST(MachineTest, HostLinkEventsAreRecorded) {
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.record_link_events(true);
+  machine.run(
+      [](Ctx& ctx) -> SimTask {
+        Message up;
+        up.kind = MsgKind::kHostGather;
+        up.data = {static_cast<Key>(ctx.id()), 0, 0};  // 3 words
+        ctx.send_host(std::move(up));
+        auto r = co_await ctx.recv_host();
+        EXPECT_TRUE(r.ok);
+      },
+      [](HostCtx& host) -> SimTask {
+        for (int i = 0; i < 2; ++i) {
+          auto r = co_await host.recv();
+          EXPECT_TRUE(r.ok);
+          host.account_recv(r.msg);
+        }
+        for (cube::NodeId p = 0; p < 2; ++p) {
+          Message down;
+          down.kind = MsgKind::kHostScatter;
+          down.data = {7};
+          host.send(p, std::move(down));
+        }
+      });
+  std::size_t uploads = 0, downloads = 0;
+  for (const auto& e : machine.link_events()) {
+    EXPECT_TRUE(e.delivered);  // host links never drop
+    if (e.to_host) {
+      ++uploads;
+      EXPECT_EQ(e.kind, MsgKind::kHostGather);
+      EXPECT_EQ(e.words, 3u);
+    }
+    if (e.from_host) {
+      ++downloads;
+      EXPECT_EQ(e.kind, MsgKind::kHostScatter);
+      EXPECT_EQ(e.words, 1u);
+    }
+    EXPECT_FALSE(e.to_host && e.from_host);
+  }
+  EXPECT_EQ(uploads, 2u);
+  EXPECT_EQ(downloads, 2u);
+}
+
+// The "links join neighbors only" invariant must hold in every build mode:
+// a protocol bug that picks a non-adjacent partner has to fail loudly, not
+// silently corrupt a release-mode campaign.
+TEST(MachineTest, SendToNonNeighborThrows) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  EXPECT_THROW(machine.run([](Ctx& ctx) -> SimTask {
+                 if (ctx.id() == 0) ctx.send(3, Message{});  // 0 and 3 differ in 2 bits
+                 co_return;
+               }),
+               std::logic_error);
+  EXPECT_TRUE(machine.ran());  // consumed: a re-run must still be refused
+}
+
+TEST(MachineTest, RecvFromNonNeighborThrows) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  EXPECT_THROW(machine.run([](Ctx& ctx) -> SimTask {
+                 if (ctx.id() == 0) {
+                   auto r = co_await ctx.recv(3);
+                   (void)r;
+                 }
+                 co_return;
+               }),
+               std::logic_error);
+}
+
 TEST(MachineTest, LinkEventsRecordTraffic) {
   Machine machine(cube::Topology{1}, CostModel{});
   machine.record_link_events(true);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/channel.h"
+#include "sim/machine.h"
 
 namespace aoft::sim {
 namespace {
@@ -33,6 +34,43 @@ TEST(SchedulerTest, PropagatesTaskException) {
     co_return;
   }());
   EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+// Regression: run() rethrows the first task exception while *other* tasks
+// are still suspended mid-coroutine.  The scheduler owns every frame, so the
+// abandoned coroutines must be reclaimed when it is destroyed (ASan would
+// flag the leak) and later spawns/runs must not touch the dead state.
+TEST(SchedulerTest, ExceptionWithSuspendedPeersLeaksNothing) {
+  Scheduler sched;
+  Channel ch(sched);
+  bool resumed = false;
+  sched.spawn([](Channel& c, bool& r) -> SimTask {
+    auto res = co_await c.recv();  // suspends forever: nobody pushes
+    (void)res;
+    r = true;
+  }(ch, resumed));
+  sched.spawn([]() -> SimTask {
+    throw std::runtime_error("mid-run failure");
+    co_return;
+  }());
+  EXPECT_THROW(sched.run(), std::runtime_error);
+  EXPECT_FALSE(resumed);  // the waiter was abandoned, not spuriously resumed
+}
+
+// The same property one layer up: a throwing node program leaves the Machine
+// consumed (ran() == true, second run refused) with its frames reclaimed.
+TEST(SchedulerTest, ThrowingNodeMainLeavesMachineConsumed) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  EXPECT_THROW(machine.run([](Ctx& ctx) -> SimTask {
+                 if (ctx.id() == 1) throw std::runtime_error("node died");
+                 // Every other node blocks on a message that never comes.
+                 auto r = co_await ctx.recv(ctx.topo().neighbor(ctx.id(), 0));
+                 (void)r;
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(machine.ran());
+  EXPECT_THROW(machine.run([](Ctx&) -> SimTask { co_return; }),
+               std::logic_error);
 }
 
 TEST(SchedulerTest, NoWatchdogWhenNothingBlocks) {

@@ -29,9 +29,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "fault/adversary.h"
+#include "obs/sink.h"
+#include "obs/trace_io.h"
 #include "fault/campaign.h"
 #include "fault/localization.h"
 #include "fault/supervisor.h"
@@ -54,6 +57,8 @@ struct Args {
   bool quiet = false;
   std::string recover = "off";  // off|restart|rollback|ladder
   bool transient = false;       // injected faults hit attempt 0 only
+  std::string trace;            // structured run trace output path
+                                // (.json = Chrome trace_event, else JSONL)
   // campaign mode
   bool campaign = false;
   int jobs = 1;      // campaign worker threads; 0 = hardware concurrency
@@ -102,6 +107,12 @@ bool parse(int argc, char** argv, Args& args) {
       if (!args.has_two_faced) return false;
     } else if (a.rfind("--recover=", 0) == 0) {
       args.recover = value("--recover=");
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.trace = value("--trace=");
+      if (args.trace.empty()) {
+        std::fprintf(stderr, "--trace requires a path\n");
+        return false;
+      }
     } else if (a == "--campaign") {
       args.campaign = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
@@ -158,6 +169,30 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
+// Serialize the collected trace and print the metrics digest.  Returns false
+// (after printing the cause) when the trace file cannot be written.
+bool finish_trace(const Args& args, const char* mode,
+                  const obs::Tracer& tracer,
+                  const obs::MetricsRegistry& metrics) {
+  if (args.trace.empty()) return true;
+  obs::TraceMeta meta;
+  meta.dim = args.dim;
+  meta.block = args.block;
+  meta.seed = args.seed;
+  meta.mode = mode;
+  std::string err;
+  if (!obs::write_trace_file(args.trace, meta, tracer, &err)) {
+    std::fprintf(stderr, "trace: %s\n", err.c_str());
+    return false;
+  }
+  if (!args.quiet) {
+    std::printf("trace: %zu events -> %s\n", tracer.size(),
+                args.trace.c_str());
+    std::fputs(obs::format_metrics(metrics).c_str(), stdout);
+  }
+  return true;
+}
+
 int run_campaign_mode(const Args& args) {
   fault::CampaignConfig cfg;
   cfg.dim = args.dim;
@@ -165,6 +200,13 @@ int run_campaign_mode(const Args& args) {
   cfg.runs_per_class = args.runs;
   cfg.seed = args.seed;
   cfg.jobs = args.jobs;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (!args.trace.empty()) {
+    cfg.tracer = &tracer;
+    cfg.metrics = &metrics;
+  }
 
   if (!args.quiet)
     std::printf("fault campaign: dim=%d block=%zu runs/class=%d seed=%llu "
@@ -212,6 +254,7 @@ int run_campaign_mode(const Args& args) {
   if (!args.quiet)
     std::printf("\nTheorem 3 verdict: S_FT silent-wrong = %d  [%s]\n", silent,
                 silent == 0 ? "OK" : "VIOLATION");
+  if (!finish_trace(args, "campaign", tracer, metrics)) return 1;
   return silent == 0 ? 0 : 1;
 }
 
@@ -238,14 +281,21 @@ int main(int argc, char** argv) {
                  "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
                  "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
                  "          [--recover=off|restart|rollback|ladder] [--transient]\n"
-                 "          [--diagnose] [--quiet]\n"
+                 "          [--diagnose] [--quiet] [--trace=PATH]\n"
                  "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
-                 "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n",
+                 "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n"
+                 "          [--trace=PATH]  (.json = Chrome trace, else JSONL)\n",
                  argv[0], argv[0]);
     return 1;
   }
 
   if (args.campaign) return run_campaign_mode(args);
+
+  // Single and supervised runs execute on this thread; bind the sinks here.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  std::optional<obs::ScopedSink> sink;
+  if (!args.trace.empty()) sink.emplace(&tracer, &metrics);
 
   const auto input = util::random_keys(
       args.seed, (std::size_t{1} << args.dim) * args.block);
@@ -303,6 +353,7 @@ int main(int argc, char** argv) {
                   run.recovered ? "yes" : "no", run.stages_salvaged,
                   run.total_ticks);
     }
+    if (!finish_trace(args, "supervised", tracer, metrics)) return 1;
     switch (outcome) {
       case sort::Outcome::kCorrect: return 0;
       case sort::Outcome::kFailStop: return 2;
@@ -356,6 +407,7 @@ int main(int argc, char** argv) {
                   d.link_suspected ? " (link fault suspected)" : "");
     }
   }
+  if (!finish_trace(args, "single", tracer, metrics)) return 1;
   switch (outcome) {
     case sort::Outcome::kCorrect: return 0;
     case sort::Outcome::kFailStop: return 2;
