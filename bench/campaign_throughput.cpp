@@ -1,21 +1,32 @@
-// Campaign engine throughput: serial vs parallel scenarios/sec.
+// Campaign engine throughput: pooled vs unpooled, serial vs parallel.
 //
 // The §4 campaigns are the statistical backbone of the Theorem 3 claim; how
 // many fault scenarios we can afford bounds how strong that evidence is.
-// This harness times the identical campaign twice — jobs=1 (serial) and
-// jobs=N (one worker per hardware thread by default) — verifies the two
-// CampaignSummaries are bit-identical (the engine's core contract), and
-// writes the numbers to BENCH_campaign.json for CI trend tracking.
+// This harness times the identical campaign four ways:
+//
+//   unpooled — jobs=1, sim::set_pooling(false), reuse_machines=false: the
+//              construct-everything-per-scenario baseline the pooled hot
+//              path is measured against,
+//   serial   — jobs=1 with pooling and per-worker machine reuse (default),
+//   parallel — jobs=N (one worker per hardware thread by default),
+//   traced   — jobs=N with the tracer + metrics sinks attached.
+//
+// All four CampaignSummaries must be bit-identical — pooling, machine reuse,
+// parallelism and tracing are engine concerns, never observable in results.
+// When the binary links the counting allocation hook (util/alloc_hook.h),
+// per-scenario heap-allocation counts are reported for the unpooled and
+// pooled runs; numbers land in BENCH_campaign.json for CI trend tracking.
 //
 //   campaign_throughput [--dim=4] [--runs=50] [--jobs=0] [--seed=1989]
 //                       [--out=BENCH_campaign.json]
 //
 // Exit status: 0 iff the summaries match, every S_FT tally has
-// silent_wrong == 0, and the JSON was written.  The >= 3x speedup target
-// only applies on >= 4-core machines; the JSON records hardware_concurrency
-// so consumers can judge.
+// silent_wrong == 0, and the JSON was written.  The >= 3x parallel speedup
+// target only applies on >= 4-core machines; the JSON records
+// hardware_concurrency so consumers can judge.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -23,6 +34,8 @@
 #include "fault/campaign.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/pool.h"
+#include "util/alloc_hook.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -73,15 +86,18 @@ long long scenarios_executed(const fault::CampaignSummary& s) {
 struct Timed {
   fault::CampaignSummary summary;
   double seconds = 0.0;
+  std::uint64_t allocs = 0;  // ::operator new calls during the run (hooked)
 };
 
 Timed timed_campaign(fault::CampaignConfig cfg, int jobs) {
   cfg.jobs = jobs;
   Timed t;
+  const std::uint64_t a0 = util::alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   t.summary = fault::run_campaign(cfg);
   const auto t1 = std::chrono::steady_clock::now();
   t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  t.allocs = util::alloc_count() - a0;
   return t;
 }
 
@@ -101,12 +117,23 @@ int main(int argc, char** argv) {
   std::cout << "campaign throughput: dim=" << cfg.dim << " runs/class="
             << cfg.runs_per_class << " seed=" << cfg.seed
             << " parallel jobs=" << parallel_jobs
-            << " (hardware threads: " << hw << ")\n";
+            << " (hardware threads: " << hw
+            << ", alloc hook: " << (util::alloc_hook_active() ? "on" : "off")
+            << ")\n";
+
+  // Baseline first, before any pooled run warms thread-local machines: no
+  // key pooling, no machine reuse — a fresh Machine, channel set and vector
+  // per scenario, the engine as it was before the pooled hot path.
+  sim::set_pooling(false);
+  fault::CampaignConfig unpooled_cfg = cfg;
+  unpooled_cfg.reuse_machines = false;
+  const auto unpooled = timed_campaign(unpooled_cfg, 1);
+  sim::set_pooling(true);
 
   const auto serial = timed_campaign(cfg, 1);
   const auto parallel = timed_campaign(cfg, parallel_jobs);
 
-  // Third run with the observability layer attached: same campaign, tracer +
+  // Final run with the observability layer attached: same campaign, tracer +
   // metrics collected per slot and merged.  Guards the "zero-cost when
   // disabled / cheap when enabled" contract — the traced summary must still
   // be bit-identical, and trace_overhead is recorded for trend tracking.
@@ -117,27 +144,36 @@ int main(int argc, char** argv) {
   traced_cfg.metrics = &metrics;
   const auto traced = timed_campaign(traced_cfg, parallel_jobs);
 
-  const bool identical = same_summary(serial.summary, parallel.summary) &&
+  const bool identical = same_summary(serial.summary, unpooled.summary) &&
+                         same_summary(serial.summary, parallel.summary) &&
                          same_summary(serial.summary, traced.summary);
   int silent_wrong = 0;
   for (const auto& t : serial.summary.sft) silent_wrong += t.silent_wrong;
   const long long scenarios = scenarios_executed(serial.summary);
-  const double serial_rate =
-      serial.seconds > 0 ? scenarios / serial.seconds : 0.0;
-  const double parallel_rate =
-      parallel.seconds > 0 ? scenarios / parallel.seconds : 0.0;
-  const double speedup =
+  const auto rate = [scenarios](const Timed& t) {
+    return t.seconds > 0 ? scenarios / t.seconds : 0.0;
+  };
+  const auto per_scenario = [scenarios](const Timed& t) {
+    return scenarios > 0 ? static_cast<double>(t.allocs) / scenarios : 0.0;
+  };
+  const double pooling_speedup =
+      serial.seconds > 0 ? unpooled.seconds / serial.seconds : 0.0;
+  const double parallel_speedup =
       parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
-
   const double trace_overhead =
       parallel.seconds > 0
           ? (traced.seconds - parallel.seconds) / parallel.seconds
           : 0.0;
 
-  std::printf("serial   : %8.3f s  %9.1f scenarios/s\n", serial.seconds,
-              serial_rate);
+  std::printf("unpooled : %8.3f s  %9.1f scenarios/s  %8.1f allocs/scenario\n",
+              unpooled.seconds, rate(unpooled), per_scenario(unpooled));
+  std::printf(
+      "serial   : %8.3f s  %9.1f scenarios/s  %8.1f allocs/scenario  "
+      "(%.2fx vs unpooled)\n",
+      serial.seconds, rate(serial), per_scenario(serial), pooling_speedup);
   std::printf("parallel : %8.3f s  %9.1f scenarios/s  (%d jobs, %.2fx)\n",
-              parallel.seconds, parallel_rate, parallel_jobs, speedup);
+              parallel.seconds, rate(parallel), parallel_jobs,
+              parallel_speedup);
   std::printf("traced   : %8.3f s  (%zu events, %+.1f%% vs parallel)\n",
               traced.seconds, tracer.size(), 100.0 * trace_overhead);
   std::printf("summaries bit-identical: %s\n", identical ? "yes" : "NO");
@@ -154,9 +190,15 @@ int main(int argc, char** argv) {
                "  \"runs_per_class\": %d,\n"
                "  \"seed\": %llu,\n"
                "  \"hardware_concurrency\": %d,\n"
+               "  \"alloc_hook_active\": %s,\n"
                "  \"scenarios_executed\": %lld,\n"
+               "  \"unpooled_seconds\": %.6f,\n"
+               "  \"unpooled_scenarios_per_sec\": %.2f,\n"
+               "  \"unpooled_allocs_per_scenario\": %.2f,\n"
                "  \"serial_seconds\": %.6f,\n"
                "  \"serial_scenarios_per_sec\": %.2f,\n"
+               "  \"pooled_allocs_per_scenario\": %.2f,\n"
+               "  \"pooling_speedup\": %.3f,\n"
                "  \"parallel_jobs\": %d,\n"
                "  \"parallel_seconds\": %.6f,\n"
                "  \"parallel_scenarios_per_sec\": %.2f,\n"
@@ -168,9 +210,12 @@ int main(int argc, char** argv) {
                "  \"silent_wrong_total\": %d\n"
                "}\n",
                cfg.dim, cfg.runs_per_class,
-               static_cast<unsigned long long>(cfg.seed), hw, scenarios,
-               serial.seconds, serial_rate, parallel_jobs, parallel.seconds,
-               parallel_rate, speedup, traced.seconds, tracer.size(),
+               static_cast<unsigned long long>(cfg.seed), hw,
+               util::alloc_hook_active() ? "true" : "false", scenarios,
+               unpooled.seconds, rate(unpooled), per_scenario(unpooled),
+               serial.seconds, rate(serial), per_scenario(serial),
+               pooling_speedup, parallel_jobs, parallel.seconds,
+               rate(parallel), parallel_speedup, traced.seconds, tracer.size(),
                trace_overhead, identical ? "true" : "false", silent_wrong);
   std::fclose(f);
   std::cout << "wrote " << out_path << "\n";

@@ -91,11 +91,11 @@ Mutator replay_stale_lbs(cube::NodeId faulty, StagePoint from_point) {
     if (from != faulty || m.lbs.empty() || !reached_point(m, from_point))
       return Action::kPass;
     if (cache->empty()) {
-      *cache = m.lbs;  // record once, replay forever after
+      cache->assign(m.lbs.begin(), m.lbs.end());  // record once, replay forever
       return Action::kPass;
     }
     if (cache->size() != m.lbs.size()) return Action::kPass;  // stage moved on
-    if (*cache == m.lbs) return Action::kPass;  // indistinguishable replay
+    if (m.lbs == *cache) return Action::kPass;  // indistinguishable replay
     m.lbs = *cache;
     return Action::kMutated;
   };

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <functional>
 #include <iterator>
+#include <memory>
 #include <optional>
 
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "sim/machine.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
 #include "util/rng.h"
@@ -247,6 +249,25 @@ SlotOutcome run_slot(FaultClass fclass, const CampaignConfig& cfg,
   return out;
 }
 
+// One simulated Machine per worker thread, rebuilt only when the cube
+// dimension changes and reset() between scenarios (the sort resets it with
+// the run's own cost model).  Machine::reset makes the machine observably
+// identical to a fresh one, so leasing never shows in results or traces —
+// it only removes the per-scenario construction and teardown of 2^dim
+// channel/context sets from the hot path.  Returns nullptr when reuse is
+// disabled, which makes the sorts fall back to a machine per run.
+sim::Machine* lease_machine(int dim, bool reuse) {
+  if (!reuse) return nullptr;
+  thread_local std::unique_ptr<sim::Machine> machine;
+  thread_local int machine_dim = -1;
+  if (machine_dim != dim) {
+    machine = std::make_unique<sim::Machine>(cube::Topology{dim},
+                                             sim::CostModel{});
+    machine_dim = dim;
+  }
+  return machine.get();
+}
+
 // Run body(i) for i in [0, count): inline when jobs == 1, across a pool
 // otherwise.  Bodies write into disjoint slots of pre-sized vectors, so the
 // execution order never shows in the output.
@@ -275,6 +296,7 @@ ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg) {
   opts.check_exchange = cfg.check_exchange;
   instantiate(s, adversary, opts.node_faults);
   if (is_link_class(s.fclass)) opts.interceptor = &adversary;
+  opts.machine = lease_machine(s.dim, cfg.reuse_machines);
   auto run = sort::run_sft(s.dim, input, opts);
   const bool exercised =
       is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
@@ -291,7 +313,7 @@ ScenarioResult run_scenario_snr(const Scenario& s, const CampaignConfig& cfg) {
   instantiate(s, adversary, nf);
   opts.node_faults = std::move(nf);
   if (is_link_class(s.fclass)) opts.interceptor = &adversary;
-  (void)cfg;
+  opts.machine = lease_machine(s.dim, cfg.reuse_machines);
   auto run = sort::run_snr(s.dim, input, opts);
   const bool exercised =
       is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
@@ -336,6 +358,7 @@ MultiResult run_multi_scenario_sft(const MultiScenario& ms,
     any_link_fault |= is_link_class(s.fclass);
   }
   if (any_link_fault) opts.interceptor = &adversary;
+  opts.machine = lease_machine(ms.dim, cfg.reuse_machines);
   auto run = sort::run_sft(ms.dim, input, opts);
 
   MultiResult r;

@@ -133,6 +133,12 @@ struct CampaignConfig {
   // hardware thread, N > 1 = fixed pool of N.  The summary is bit-identical
   // for every value — jobs trades wall-clock only, never results.
   int jobs = 1;
+  // Keep one simulated Machine per worker thread, reset() between scenarios,
+  // instead of reconstructing channels/contexts per attempt.  A reset machine
+  // is observably identical to a fresh one, so results and traces do not
+  // depend on this flag; it exists so bench/campaign_throughput can measure
+  // the unpooled construct-per-scenario baseline from the same binary.
+  bool reuse_machines = true;
   // Optional observability sinks (obs/).  Each slot collects into a private
   // per-slot tracer/registry bound to the executing worker thread; after the
   // pool drains, the engine appends/merges them into these in (class, slot)

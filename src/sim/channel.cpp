@@ -1,5 +1,6 @@
 #include "sim/channel.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "obs/sink.h"
@@ -34,10 +35,22 @@ RecvResult Channel::RecvAwaiter::await_resume() {
     ch_.timed_out_ = false;
     return RecvResult{false, {}};
   }
-  assert(ch_.has_message());
+  // Always-on invariant (PR 3 policy: protocol invariants survive NDEBUG).
+  // A receiver resumed without a timeout flag must have a message waiting;
+  // anything else is a scheduler/channel bookkeeping bug, not a protocol
+  // fault, and must fail loudly in release builds too.
+  if (!ch_.has_message())
+    throw std::logic_error("channel resumed with empty queue and no timeout");
   RecvResult r{true, std::move(ch_.queue_.front())};
   ch_.queue_.pop_front();
   return r;
+}
+
+void Channel::reset() {
+  assert(waiter_ == nullptr);
+  queue_.clear();
+  timed_out_ = false;
+  blocked_index_ = -1;
 }
 
 void Channel::fail_waiter() {

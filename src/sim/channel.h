@@ -11,12 +11,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 
 #include "sim/message.h"
+#include "util/ring.h"
 
 namespace aoft::sim {
 
@@ -52,13 +51,18 @@ class Channel {
   // channel has a suspended receiver: the receive completes with ok = false.
   void fail_waiter();
 
+  // Return the channel to its just-constructed state (Machine::reset).  Any
+  // queued messages release their pooled buffers; the queue keeps its
+  // capacity.  Must not be called while a receiver is suspended.
+  void reset();
+
  private:
   friend class RecvAwaiter;
 
   friend class Scheduler;
 
   Scheduler& sched_;
-  std::deque<Message> queue_;
+  util::Ring<Message> queue_;
   std::coroutine_handle<> waiter_ = nullptr;
   bool timed_out_ = false;
   // Position in the scheduler's blocked list while a receiver is suspended;

@@ -1,0 +1,117 @@
+#include "sim/frame_pool.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace aoft::sim {
+
+#ifdef AOFT_FRAME_POOL_DISABLED
+
+void* frame_allocate(std::size_t size) { return ::operator new(size); }
+void frame_deallocate(void* p, std::size_t) { ::operator delete(p); }
+std::size_t frame_pool_cached() { return 0; }
+
+#else
+
+namespace {
+
+constexpr std::size_t kGranularity = 64;
+constexpr std::size_t kMaxBuckets = 16;  // blocks up to 16*64 = 1024 bytes
+constexpr std::size_t kMaxCachedPerBucket = 64;
+
+struct Bucket {
+  void* head = nullptr;  // singly linked through the first word of each block
+  std::size_t count = 0;
+};
+
+struct FramePool {
+  Bucket buckets[kMaxBuckets];
+  ~FramePool() {
+    for (auto& b : buckets) {
+      while (b.head != nullptr) {
+        void* next = *static_cast<void**>(b.head);
+        std::free(b.head);
+        b.head = next;
+      }
+    }
+  }
+};
+
+// Allocation discipline: every bucketable size (<= kMaxBuckets granules) is
+// malloc'd at its rounded-up bucket size and free'd with std::free, whether
+// or not it passed through the cache; oversized blocks always use plain
+// ::operator new/delete.  Routing by size alone keeps alloc/free pairs
+// matched even across thread_local teardown.
+//
+// tls_state is trivially destructible, so it stays readable after the
+// FramePool thread_local is destroyed (coroutine frames owned by other
+// thread_locals may be freed during that teardown, and thread_local
+// destruction order is unspecified).
+thread_local signed char tls_state = 0;  // 0 = not constructed, 1 = alive, 2 = destroyed
+thread_local struct PoolHolder {
+  FramePool pool;
+  PoolHolder() { tls_state = 1; }
+  ~PoolHolder() { tls_state = 2; }
+} tls_holder;
+
+FramePool* pool_if_alive() {
+  if (tls_state == 2) return nullptr;
+  // Odr-using tls_holder constructs it on this thread's first call.
+  return &tls_holder.pool;
+}
+
+// Round the request up to a whole number of granules.  Allocations are always
+// made at the rounded size, so a cached block of bucket i satisfies any
+// request that rounds to bucket i.
+std::size_t bucket_index(std::size_t size) {
+  return (size + kGranularity - 1) / kGranularity - 1;
+}
+
+}  // namespace
+
+void* frame_allocate(std::size_t size) {
+  const std::size_t i = bucket_index(size);
+  if (i >= kMaxBuckets) return ::operator new(size);
+  if (FramePool* pool = pool_if_alive()) {
+    Bucket& b = pool->buckets[i];
+    if (b.head != nullptr) {
+      void* p = b.head;
+      b.head = *static_cast<void**>(p);
+      --b.count;
+      return p;
+    }
+  }
+  void* p = std::malloc((i + 1) * kGranularity);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void frame_deallocate(void* p, std::size_t size) {
+  const std::size_t i = bucket_index(size);
+  if (i >= kMaxBuckets) {
+    ::operator delete(p);
+    return;
+  }
+  if (FramePool* pool = pool_if_alive()) {
+    Bucket& b = pool->buckets[i];
+    if (b.count < kMaxCachedPerBucket) {
+      *static_cast<void**>(p) = b.head;
+      b.head = p;
+      ++b.count;
+      return;
+    }
+  }
+  std::free(p);
+}
+
+std::size_t frame_pool_cached() {
+  FramePool* pool = pool_if_alive();
+  if (pool == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& b : pool->buckets) n += b.count;
+  return n;
+}
+
+#endif  // AOFT_FRAME_POOL_DISABLED
+
+}  // namespace aoft::sim

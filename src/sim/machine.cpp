@@ -24,6 +24,8 @@ const char* to_string(ErrorSource s) {
 
 const cube::Topology& Ctx::topo() const { return machine_->topo_; }
 
+KeyPool& Ctx::pool() { return machine_->pool_; }
+
 void Ctx::send(cube::NodeId to, Message m) {
   // Always-on invariant (not an assert: protocol code paths that pick a wrong
   // partner must fail loudly in release builds too).
@@ -87,6 +89,8 @@ void Ctx::error(ErrorReport r) {
 // ---- HostCtx ----
 
 const cube::Topology& HostCtx::topo() const { return machine_->topo_; }
+
+KeyPool& HostCtx::pool() { return machine_->pool_; }
 
 void HostCtx::send(cube::NodeId to, Message m) {
   const double cost = machine_->cost_.host_msg_cost(m.words());
@@ -203,23 +207,53 @@ void Machine::deliver_from_host(cube::NodeId to, Message m) {
 }
 
 void Machine::run(const NodeMain& node_main, const HostMain& host_main) {
-  std::vector<NodeMain> mains(topo_.num_nodes(), node_main);
-  run_per_node(mains, host_main);
-}
-
-void Machine::run_per_node(const std::vector<NodeMain>& mains,
-                           const HostMain& host_main) {
-  if (ran_) throw std::logic_error("Machine::run may be called once");
+  if (ran_) throw std::logic_error("Machine::run may be called once per reset");
   ran_ = true;
-  assert(mains.size() == topo_.num_nodes());
-  // Copy the callables into this frame: the coroutines reference their
-  // closures for the whole run.
-  std::vector<NodeMain> local(mains);
+  // One copy of each callable lives in this frame for the whole run; every
+  // node coroutine references the same closure (coroutine lambdas must not
+  // outlive their closure object).
+  NodeMain local(node_main);
   HostMain host_local(host_main);
   for (cube::NodeId p = 0; p < topo_.num_nodes(); ++p)
-    sched_.spawn(local[p](ctxs_[p]));
+    sched_.spawn(local(ctxs_[p]));
   if (host_local) sched_.spawn(host_local(host_ctx_));
   watchdog_rounds_ = sched_.run();
+}
+
+void Machine::run_per_node(std::vector<NodeMain> mains,
+                           const HostMain& host_main) {
+  if (ran_) throw std::logic_error("Machine::run may be called once per reset");
+  ran_ = true;
+  assert(mains.size() == topo_.num_nodes());
+  // `mains` is owned by value: the closures sit in this frame until every
+  // coroutine finishes, with no second copy.
+  HostMain host_local(host_main);
+  for (cube::NodeId p = 0; p < topo_.num_nodes(); ++p)
+    sched_.spawn(mains[p](ctxs_[p]));
+  if (host_local) sched_.spawn(host_local(host_ctx_));
+  watchdog_rounds_ = sched_.run();
+}
+
+void Machine::reset() { reset(cost_); }
+
+void Machine::reset(const CostModel& cost) {
+  // Order matters: destroying leftover coroutine frames releases any pooled
+  // buffers they still hold, and channel resets release queued messages —
+  // all into pool_, which stays warm for the next run.
+  sched_.reset();
+  for (auto& row : in_links_)
+    for (auto& ch : row) ch->reset();
+  for (auto& ch : host_out_) ch->reset();
+  host_inbox_->reset();
+  for (auto& ctx : ctxs_) ctx.stats_ = NodeStats{};
+  host_ctx_.stats_ = NodeStats{};
+  cost_ = cost;
+  interceptor_ = nullptr;
+  record_events_ = false;
+  events_.clear();
+  errors_.clear();
+  watchdog_rounds_ = 0;
+  ran_ = false;
 }
 
 RunSummary Machine::summary() const {

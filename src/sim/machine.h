@@ -30,6 +30,7 @@
 #include "sim/channel.h"
 #include "sim/cost_model.h"
 #include "sim/message.h"
+#include "sim/pool.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
 
@@ -107,6 +108,9 @@ class Ctx {
   // Record a fail-stop diagnostic and notify the host (reliable).
   void error(ErrorReport r);
 
+  // The machine's key pool; protocols build pooled Messages/KeyBufs from it.
+  KeyPool& pool();
+
   const NodeStats& stats() const { return stats_; }
 
  private:
@@ -142,6 +146,8 @@ class HostCtx {
   // Record a fail-stop diagnostic from the host side (e.g. the Theorem-1
   // verifier rejecting an upload, or an expected upload never arriving).
   void error(ErrorReport r);
+
+  KeyPool& pool();
 
   const NodeStats& stats() const { return stats_; }
 
@@ -195,17 +201,34 @@ class Machine {
   void record_link_events(bool on) { record_events_ = on; }
 
   // Run `node_main` on every node, plus an optional host program, to
-  // completion.  May be called once per Machine.
+  // completion.  May be called once per Machine (or once per reset()).
   void run(const NodeMain& node_main, const HostMain& host_main = {});
 
   // As above with a distinct program per node (adversarial node programs).
-  void run_per_node(const std::vector<NodeMain>& mains, const HostMain& host_main = {});
+  // Taken by value: callers that no longer need their vector can move it in
+  // and the closures are stored exactly once for the whole run.
+  void run_per_node(std::vector<NodeMain> mains, const HostMain& host_main = {});
+
+  // Return the machine to its just-constructed state so it can run again:
+  // destroys any leftover coroutine frames, drains channels (pooled buffers
+  // return to the pool), zeroes clocks/stats, clears the interceptor, event
+  // log and error list, and re-arms the run-once contract.  A reset machine
+  // is observably identical to a freshly constructed one — same event log,
+  // same trace bytes — which is what lets the campaign engine keep one
+  // machine per worker instead of reconstructing per scenario.
+  void reset();
+  void reset(const CostModel& cost);  // as above, swapping the cost model
+
+  // The free list backing pooled messages.  Single-threaded, like the
+  // machine itself.
+  KeyPool& pool() { return pool_; }
 
   const std::vector<ErrorReport>& errors() const { return errors_; }
   bool failed_stop() const { return !errors_.empty(); }
 
   // True once run/run_per_node has been entered (even if it threw): the
-  // machine is single-shot, and a failed run must not be re-entered.
+  // machine is single-shot until the next reset(), and a failed run must not
+  // be re-entered.
   bool ran() const { return ran_; }
 
   const NodeStats& node_stats(cube::NodeId p) const { return ctxs_[p].stats_; }
@@ -229,6 +252,10 @@ class Machine {
 
   cube::Topology topo_;
   CostModel cost_;
+  // Declared before the scheduler and channels: their destructors release
+  // pooled buffers (queued messages, frames holding KeyBufs) into pool_, so
+  // pool_ must be destroyed after them.
+  KeyPool pool_;
   Scheduler sched_;
 
   // in_links_[p][k]: messages arriving at p across dimension k.

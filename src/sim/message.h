@@ -17,12 +17,13 @@
 #include <vector>
 
 #include "hypercube/topology.h"
+#include "sim/pool.h"
 
 namespace aoft::sim {
 
-// Sort keys.  The paper's experiments sort 32-bit integers; we store keys in
-// 64 bits so adversaries can also inject out-of-universe values.
-using Key = std::int64_t;
+// Key (= std::int64_t) lives in sim/pool.h next to the pooled storage; the
+// paper's experiments sort 32-bit integers, we store 64 so adversaries can
+// inject out-of-universe values.
 
 enum class MsgKind : std::uint8_t {
   kData,        // compare-exchange operand(s) only (algorithm S_NR)
@@ -36,13 +37,18 @@ enum class MsgKind : std::uint8_t {
 };
 
 struct Message {
+  Message() = default;
+  // Pooled message: data/lbs draw their storage from (and return it to) the
+  // machine's key pool.  Protocol hot paths construct messages this way.
+  explicit Message(KeyPool& pool) : data(pool), lbs(pool) {}
+
   MsgKind kind = MsgKind::kData;
   cube::NodeId from = 0;
   std::int32_t stage = -1;  // outer loop index i, -1 when not applicable
   std::int32_t iter = -1;   // inner loop index j, -1 when not applicable
   std::int32_t tag = 0;     // application-defined discriminator
-  std::vector<Key> data;
-  std::vector<Key> lbs;
+  KeyBuf data;
+  KeyBuf lbs;
 
   // Logical time at which the message becomes available to the receiver;
   // stamped by the network at send time.

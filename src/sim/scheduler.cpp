@@ -12,6 +12,15 @@ Scheduler::~Scheduler() {
     if (h) h.destroy();
 }
 
+void Scheduler::reset() {
+  for (auto h : tasks_)
+    if (h) h.destroy();
+  tasks_.clear();
+  ready_.clear();
+  blocked_.clear();
+  quiesce_scratch_.clear();
+}
+
 void Scheduler::spawn(SimTask task) {
   auto h = task.release();
   tasks_.push_back(h);
@@ -54,12 +63,13 @@ int Scheduler::run() {
       tr->instant(obs::Ev::kWatchdogRound, obs::kGlobal, -1, -1, 0.0,
                   watchdog_rounds,
                   static_cast<std::int64_t>(blocked_.size()));
-    auto blocked = std::move(blocked_);
+    quiesce_scratch_.swap(blocked_);  // keep both capacities across rounds
     blocked_.clear();
-    for (Channel* ch : blocked) {
+    for (Channel* ch : quiesce_scratch_) {
       ch->blocked_index_ = -1;
       ch->fail_waiter();
     }
+    quiesce_scratch_.clear();
   }
   return watchdog_rounds;
 }

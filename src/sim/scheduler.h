@@ -15,10 +15,10 @@
 #pragma once
 
 #include <coroutine>
-#include <deque>
 #include <vector>
 
 #include "sim/task.h"
+#include "util/ring.h"
 
 namespace aoft::sim {
 
@@ -46,10 +46,18 @@ class Scheduler {
   // Rethrows the first exception escaping a task (programming error).
   int run();
 
+  // Destroy all owned frames and empty the queues, keeping their capacity
+  // (Machine::reset).  Safe after run() completed or threw.
+  void reset();
+
  private:
   std::vector<SimTask::Handle> tasks_;  // owned frames
-  std::deque<std::coroutine_handle<>> ready_;
+  util::Ring<std::coroutine_handle<>> ready_;
   std::vector<Channel*> blocked_;
+  // Scratch for the watchdog sweep: swapped with blocked_ at quiescence so
+  // neither vector's capacity is lost across rounds (std::move would discard
+  // the allocation every round).
+  std::vector<Channel*> quiesce_scratch_;
 };
 
 }  // namespace aoft::sim

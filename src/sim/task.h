@@ -13,8 +13,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.h"
 
 namespace aoft::sim {
 
@@ -22,6 +25,14 @@ class [[nodiscard]] SimTask {
  public:
   struct promise_type {
     std::exception_ptr exception;
+
+    // Coroutine frames come from the thread-local frame pool: N frames per
+    // scenario is the dominant steady-state allocation once key buffers are
+    // pooled.  The sized delete matches frame_allocate's rounded buckets.
+    static void* operator new(std::size_t size) { return frame_allocate(size); }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      frame_deallocate(p, size);
+    }
 
     SimTask get_return_object() {
       return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};

@@ -6,7 +6,7 @@
 
 namespace aoft::sort::blockops {
 
-void sort_dir(std::vector<Key>& block, bool ascending) {
+void sort_dir(std::span<Key> block, bool ascending) {
   if (ascending)
     std::sort(block.begin(), block.end());
   else
@@ -17,20 +17,26 @@ bool is_sorted_dir(std::span<const Key> block, bool ascending) {
   return ascending ? is_non_decreasing(block) : is_non_increasing(block);
 }
 
-void reverse_block(std::vector<Key>& block) {
+void reverse_block(std::span<Key> block) {
   std::reverse(block.begin(), block.end());
 }
 
 std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
                            bool ascending) {
-  assert(is_sorted_dir(a, ascending) && is_sorted_dir(b, ascending));
   std::vector<Key> out(a.size() + b.size());
+  merge_dir_into(a, b, ascending, out);
+  return out;
+}
+
+void merge_dir_into(std::span<const Key> a, std::span<const Key> b,
+                    bool ascending, std::span<Key> out) {
+  assert(is_sorted_dir(a, ascending) && is_sorted_dir(b, ascending));
+  assert(out.size() == a.size() + b.size());
   if (ascending)
     std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
   else
     std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
                std::greater<Key>{});
-  return out;
 }
 
 bool contains_submultiset(std::span<const Key> super, std::span<const Key> sub,

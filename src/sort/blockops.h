@@ -23,19 +23,25 @@
 namespace aoft::sort::blockops {
 
 // Sort `block` in the given direction.
-void sort_dir(std::vector<Key>& block, bool ascending);
+void sort_dir(std::span<Key> block, bool ascending);
 
 // True iff `block` is sorted in the given direction.
 bool is_sorted_dir(std::span<const Key> block, bool ascending);
 
 // Flip the stored direction (reverse).  A directional block reversed is
 // sorted in the opposite direction.
-void reverse_block(std::vector<Key>& block);
+void reverse_block(std::span<Key> block);
 
 // Merge two blocks sorted in direction `ascending` into one sorted sequence
 // of both, same direction.
 std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
                            bool ascending);
+
+// As merge_dir, but into caller-provided storage (`out.size()` must equal
+// `a.size() + b.size()`, and `out` must not alias the inputs).  The hot loops
+// of S_FT/S_NR reuse one scratch buffer across all log^2 N iterations.
+void merge_dir_into(std::span<const Key> a, std::span<const Key> b,
+                    bool ascending, std::span<Key> out);
 
 // True iff `sub` (sorted, direction `ascending`) is a sub-multiset of
 // `super` (sorted, same direction).  One linear two-pointer pass.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 
 #include "hypercube/masks.h"
 #include "obs/sink.h"
@@ -27,8 +29,9 @@ struct SftShared {
   int dim = 0;
   std::size_t m = 1;
   int start_stage = 0;          // resume_sft: first stage to execute
-  std::vector<Key> resume_llbs; // resume_sft: C_{start_stage-1}, full cube
-  std::vector<Key> input;
+  // Views into caller storage (alive for the whole run): no per-run copy.
+  std::span<const Key> resume_llbs;  // resume_sft: C_{start_stage-1}, full cube
+  std::span<const Key> input;
   std::vector<Key> output;
   std::vector<CkptUpload> uploads;
 
@@ -62,8 +65,12 @@ sim::ErrorSource source_of(const Violation& v) {
   return sim::ErrorSource::kApp;
 }
 
-// Per-node protocol state bundled so the helpers below stay readable.
+// Per-node protocol state bundled so the helpers below stay readable.  All
+// key storage is drawn from the machine's pool: across campaign scenarios on
+// a reset machine, a node's blocks and collections reuse the same capacity.
 struct NodeState {
+  explicit NodeState(sim::KeyPool& pool) : a(pool), lbs(pool), llbs(pool) {}
+
   sim::Ctx* ctx = nullptr;
   SftShared* sh = nullptr;
   const fault::NodeFault* fault = nullptr;
@@ -78,18 +85,27 @@ struct NodeState {
     return true;
   }
 
-  std::vector<Key> a;     // my block, stored in `cur_asc` direction
+  sim::KeyBuf a;     // my block, stored in `cur_asc` direction
   bool cur_asc = true;
 
-  std::vector<Key> lbs;   // full-cube flattened collection for this stage
-  std::vector<Key> llbs;  // validated collection from the previous stage
+  sim::KeyBuf lbs;   // full-cube flattened collection for this stage
+  sim::KeyBuf llbs;  // validated collection from the previous stage
   util::BitVec lmask;     // labels collected in `lbs`
 
-  // Copy the window region of `lbs` into an outgoing slice.
-  std::vector<Key> slice(const cube::Subcube& w) const {
+  // The window region of `lbs` as a read-only view.
+  std::span<const Key> window_slice(const cube::Subcube& w) const {
     const std::size_t m = sh->m;
-    const auto b = lbs.begin() + static_cast<std::ptrdiff_t>(w.start * m);
-    return std::vector<Key>(b, b + static_cast<std::ptrdiff_t>(w.size() * m));
+    return std::span<const Key>(lbs).subspan(
+        static_cast<std::size_t>(w.start) * m,
+        static_cast<std::size_t>(w.size()) * m);
+  }
+
+  // Copy the window region of `lbs` into an outgoing slice, reusing `dst`'s
+  // (pooled) capacity instead of materializing a fresh vector.
+  template <typename Buf>
+  void slice_into(const cube::Subcube& w, Buf& dst) const {
+    const auto s = window_slice(w);
+    dst.assign(s.begin(), s.end());
   }
 
   // Φ_C application to one received message.  Returns false after signalling
@@ -113,7 +129,7 @@ struct NodeState {
 
   // The passive partner's executable assertion on the returned pair (a, b):
   // the merge must be direction-sorted and contain the block it contributed.
-  bool check_pair(const std::vector<Key>& merged, const std::vector<Key>& mine,
+  bool check_pair(std::span<const Key> merged, std::span<const Key> mine,
                   bool asc, int i, int j) {
     const auto& cm = sh->opts.cost;
     ctx->charge(cm.cmp * static_cast<double>(merged.size() + mine.size()));
@@ -138,7 +154,7 @@ struct NodeState {
                     bool inner_ascending, bool final_stage, int i) {
     const std::size_t m = sh->m;
     const auto& cm = sh->opts.cost;
-    const auto window_span = [&](const std::vector<Key>& full,
+    const auto window_span = [&](const sim::KeyBuf& full,
                                  const cube::Subcube& sc) {
       return std::span<const Key>(full).subspan(
           static_cast<std::size_t>(sc.start) * m,
@@ -169,7 +185,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
   const std::size_t num_nodes = ctx.topo().num_nodes();
   const auto& cm = sh.opts.cost;
 
-  NodeState st;
+  NodeState st(ctx.pool());
   st.ctx = &ctx;
   st.sh = &sh;
   st.fault = sh.fault_for(me);
@@ -207,8 +223,8 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
     st.cur_asc = cube::subcube_sorted_ascending(start, me);
   }
 
-  st.lbs.assign(num_nodes * m, 0);
-  st.llbs.assign(num_nodes * m, 0);
+  st.lbs.assign(num_nodes * m, Key{0});
+  st.llbs.assign(num_nodes * m, Key{0});
   if (start > 0) {
     // C_{start-1}, restricted to the node's own SC_start window — exactly the
     // entries the uninterrupted run carried over its stage-(start-1) boundary
@@ -270,8 +286,10 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
           write_out();
           co_return;
         }
-        // Compare-exchange (merge-split for blocks).
-        std::vector<Key> theirs = std::move(r.msg.data);
+        // Compare-exchange (merge-split for blocks).  The received buffer is
+        // adopted in place (pooled — it returns to the machine's pool when
+        // this iteration's state dies).
+        sim::KeyBuf theirs = std::move(r.msg.data);
         if (theirs.size() != m || !blockops::is_sorted_dir(theirs, st.cur_asc)) {
           ctx.charge(cm.cmp * static_cast<double>(theirs.size()));
           if (st.flag({0, i, j, sim::ErrorSource::kPhiF,
@@ -288,39 +306,43 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
           // exactly the operand it sent: a node cannot tell the compare-
           // exchange one value and the collective check another.  The gossip
           // keeps the previous stage's orientation (direction bit i of the
-          // owner) while the operand was reoriented to the pair direction.
+          // owner) while the operand was reoriented to the pair direction —
+          // compared in place via a reversed iteration, no materialized copy.
           const std::size_t off = static_cast<std::size_t>(partner - window.start) * m;
-          std::vector<Key> gossip(
-              r.msg.lbs.begin() + static_cast<std::ptrdiff_t>(off),
-              r.msg.lbs.begin() + static_cast<std::ptrdiff_t>(off + m));
-          if (cube::subcube_sorted_ascending(i, partner) != st.cur_asc)
-            blockops::reverse_block(gossip);
+          const auto gossip = std::span<const Key>(r.msg.lbs).subspan(off, m);
           ctx.charge(cm.cmp * static_cast<double>(m));
-          if (!std::equal(theirs.begin(), theirs.end(), gossip.begin()) &&
-              st.flag({0, i, j, sim::ErrorSource::kPhiC,
-                       "operand disagrees with piggybacked gossip"})) {
+          const bool same =
+              cube::subcube_sorted_ascending(i, partner) != st.cur_asc
+                  ? std::equal(theirs.begin(), theirs.end(),
+                               std::make_reverse_iterator(gossip.end()))
+                  : std::equal(theirs.begin(), theirs.end(), gossip.begin());
+          if (!same && st.flag({0, i, j, sim::ErrorSource::kPhiC,
+                                "operand disagrees with piggybacked gossip"})) {
             write_out();
             co_return;
           }
         }
-        auto merged = blockops::merge_dir(st.a, theirs, st.cur_asc);
-        ctx.charge(cm.cmp * static_cast<double>(2 * m));
-        st.a.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(m));
         // Reply carries the whole pair (a, b) plus the *merged* collection.
-        sim::Message reply;
+        // The merge writes straight into the reply's pooled buffer — the
+        // per-iteration `merged` vector of the unpooled code is gone.
+        sim::Message reply(ctx.pool());
         reply.kind = sim::MsgKind::kDataLbs;
         reply.stage = i;
         reply.iter = j;
-        reply.data = std::move(merged);
-        reply.lbs = st.slice(window);
+        reply.data.resize(2 * m);
+        blockops::merge_dir_into(st.a, theirs, st.cur_asc, reply.data);
+        ctx.charge(cm.cmp * static_cast<double>(2 * m));
+        st.a.assign(reply.data.begin(),
+                    reply.data.begin() + static_cast<std::ptrdiff_t>(m));
+        st.slice_into(window, reply.lbs);
         ctx.send(partner, std::move(reply));
       } else {
-        sim::Message msg;
+        sim::Message msg(ctx.pool());
         msg.kind = sim::MsgKind::kDataLbs;
         msg.stage = i;
         msg.iter = j;
         msg.data = st.a;
-        msg.lbs = st.slice(window);
+        st.slice_into(window, msg.lbs);
         ctx.send(partner, std::move(msg));
         auto r = co_await ctx.recv(partner);
         if (!r.ok) {  // cannot proceed without the operand, silent or not
@@ -363,7 +385,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
       snap.node = me;
       snap.stage = i;
       snap.window = window;
-      snap.lbs_window = st.slice(window);
+      st.slice_into(window, snap.lbs_window);
       snap.llbs_window.assign(
           st.llbs.begin() + static_cast<std::ptrdiff_t>(window.start * m),
           st.llbs.begin() + static_cast<std::ptrdiff_t>((window.end + 1) * m));
@@ -373,16 +395,14 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
       // Upload the just-validated window to the host: the window's lowest
       // label ships the slice, every other member only a digest, so one stage
       // boundary costs the host N*m words plus N-per-stage digest messages.
-      sim::Message ck;
+      sim::Message ck(ctx.pool());
       ck.kind = sim::MsgKind::kCheckpoint;
       ck.stage = i;
       if (me == window.start) {
-        ck.lbs = st.slice(window);
+        st.slice_into(window, ck.lbs);
         ctx.charge(cm.copy * static_cast<double>(window.size() * m));
       } else {
-        ck.data.push_back(slice_digest(std::span<const Key>(st.lbs).subspan(
-            static_cast<std::size_t>(window.start) * m,
-            static_cast<std::size_t>(window.size()) * m)));
+        ck.data.push_back(slice_digest(st.window_slice(window)));
         // A streaming hash fold touches each word once: copy-rate, not cmp.
         ctx.charge(cm.copy * static_cast<double>(window.size() * m));
       }
@@ -428,18 +448,18 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
         write_out();
         co_return;
       }
-      sim::Message reply;
+      sim::Message reply(ctx.pool());
       reply.kind = sim::MsgKind::kLbsOnly;
       reply.stage = n;
       reply.iter = j;
-      reply.lbs = st.slice(cube_window);
+      st.slice_into(cube_window, reply.lbs);
       ctx.send(partner, std::move(reply));
     } else {
-      sim::Message msg;
+      sim::Message msg(ctx.pool());
       msg.kind = sim::MsgKind::kLbsOnly;
       msg.stage = n;
       msg.iter = j;
-      msg.lbs = st.slice(cube_window);
+      st.slice_into(cube_window, msg.lbs);
       ctx.send(partner, std::move(msg));
       auto r = co_await ctx.recv(partner);
       if (!r.ok) {
@@ -469,8 +489,8 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
     snap.node = me;
     snap.stage = n;
     snap.window = cube_window;
-    snap.lbs_window = st.slice(cube_window);
-    snap.llbs_window = st.llbs;
+    st.slice_into(cube_window, snap.lbs_window);
+    snap.llbs_window.assign(st.llbs.begin(), st.llbs.end());
     sh.opts.observer(snap);
   }
   write_out();
@@ -490,7 +510,9 @@ sim::SimTask ckpt_collector(sim::HostCtx& host, SftShared& sh) {
     up.node = r.msg.from;
     up.stage = r.msg.stage;
     if (!r.msg.lbs.empty()) {
-      up.slice = std::move(r.msg.lbs);
+      // Copy out: uploads outlive the run (and the machine's pool), so the
+      // host-side record is a plain vector while the pooled buffer returns.
+      up.slice.assign(r.msg.lbs.begin(), r.msg.lbs.end());
       up.is_slice = true;
     } else if (!r.msg.data.empty()) {
       up.digest = r.msg.data.front();
@@ -551,24 +573,36 @@ std::vector<StageCheckpoint> certify_checkpoints(const SftShared& sh) {
 }
 
 SortRun run_sft_impl(int dim, SftShared& sh) {
-  sim::Machine machine(cube::Topology{dim}, sh.opts.cost);
-  machine.set_interceptor(sh.opts.interceptor);
-  machine.record_link_events(sh.opts.record_link_events);
+  // Run on the caller's machine when provided (reset() keeps its pool and
+  // channel storage warm across campaign scenarios); construct one otherwise.
+  std::optional<sim::Machine> owned;
+  sim::Machine* machine = sh.opts.machine;
+  if (machine != nullptr) {
+    if (machine->topo().dimension() != dim)
+      throw std::invalid_argument(
+          "SftOptions::machine topology dimension does not match the sort");
+    machine->reset(sh.opts.cost);
+  } else {
+    owned.emplace(cube::Topology{dim}, sh.opts.cost);
+    machine = &*owned;
+  }
+  machine->set_interceptor(sh.opts.interceptor);
+  machine->record_link_events(sh.opts.record_link_events);
   if (auto* tr = obs::tracer())
     tr->instant(obs::Ev::kRunBegin, obs::kGlobal, sh.start_stage, -1, 0.0, dim,
                 static_cast<std::int64_t>(sh.m));
   if (sh.opts.checkpoint)
-    machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); },
-                [&sh](sim::HostCtx& host) { return ckpt_collector(host, sh); });
+    machine->run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); },
+                 [&sh](sim::HostCtx& host) { return ckpt_collector(host, sh); });
   else
-    machine.run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
+    machine->run([&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
 
   SortRun run;
   run.output = std::move(sh.output);
-  run.errors = machine.errors();
-  run.summary = machine.summary();
+  run.errors = machine->errors();
+  run.summary = machine->summary();
   if (sh.opts.checkpoint) run.checkpoints = certify_checkpoints(sh);
-  if (sh.opts.record_link_events) run.link_events = machine.link_events();
+  if (sh.opts.record_link_events) run.link_events = machine->link_events();
   if (auto* tr = obs::tracer()) {
     for (const auto& ck : run.checkpoints)
       tr->instant(obs::Ev::kCkptCertify, obs::kHostNode, ck.stage, -1,
@@ -588,7 +622,7 @@ SortRun run_sft(int dim, std::span<const Key> input, const SftOptions& opts) {
   sh.opts = opts;
   sh.dim = dim;
   sh.m = opts.block;
-  sh.input.assign(input.begin(), input.end());
+  sh.input = input;  // view: the caller's buffer outlives the run
   sh.output.assign(input.size(), 0);
   return run_sft_impl(dim, sh);
 }
@@ -604,7 +638,7 @@ SortRun resume_sft(int dim, const ResumeState& rs, const SftOptions& opts) {
   sh.dim = dim;
   sh.m = opts.block;
   sh.start_stage = rs.stage;
-  sh.resume_llbs = rs.llbs;
+  sh.resume_llbs = rs.llbs;  // views into the caller's ResumeState
   sh.input = rs.blocks;
   sh.output.assign(rs.blocks.size(), 0);
   return run_sft_impl(dim, sh);

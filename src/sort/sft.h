@@ -81,6 +81,13 @@ struct SftOptions {
   // Invoked at every stage boundary of every node (small cubes only; the
   // snapshots copy the stage window).
   std::function<void(const StageSnapshot&)> observer;
+
+  // Run on this caller-owned machine instead of constructing one: the machine
+  // is reset() first (its key pool and channel storage stay warm), and its
+  // topology dimension must match the sort's `dim`.  The campaign engine
+  // keeps one machine per worker thread this way.  Owned by the caller; must
+  // outlive the run.
+  sim::Machine* machine = nullptr;
 };
 
 // Sort `input` (flattened, size 2^dim * block) reliably.  The returned run is

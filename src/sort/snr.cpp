@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
+#include <stdexcept>
 
 #include "hypercube/subcube.h"
 #include "sort/blockops.h"
@@ -22,7 +24,7 @@ struct SnrShared {
   fault::NodeFaultMap node_faults;
   int dim = 0;
   bool with_host = false;  // host-verified variant: gather + Theorem-1 check
-  std::vector<Key> input;
+  std::span<const Key> input;  // view into caller storage, alive for the run
   std::vector<Key> output;
 
   const fault::NodeFault* fault_for(cube::NodeId p) const {
@@ -44,15 +46,18 @@ sim::SimTask snr_node(sim::Ctx& ctx, SnrShared& sh) {
   const auto& cm = sh.cost;
   const fault::NodeFault* fault = sh.fault_for(me);
 
-  std::vector<Key> a(sh.input.begin() + static_cast<std::ptrdiff_t>(me * m),
-                     sh.input.begin() + static_cast<std::ptrdiff_t>((me + 1) * m));
+  sim::KeyBuf a(ctx.pool());
+  a.assign(sh.input.begin() + static_cast<std::ptrdiff_t>(me * m),
+           sh.input.begin() + static_cast<std::ptrdiff_t>((me + 1) * m));
+  // Merge-split scratch, reused across every iteration of every stage.
+  sim::KeyBuf merged(ctx.pool());
   auto write_out = [&] {
     std::copy(a.begin(), a.end(),
               sh.output.begin() + static_cast<std::ptrdiff_t>(me * m));
   };
 
   if (sh.with_host) {
-    sim::Message up;
+    sim::Message up(ctx.pool());
     up.kind = sim::MsgKind::kHostGather;
     up.tag = 0;  // unsorted input
     up.data = a;
@@ -93,23 +98,23 @@ sim::SimTask snr_node(sim::Ctx& ctx, SnrShared& sh) {
           break;
         }
         ctx.account_recv(r.msg);
-        std::vector<Key> theirs = std::move(r.msg.data);
+        sim::KeyBuf theirs = std::move(r.msg.data);
         if (theirs.size() != m) theirs.resize(m, 0);  // Byzantine garbage
         if (!blockops::is_sorted_dir(theirs, cur_asc))
           blockops::sort_dir(theirs, cur_asc);  // S_NR trusts, repairs shape only
-        auto merged = blockops::merge_dir(a, theirs, cur_asc);
+        merged.resize(2 * m);
+        blockops::merge_dir_into(a, theirs, cur_asc, merged);
         ctx.charge(cm.cmp * static_cast<double>(2 * m));
-        std::vector<Key> give(merged.begin() + static_cast<std::ptrdiff_t>(m),
-                              merged.end());
-        a.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(m));
-        sim::Message reply;
+        sim::Message reply(ctx.pool());
         reply.kind = sim::MsgKind::kData;
         reply.stage = i;
         reply.iter = j;
-        reply.data = std::move(give);
+        reply.data.assign(merged.begin() + static_cast<std::ptrdiff_t>(m),
+                          merged.end());
+        a.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(m));
         ctx.send(partner, std::move(reply));
       } else {
-        sim::Message msg;
+        sim::Message msg(ctx.pool());
         msg.kind = sim::MsgKind::kData;
         msg.stage = i;
         msg.iter = j;
@@ -130,7 +135,7 @@ sim::SimTask snr_node(sim::Ctx& ctx, SnrShared& sh) {
   write_out();
 
   if (sh.with_host && completed) {
-    sim::Message up;
+    sim::Message up(ctx.pool());
     up.kind = sim::MsgKind::kHostGather;
     up.tag = 1;  // claimed-sorted output
     up.data = a;
@@ -219,13 +224,23 @@ SortRun run_snr(int dim, std::span<const Key> input, const SnrOptions& opts) {
   sh.cost = opts.cost;
   sh.node_faults = opts.node_faults;
   sh.dim = dim;
-  sh.input.assign(input.begin(), input.end());
+  sh.input = input;
   sh.output.assign(input.size(), 0);
 
-  sim::Machine machine(cube::Topology{dim}, opts.cost);
-  machine.set_interceptor(opts.interceptor);
-  machine.run([&sh](sim::Ctx& ctx) { return snr_node(ctx, sh); });
-  return finish(machine, sh);
+  std::optional<sim::Machine> owned;
+  sim::Machine* machine = opts.machine;
+  if (machine != nullptr) {
+    if (machine->topo().dimension() != dim)
+      throw std::invalid_argument(
+          "SnrOptions::machine topology dimension does not match the sort");
+    machine->reset(opts.cost);
+  } else {
+    owned.emplace(cube::Topology{dim}, opts.cost);
+    machine = &*owned;
+  }
+  machine->set_interceptor(opts.interceptor);
+  machine->run([&sh](sim::Ctx& ctx) { return snr_node(ctx, sh); });
+  return finish(*machine, sh);
 }
 
 SortRun run_host_verified_snr(int dim, std::span<const Key> input,
@@ -237,7 +252,7 @@ SortRun run_host_verified_snr(int dim, std::span<const Key> input,
   sh.node_faults = opts.node_faults;
   sh.dim = dim;
   sh.with_host = true;
-  sh.input.assign(input.begin(), input.end());
+  sh.input = input;
   sh.output.assign(input.size(), 0);
 
   sim::Machine machine(cube::Topology{dim}, opts.cost);

@@ -28,6 +28,10 @@ struct SnrOptions {
   sim::CostModel cost{};
   sim::LinkInterceptor* interceptor = nullptr;  // Byzantine links
   fault::NodeFaultMap node_faults;              // Byzantine processors
+
+  // Run on this caller-owned machine instead of constructing one (reset()
+  // first; dimension must match).  See SftOptions::machine.
+  sim::Machine* machine = nullptr;
 };
 
 // Sort `input` (flattened, size 2^dim * block) on a simulated dim-cube.

@@ -1,0 +1,14 @@
+// Stub allocation hook: linked everywhere the counting replacements are
+// unwanted — regular binaries and every sanitizer build (ASan interposes the
+// operator new family itself; a second replacement would be an ODR
+// violation).  Tests gate on alloc_hook_active() and GTEST_SKIP here.
+
+#include "util/alloc_hook.h"
+
+namespace aoft::util {
+
+std::uint64_t alloc_count() { return 0; }
+
+bool alloc_hook_active() { return false; }
+
+}  // namespace aoft::util

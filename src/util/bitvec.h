@@ -9,6 +9,11 @@
 // BitVec is a regular type (copyable, movable, equality-comparable) with the
 // usual bitwise algebra.  All operations on two vectors require equal sizes;
 // this is a precondition checked with assert in debug builds.
+//
+// Storage uses a small-buffer optimization: up to kInlineBits bits (dimension
+// <= 7 cubes) live inline with no heap allocation.  The mask algebra runs on
+// every received gossip message — cube::pre_mask/vect_mask construct a BitVec
+// per message — so an allocating mask would defeat the pooled hot path.
 
 #pragma once
 
@@ -22,10 +27,15 @@ namespace aoft::util {
 
 class BitVec {
  public:
+  static constexpr std::size_t kInlineWords = 2;
+  static constexpr std::size_t kInlineBits = kInlineWords * 64;
+
   BitVec() = default;
 
   // A vector of `size` bits, all clear.
-  explicit BitVec(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+  explicit BitVec(std::size_t size) : size_(size) {
+    if (nwords() > kInlineWords) heap_.assign(nwords(), 0);
+  }
 
   // A vector of `size` bits with exactly the bits listed in `set_bits` set.
   BitVec(std::size_t size, std::initializer_list<std::size_t> set_bits) : BitVec(size) {
@@ -43,33 +53,37 @@ class BitVec {
 
   bool test(std::size_t i) const {
     assert(i < size_);
-    return (words_[i / 64] >> (i % 64)) & 1u;
+    return (words()[i / 64] >> (i % 64)) & 1u;
   }
 
   void set(std::size_t i) {
     assert(i < size_);
-    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+    words()[i / 64] |= std::uint64_t{1} << (i % 64);
   }
 
   void reset(std::size_t i) {
     assert(i < size_);
-    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    words()[i / 64] &= ~(std::uint64_t{1} << (i % 64));
   }
 
   void clear() {
-    for (auto& w : words_) w = 0;
+    auto* w = words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i) w[i] = 0;
   }
 
   // Number of set bits.
   std::size_t count() const {
+    const auto* w = words();
     std::size_t c = 0;
-    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    for (std::size_t i = 0, n = nwords(); i < n; ++i)
+      c += static_cast<std::size_t>(__builtin_popcountll(w[i]));
     return c;
   }
 
   bool any() const {
-    for (auto w : words_)
-      if (w != 0) return true;
+    const auto* w = words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i)
+      if (w[i] != 0) return true;
     return false;
   }
 
@@ -77,19 +91,25 @@ class BitVec {
 
   BitVec& operator|=(const BitVec& o) {
     assert(size_ == o.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    auto* w = words();
+    const auto* ow = o.words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i) w[i] |= ow[i];
     return *this;
   }
 
   BitVec& operator&=(const BitVec& o) {
     assert(size_ == o.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    auto* w = words();
+    const auto* ow = o.words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i) w[i] &= ow[i];
     return *this;
   }
 
   BitVec& operator^=(const BitVec& o) {
     assert(size_ == o.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    auto* w = words();
+    const auto* ow = o.words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i) w[i] ^= ow[i];
     return *this;
   }
 
@@ -100,27 +120,38 @@ class BitVec {
   // Set-complement within the vector's size.
   BitVec operator~() const {
     BitVec r(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+    auto* rw = r.words();
+    const auto* w = words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i) rw[i] = ~w[i];
     r.trim();
     return r;
   }
 
   friend bool operator==(const BitVec& a, const BitVec& b) {
-    return a.size_ == b.size_ && a.words_ == b.words_;
+    if (a.size_ != b.size_) return false;
+    const auto* aw = a.words();
+    const auto* bw = b.words();
+    for (std::size_t i = 0, n = a.nwords(); i < n; ++i)
+      if (aw[i] != bw[i]) return false;
+    return true;
   }
 
   // True iff every set bit of *this is also set in `o`.
   bool is_subset_of(const BitVec& o) const {
     assert(size_ == o.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      if (words_[i] & ~o.words_[i]) return false;
+    const auto* w = words();
+    const auto* ow = o.words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i)
+      if (w[i] & ~ow[i]) return false;
     return true;
   }
 
   bool intersects(const BitVec& o) const {
     assert(size_ == o.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      if (words_[i] & o.words_[i]) return true;
+    const auto* w = words();
+    const auto* ow = o.words();
+    for (std::size_t i = 0, n = nwords(); i < n; ++i)
+      if (w[i] & ow[i]) return true;
     return false;
   }
 
@@ -142,13 +173,24 @@ class BitVec {
   }
 
  private:
+  std::size_t nwords() const { return (size_ + 63) / 64; }
+
+  std::uint64_t* words() {
+    return size_ <= kInlineBits ? inline_ : heap_.data();
+  }
+  const std::uint64_t* words() const {
+    return size_ <= kInlineBits ? inline_ : heap_.data();
+  }
+
   void trim() {
     const std::size_t used = size_ % 64;
-    if (used != 0 && !words_.empty()) words_.back() &= (std::uint64_t{1} << used) - 1;
+    if (used != 0 && nwords() > 0)
+      words()[nwords() - 1] &= (std::uint64_t{1} << used) - 1;
   }
 
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t inline_[kInlineWords] = {0, 0};
+  std::vector<std::uint64_t> heap_;  // used only when size_ > kInlineBits
 };
 
 }  // namespace aoft::util

@@ -1,0 +1,69 @@
+// Fixed-capacity-reusing FIFO ring buffer.
+//
+// Drop-in replacement for the std::deque FIFOs on the simulator hot path
+// (channel message queues, the scheduler ready queue).  libstdc++'s deque
+// allocates and frees a map chunk roughly every 64 steady-state push/pop
+// pairs, so a deque-backed queue is never allocation-free no matter how well
+// the elements themselves are pooled.  Ring keeps one power-of-two storage
+// vector that only ever grows; clear() resets occupied slots to T{} (so
+// pooled element resources are released) but keeps the capacity.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace aoft::util {
+
+template <typename T>
+class Ring {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push_back(T v) {
+    if (count_ == buf_.size()) grow();
+    buf_[wrap(head_ + count_)] = std::move(v);
+    ++count_;
+  }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void pop_front() {
+    buf_[head_] = T{};  // release element resources now, not at overwrite
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  // Empty the queue but keep the storage.  Occupied slots are reset to T{}
+  // so anything they hold (e.g. pooled buffers) is released immediately.
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) buf_[wrap(head_ + i)] = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::size_t wrap(std::size_t i) const {
+    return i & (buf_.size() - 1);  // capacity is always a power of two
+  }
+
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[wrap(head_ + i)]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace aoft::util

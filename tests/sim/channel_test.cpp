@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/scheduler.h"
 
 namespace aoft::sim {
@@ -147,6 +149,37 @@ TEST(ChannelTest, HasMessage) {
   EXPECT_FALSE(ch.has_message());
   ch.push({});
   EXPECT_TRUE(ch.has_message());
+}
+
+// A resume with an empty queue and no timeout means a scheduler bug woke the
+// waiter spuriously.  That check must survive release builds (the campaigns
+// run -O2 with NDEBUG), so it is a logic_error, not an assert — covered by
+// the release-invariants CI job.
+TEST(ChannelTest, ResumeWithEmptyQueueThrows) {
+  Scheduler sched;
+  Channel ch(sched);
+  auto awaiter = ch.recv();
+  EXPECT_FALSE(awaiter.await_ready());
+  EXPECT_THROW(awaiter.await_resume(), std::logic_error);
+}
+
+TEST(ChannelTest, ResetClearsQueueAndTimeoutFlag) {
+  Scheduler sched;
+  Channel ch(sched);
+  ch.push(msg_with_tag(1));
+  ch.push(msg_with_tag(2));
+  ch.reset();
+  EXPECT_FALSE(ch.has_message());
+  // The channel behaves exactly like a fresh one afterwards.
+  ch.push(msg_with_tag(9));
+  std::vector<int> got;
+  sched.spawn([](Channel& c, std::vector<int>& out) -> SimTask {
+    auto r = co_await c.recv();
+    EXPECT_TRUE(r.ok);
+    out.push_back(r.msg.tag);
+  }(ch, got));
+  sched.run();
+  EXPECT_EQ(got, std::vector<int>{9});
 }
 
 }  // namespace

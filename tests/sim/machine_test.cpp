@@ -347,5 +347,113 @@ TEST(MachineTest, ErrorNotifiesHostInbox) {
   EXPECT_EQ(machine.errors()[0].stage, 3);
 }
 
+// --- reuse contract ----------------------------------------------------------
+// Machine::reset() re-arms the single-shot run() and must leave the machine
+// observably identical to a freshly constructed one: same summary, same
+// errors, same link-event log on the next run.
+
+// A small program with real traffic, errors and charges, so reset has
+// something nontrivial to clear.
+SimTask ping_ring(Ctx& ctx) {
+  Message m;
+  m.kind = MsgKind::kApp;
+  m.stage = 1;
+  m.data = {static_cast<Key>(ctx.id()), 42};
+  ctx.send(ctx.topo().neighbor(ctx.id(), 0), std::move(m));
+  auto r = co_await ctx.recv(ctx.topo().neighbor(ctx.id(), 0));
+  EXPECT_TRUE(r.ok);
+  ctx.account_recv(r.msg);
+  ctx.charge(static_cast<double>(ctx.id()) + 1.0);
+  if (ctx.id() == 2) ctx.error({2, 1, 0, ErrorSource::kPhiP, "synthetic"});
+}
+
+TEST(MachineTest, ResetReArmsRun) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  machine.run(ping_ring);
+  EXPECT_TRUE(machine.ran());
+  machine.reset();
+  EXPECT_FALSE(machine.ran());
+  machine.run(ping_ring);  // must not throw
+  EXPECT_TRUE(machine.ran());
+}
+
+TEST(MachineTest, ResetMachineRunsIdenticallyToFresh) {
+  Machine fresh(cube::Topology{2}, CostModel{});
+  fresh.record_link_events(true);
+  fresh.run(ping_ring);
+
+  Machine reused(cube::Topology{2}, CostModel{});
+  reused.run(ping_ring);  // dirty it first (events off: reset must restore)
+  reused.reset();
+  reused.record_link_events(true);
+  reused.run(ping_ring);
+
+  EXPECT_DOUBLE_EQ(reused.summary().elapsed, fresh.summary().elapsed);
+  EXPECT_DOUBLE_EQ(reused.summary().max_comm, fresh.summary().max_comm);
+  EXPECT_DOUBLE_EQ(reused.summary().max_comp, fresh.summary().max_comp);
+  EXPECT_EQ(reused.summary().total_msgs, fresh.summary().total_msgs);
+  EXPECT_EQ(reused.summary().total_words, fresh.summary().total_words);
+  EXPECT_EQ(reused.summary().watchdog_rounds, fresh.summary().watchdog_rounds);
+
+  ASSERT_EQ(reused.errors().size(), fresh.errors().size());
+  for (std::size_t i = 0; i < fresh.errors().size(); ++i) {
+    EXPECT_EQ(reused.errors()[i].node, fresh.errors()[i].node);
+    EXPECT_EQ(reused.errors()[i].stage, fresh.errors()[i].stage);
+    EXPECT_EQ(reused.errors()[i].source, fresh.errors()[i].source);
+  }
+
+  ASSERT_EQ(reused.link_events().size(), fresh.link_events().size());
+  for (std::size_t i = 0; i < fresh.link_events().size(); ++i) {
+    const auto& a = reused.link_events()[i];
+    const auto& b = fresh.link_events()[i];
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_EQ(a.stage, b.stage);
+    EXPECT_EQ(a.words, b.words);
+    EXPECT_EQ(a.delivered, b.delivered);
+  }
+}
+
+TEST(MachineTest, ResetClearsInterceptorAndEventLog) {
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.record_link_events(true);
+  machine.run(ping_ring);
+  EXPECT_FALSE(machine.link_events().empty());
+  machine.reset();
+  EXPECT_TRUE(machine.link_events().empty());
+  EXPECT_TRUE(machine.errors().empty());
+  // Event recording is off again (fresh-machine default): a run after reset
+  // records nothing unless re-enabled.
+  machine.run(ping_ring);
+  EXPECT_TRUE(machine.link_events().empty());
+}
+
+TEST(MachineTest, ResetCanSwapCostModel) {
+  CostModel expensive;
+  expensive.alpha_send = 100.0;
+  Machine machine(cube::Topology{1}, CostModel{});
+  machine.run(ping_ring);
+  const double cheap_comm = machine.summary().max_comm;
+  machine.reset(expensive);
+  machine.run(ping_ring);
+  // The second run is priced under the new model, as if freshly constructed.
+  Machine fresh(cube::Topology{1}, expensive);
+  fresh.run(ping_ring);
+  EXPECT_DOUBLE_EQ(machine.summary().max_comm, fresh.summary().max_comm);
+  EXPECT_GT(machine.summary().max_comm, cheap_comm);
+}
+
+TEST(MachineTest, ResetAfterFailedRunRecovers) {
+  Machine machine(cube::Topology{2}, CostModel{});
+  EXPECT_THROW(machine.run([](Ctx& ctx) -> SimTask {
+                 if (ctx.id() == 0) ctx.send(3, Message{});
+                 co_return;
+               }),
+               std::logic_error);
+  machine.reset();
+  machine.run(ping_ring);  // the machine is fully usable again
+  EXPECT_EQ(machine.errors().size(), 1u);
+}
+
 }  // namespace
 }  // namespace aoft::sim

@@ -1,0 +1,140 @@
+// Allocation regression guard for the pooled messaging hot path.
+//
+// After one warm-up run on a reused machine, every pooled structure (key
+// buffers, channel rings, coroutine frames, scheduler queues) has reached its
+// steady-state capacity, so subsequent runs should hit the heap essentially
+// never.  This binary links the counting ::operator new replacement
+// (util/alloc_hook.h) and measures per-run deltas; under sanitizers the stub
+// is linked instead (ASan owns the allocator) and the suite skips.
+//
+// Bounds are deliberately loose multiples of the measured values — the test
+// exists to catch a reintroduced per-message or per-key allocation, which
+// shows up as hundreds of allocations per run, not to freeze exact counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/machine.h"
+#include "sim/pool.h"
+#include "sort/sft.h"
+#include "util/alloc_hook.h"
+#include "util/rng.h"
+
+namespace aoft::sort {
+namespace {
+
+#define SKIP_WITHOUT_HOOK()                                             \
+  if (!util::alloc_hook_active())                                       \
+  GTEST_SKIP() << "counting allocator not linked (sanitizer build?)"
+
+// Allocations during fn(), total across the calling thread's process — the
+// simulation is single-threaded, so the delta is exact.
+template <typename Fn>
+std::uint64_t allocs_during(Fn&& fn) {
+  const std::uint64_t before = util::alloc_count();
+  fn();
+  return util::alloc_count() - before;
+}
+
+// Pure messaging ping-pong on a warm machine: the distilled hot path with no
+// sort logic on top.  This one must be *exactly* allocation-free.
+TEST(AllocRegressionTest, WarmPingPongRunsAllocationFree) {
+  SKIP_WITHOUT_HOOK();
+  sim::Machine machine(cube::Topology{3}, sim::CostModel{});
+  auto program = [](sim::Ctx& ctx) -> sim::SimTask {
+    const cube::NodeId peer = ctx.topo().neighbor(ctx.id(), 0);
+    for (int round = 0; round < 64; ++round) {
+      sim::Message m(ctx.pool());
+      m.kind = sim::MsgKind::kApp;
+      m.data.resize(16, static_cast<sim::Key>(round));
+      ctx.send(peer, std::move(m));
+      auto r = co_await ctx.recv(peer);
+      EXPECT_TRUE(r.ok);
+      ctx.account_recv(r.msg);
+    }
+  };
+
+  // The pool's inventory grows toward the peak working set over the first few
+  // runs (LIFO reuse can hand a warm buffer to a holder that idles it, so one
+  // run's demand is not yet the peak).  It must converge to allocation-free
+  // quickly; assert the fixed point, not the trajectory.
+  machine.run(program);
+  std::uint64_t steady = ~std::uint64_t{0};
+  for (int cycle = 0; cycle < 8 && steady != 0; ++cycle) {
+    machine.reset();
+    steady = allocs_during([&] { machine.run(program); });
+  }
+  EXPECT_EQ(steady, 0u) << "warm messaging round-trips must not allocate";
+}
+
+// Full S_FT on a warm reused machine: a handful of per-run allocations remain
+// by design (the result's output vector, shared-state bookkeeping) but
+// nothing proportional to messages or keys may survive.
+TEST(AllocRegressionTest, WarmSftRunStaysNearZero) {
+  SKIP_WITHOUT_HOOK();
+  const int dim = 3;
+  auto input = util::random_keys(404, std::size_t{1} << dim);
+
+  sim::Machine machine(cube::Topology{dim}, sim::CostModel{});
+  SftOptions opts;
+  opts.machine = &machine;
+  (void)run_sft(dim, input, opts);  // warm-up
+
+  const std::uint64_t steady = allocs_during([&] {
+    auto run = run_sft(dim, input, opts);
+    ASSERT_TRUE(run.errors.empty());
+  });
+  // dim 3 exchanges ~100 messages; per-message allocation would blow far
+  // past this bound.
+  EXPECT_LE(steady, 32u) << "steady-state S_FT run allocates per message";
+}
+
+// The residual per-run count must not scale with the block size: block keys
+// ride exclusively in pooled buffers.
+TEST(AllocRegressionTest, SteadyStateCountIsBlockSizeIndependent) {
+  SKIP_WITHOUT_HOOK();
+  const int dim = 3;
+  auto measure = [&](std::size_t block) {
+    auto input =
+        util::random_keys(11 + block, (std::size_t{1} << dim) * block);
+    sim::Machine machine(cube::Topology{dim}, sim::CostModel{});
+    SftOptions opts;
+    opts.block = block;
+    opts.machine = &machine;
+    (void)run_sft(dim, input, opts);  // warm-up
+    return allocs_during([&] { (void)run_sft(dim, input, opts); });
+  };
+  const std::uint64_t small = measure(1);
+  const std::uint64_t large = measure(16);
+  // 16x the keys per message must not mean more allocations — the counts are
+  // equal up to noise (both are a handful of fixed bookkeeping allocations).
+  EXPECT_LE(large, small + 4);
+}
+
+// The whole point, quantified: pooling plus machine reuse removes at least
+// 90% of the heap traffic of a scenario run.
+TEST(AllocRegressionTest, PoolingRemovesAlmostAllAllocations) {
+  SKIP_WITHOUT_HOOK();
+  const int dim = 4;
+  auto input = util::random_keys(77, std::size_t{1} << dim);
+
+  sim::set_pooling(false);
+  const std::uint64_t unpooled = allocs_during([&] {
+    (void)run_sft(dim, input, {});  // fresh machine, no pooling: the old path
+  });
+  sim::set_pooling(true);
+
+  sim::Machine machine(cube::Topology{dim}, sim::CostModel{});
+  SftOptions opts;
+  opts.machine = &machine;
+  (void)run_sft(dim, input, opts);  // warm-up
+  const std::uint64_t pooled =
+      allocs_during([&] { (void)run_sft(dim, input, opts); });
+
+  EXPECT_LT(pooled * 10, unpooled)
+      << "pooled=" << pooled << " unpooled=" << unpooled;
+}
+
+}  // namespace
+}  // namespace aoft::sort
