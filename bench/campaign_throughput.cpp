@@ -1,35 +1,46 @@
-// Campaign engine throughput: pooled vs unpooled, serial vs parallel.
+// Campaign engine throughput: pooled vs unpooled, serial vs parallel, and a
+// worker-placement matrix.
 //
 // The §4 campaigns are the statistical backbone of the Theorem 3 claim; how
 // many fault scenarios we can afford bounds how strong that evidence is.
-// This harness times the identical campaign four ways:
+// This harness times the identical campaign several ways:
 //
 //   unpooled — jobs=1, sim::set_pooling(false), reuse_machines=false: the
 //              construct-everything-per-scenario baseline the pooled hot
 //              path is measured against,
 //   serial   — jobs=1 with pooling and per-worker machine reuse (default),
-//   parallel — jobs=N (one worker per hardware thread by default),
-//   traced   — jobs=N with the tracer + metrics sinks attached.
+//   matrix   — jobs=N under each worker-placement policy (none / compact /
+//              scatter when the host has >= 2 CPUs, plus the --pin policy if
+//              it is an explicit CPU list), so CI artifacts show what
+//              affinity buys on that runner's topology,
+//   traced   — jobs=N under the --pin policy with tracer + metrics attached.
 //
-// All four CampaignSummaries must be bit-identical — pooling, machine reuse,
-// parallelism and tracing are engine concerns, never observable in results.
-// When the binary links the counting allocation hook (util/alloc_hook.h),
-// per-scenario heap-allocation counts are reported for the unpooled and
-// pooled runs; numbers land in BENCH_campaign.json for CI trend tracking.
+// All CampaignSummaries must be bit-identical — pooling, machine reuse,
+// parallelism, placement and tracing are engine concerns, never observable
+// in results.  When the binary links the counting allocation hook
+// (util/alloc_hook.h), per-scenario heap-allocation counts are reported for
+// the unpooled and pooled runs; numbers land in BENCH_campaign.json for CI
+// trend tracking.
 //
 //   campaign_throughput [--dim=4] [--runs=50] [--jobs=0] [--seed=1989]
-//                       [--out=BENCH_campaign.json]
+//                       [--pin=compact] [--out=BENCH_campaign.json]
+//
+// On a single-CPU host a serial-vs-parallel "speedup" is noise, not signal:
+// the JSON then reports "speedup": null plus speedup_skipped_reason instead
+// of a misleading sub-1.0 number (tools/bench_check enforces this rule).
 //
 // Exit status: 0 iff the summaries match, every S_FT tally has
 // silent_wrong == 0, and the JSON was written.  The >= 3x parallel speedup
 // target only applies on >= 4-core machines; the JSON records
-// hardware_concurrency so consumers can judge.
+// hardware_concurrency / cpus_available / numa_nodes so consumers can judge.
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "fault/campaign.h"
 #include "obs/metrics.h"
@@ -38,6 +49,7 @@
 #include "util/alloc_hook.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -89,8 +101,10 @@ struct Timed {
   std::uint64_t allocs = 0;  // ::operator new calls during the run (hooked)
 };
 
-Timed timed_campaign(fault::CampaignConfig cfg, int jobs) {
+Timed timed_campaign(fault::CampaignConfig cfg, int jobs,
+                     const util::PlacementPolicy& placement = {}) {
   cfg.jobs = jobs;
+  cfg.placement = placement;
   Timed t;
   const std::uint64_t a0 = util::alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
@@ -100,6 +114,11 @@ Timed timed_campaign(fault::CampaignConfig cfg, int jobs) {
   t.allocs = util::alloc_count() - a0;
   return t;
 }
+
+struct MatrixEntry {
+  util::PlacementPolicy policy;
+  Timed timed;
+};
 
 }  // namespace
 
@@ -112,12 +131,36 @@ int main(int argc, char** argv) {
       util::ThreadPool::resolve(util::flag_int(argc, argv, "--jobs", 0));
   const char* out_arg = util::flag_value(argc, argv, "--out");
   const std::string out_path = out_arg ? out_arg : "BENCH_campaign.json";
+  const char* pin_arg = util::flag_value(argc, argv, "--pin");
+  util::PlacementPolicy headline;
+  {
+    std::string perr;
+    if (!util::PlacementPolicy::parse(pin_arg ? pin_arg : "compact",
+                                      &headline, &perr)) {
+      std::fprintf(stderr, "--pin: %s\n", perr.c_str());
+      return 1;
+    }
+  }
   const int hw = util::ThreadPool::resolve(0);
+  const auto topo = util::HostTopology::discover();
+  const int cpus_available =
+      topo.cpus.empty() ? hw : static_cast<int>(topo.cpus.size());
+
+  // An explicit --pin list naming an unavailable CPU would otherwise throw
+  // mid-benchmark; reject it up front.
+  try {
+    util::plan_placement(headline, topo, parallel_jobs);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--pin: %s\n", e.what());
+    return 1;
+  }
 
   std::cout << "campaign throughput: dim=" << cfg.dim << " runs/class="
             << cfg.runs_per_class << " seed=" << cfg.seed
             << " parallel jobs=" << parallel_jobs
-            << " (hardware threads: " << hw
+            << " pin=" << headline.str()
+            << " (hardware threads: " << hw << ", cpus: " << cpus_available
+            << ", numa nodes: " << topo.nodes
             << ", alloc hook: " << (util::alloc_hook_active() ? "on" : "off")
             << ")\n";
 
@@ -131,7 +174,29 @@ int main(int argc, char** argv) {
   sim::set_pooling(true);
 
   const auto serial = timed_campaign(cfg, 1);
-  const auto parallel = timed_campaign(cfg, parallel_jobs);
+
+  // Placement matrix: the same parallel campaign under each policy.  On a
+  // single-CPU host pinning every worker to the one core is indistinguishable
+  // from none, so only the headline policy runs.
+  std::vector<util::PlacementPolicy> policies;
+  if (cpus_available >= 2) {
+    for (const char* name : {"none", "compact", "scatter"}) {
+      util::PlacementPolicy p;
+      util::PlacementPolicy::parse(name, &p, nullptr);
+      policies.push_back(p);
+    }
+    bool headline_listed = false;
+    for (const auto& p : policies) headline_listed |= (p == headline);
+    if (!headline_listed) policies.push_back(headline);
+  } else {
+    policies.push_back(headline);
+  }
+  std::vector<MatrixEntry> matrix;
+  for (const auto& p : policies)
+    matrix.push_back({p, timed_campaign(cfg, parallel_jobs, p)});
+  const Timed* parallel = nullptr;
+  for (const auto& e : matrix)
+    if (e.policy == headline) parallel = &e.timed;
 
   // Final run with the observability layer attached: same campaign, tracer +
   // metrics collected per slot and merged.  Guards the "zero-cost when
@@ -142,11 +207,12 @@ int main(int argc, char** argv) {
   fault::CampaignConfig traced_cfg = cfg;
   traced_cfg.tracer = &tracer;
   traced_cfg.metrics = &metrics;
-  const auto traced = timed_campaign(traced_cfg, parallel_jobs);
+  const auto traced = timed_campaign(traced_cfg, parallel_jobs, headline);
 
-  const bool identical = same_summary(serial.summary, unpooled.summary) &&
-                         same_summary(serial.summary, parallel.summary) &&
-                         same_summary(serial.summary, traced.summary);
+  bool identical = same_summary(serial.summary, unpooled.summary) &&
+                   same_summary(serial.summary, traced.summary);
+  for (const auto& e : matrix)
+    identical = identical && same_summary(serial.summary, e.timed.summary);
   int silent_wrong = 0;
   for (const auto& t : serial.summary.sft) silent_wrong += t.silent_wrong;
   const long long scenarios = scenarios_executed(serial.summary);
@@ -158,11 +224,17 @@ int main(int argc, char** argv) {
   };
   const double pooling_speedup =
       serial.seconds > 0 ? unpooled.seconds / serial.seconds : 0.0;
+  // On a 1-CPU host "parallelism" just adds scheduling overhead; a speedup
+  // figure there is misleading (this repo once committed 0.739x from a
+  // single-core container as if it were a regression), so it is withheld.
+  const bool speedup_valid = cpus_available >= 2;
   const double parallel_speedup =
-      parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
+      speedup_valid && parallel->seconds > 0
+          ? serial.seconds / parallel->seconds
+          : 0.0;
   const double trace_overhead =
-      parallel.seconds > 0
-          ? (traced.seconds - parallel.seconds) / parallel.seconds
+      parallel->seconds > 0
+          ? (traced.seconds - parallel->seconds) / parallel->seconds
           : 0.0;
 
   std::printf("unpooled : %8.3f s  %9.1f scenarios/s  %8.1f allocs/scenario\n",
@@ -171,9 +243,16 @@ int main(int argc, char** argv) {
       "serial   : %8.3f s  %9.1f scenarios/s  %8.1f allocs/scenario  "
       "(%.2fx vs unpooled)\n",
       serial.seconds, rate(serial), per_scenario(serial), pooling_speedup);
-  std::printf("parallel : %8.3f s  %9.1f scenarios/s  (%d jobs, %.2fx)\n",
-              parallel.seconds, rate(parallel), parallel_jobs,
-              parallel_speedup);
+  for (const auto& e : matrix)
+    std::printf("pin=%-8s: %8.3f s  %9.1f scenarios/s  (%d jobs)\n",
+                e.policy.str().c_str(), e.timed.seconds, rate(e.timed),
+                parallel_jobs);
+  if (speedup_valid)
+    std::printf("parallel speedup (pin=%s): %.2fx vs serial\n",
+                headline.str().c_str(), parallel_speedup);
+  else
+    std::printf("parallel speedup: skipped (%d CPU available)\n",
+                cpus_available);
   std::printf("traced   : %8.3f s  (%zu events, %+.1f%% vs parallel)\n",
               traced.seconds, tracer.size(), 100.0 * trace_overhead);
   std::printf("summaries bit-identical: %s\n", identical ? "yes" : "NO");
@@ -190,6 +269,9 @@ int main(int argc, char** argv) {
                "  \"runs_per_class\": %d,\n"
                "  \"seed\": %llu,\n"
                "  \"hardware_concurrency\": %d,\n"
+               "  \"cpus_available\": %d,\n"
+               "  \"numa_nodes\": %d,\n"
+               "  \"placement\": \"%s\",\n"
                "  \"alloc_hook_active\": %s,\n"
                "  \"scenarios_executed\": %lld,\n"
                "  \"unpooled_seconds\": %.6f,\n"
@@ -201,22 +283,40 @@ int main(int argc, char** argv) {
                "  \"pooling_speedup\": %.3f,\n"
                "  \"parallel_jobs\": %d,\n"
                "  \"parallel_seconds\": %.6f,\n"
-               "  \"parallel_scenarios_per_sec\": %.2f,\n"
-               "  \"speedup\": %.3f,\n"
+               "  \"parallel_scenarios_per_sec\": %.2f,\n",
+               cfg.dim, cfg.runs_per_class,
+               static_cast<unsigned long long>(cfg.seed), hw, cpus_available,
+               topo.nodes, headline.str().c_str(),
+               util::alloc_hook_active() ? "true" : "false", scenarios,
+               unpooled.seconds, rate(unpooled), per_scenario(unpooled),
+               serial.seconds, rate(serial), per_scenario(serial),
+               pooling_speedup, parallel_jobs, parallel->seconds,
+               rate(*parallel));
+  if (speedup_valid)
+    std::fprintf(f, "  \"speedup\": %.3f,\n", parallel_speedup);
+  else
+    std::fprintf(f,
+                 "  \"speedup\": null,\n"
+                 "  \"speedup_skipped_reason\": \"only %d CPU available; "
+                 "serial-vs-parallel timing is scheduling noise\",\n",
+                 cpus_available);
+  std::fprintf(f, "  \"placement_matrix\": [\n");
+  for (std::size_t i = 0; i < matrix.size(); ++i)
+    std::fprintf(f,
+                 "    {\"placement\": \"%s\", \"seconds\": %.6f, "
+                 "\"scenarios_per_sec\": %.2f}%s\n",
+                 matrix[i].policy.str().c_str(), matrix[i].timed.seconds,
+                 rate(matrix[i].timed), i + 1 < matrix.size() ? "," : "");
+  std::fprintf(f,
+               "  ],\n"
                "  \"traced_seconds\": %.6f,\n"
                "  \"trace_events\": %zu,\n"
                "  \"trace_overhead\": %.4f,\n"
                "  \"summaries_identical\": %s,\n"
                "  \"silent_wrong_total\": %d\n"
                "}\n",
-               cfg.dim, cfg.runs_per_class,
-               static_cast<unsigned long long>(cfg.seed), hw,
-               util::alloc_hook_active() ? "true" : "false", scenarios,
-               unpooled.seconds, rate(unpooled), per_scenario(unpooled),
-               serial.seconds, rate(serial), per_scenario(serial),
-               pooling_speedup, parallel_jobs, parallel.seconds,
-               rate(parallel), parallel_speedup, traced.seconds, tracer.size(),
-               trace_overhead, identical ? "true" : "false", silent_wrong);
+               traced.seconds, tracer.size(), trace_overhead,
+               identical ? "true" : "false", silent_wrong);
   std::fclose(f);
   std::cout << "wrote " << out_path << "\n";
 

@@ -270,15 +270,34 @@ sim::Machine* lease_machine(int dim, bool reuse) {
 
 // Run body(i) for i in [0, count): inline when jobs == 1, across a pool
 // otherwise.  Bodies write into disjoint slots of pre-sized vectors, so the
-// execution order never shows in the output.
-void for_each_slot(int jobs, std::size_t count,
+// execution order never shows in the output.  cfg.placement decides where
+// pool workers run; the pin plan (a pure function of policy, topology and
+// worker count — never a runtime sched_getcpu sample) is recorded into the
+// campaign-level tracer/metrics as environment metadata before any slot
+// trace is appended.
+void for_each_slot(const CampaignConfig& cfg, std::size_t count,
                    const std::function<void(std::size_t)>& body) {
-  const int n = util::ThreadPool::resolve(jobs);
+  const int n = util::ThreadPool::resolve(cfg.jobs);
   if (n <= 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  util::ThreadPool pool(n);
+  std::vector<util::WorkerPin> pins;
+  if (cfg.placement.kind != util::Placement::kNone) {
+    pins = util::plan_placement(cfg.placement,
+                                util::HostTopology::discover(), n);
+    for (const auto& pin : pins) {
+      if (cfg.tracer != nullptr) {
+        cfg.tracer->instant(obs::Ev::kWorkerCpu, obs::kGlobal, -1, -1, 0.0,
+                            pin.worker, pin.cpu, cfg.placement.str());
+        cfg.tracer->instant(obs::Ev::kWorkerNode, obs::kGlobal, -1, -1, 0.0,
+                            pin.worker, pin.node);
+      }
+      if (cfg.metrics != nullptr && pin.cpu >= 0)
+        cfg.metrics->inc(obs::Counter::kWorkersPinned);
+    }
+  }
+  util::ThreadPool pool(n, std::move(pins));
   pool.parallel_for(count, body);
 }
 
@@ -390,7 +409,7 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
 
   // Phase 2: execute every (k, slot) across the pool.
   std::vector<MultiSlotOutcome> outcomes(first_draws.size());
-  for_each_slot(cfg.jobs, outcomes.size(), [&](std::size_t i) {
+  for_each_slot(cfg, outcomes.size(), [&](std::size_t i) {
     const int k = static_cast<int>(i / slots_per_k) + 1;
     const std::size_t slot = i % slots_per_k;
     auto& out = outcomes[i];
@@ -463,7 +482,7 @@ CampaignSummary run_campaign(const CampaignConfig& cfg) {
 
   // Phase 2: execute every slot, possibly across the pool.
   std::vector<SlotOutcome> outcomes(first_draws.size());
-  for_each_slot(cfg.jobs, outcomes.size(), [&](std::size_t i) {
+  for_each_slot(cfg, outcomes.size(), [&](std::size_t i) {
     const FaultClass fclass = active[i / slots_per_class];
     const std::size_t slot = i % slots_per_class;
     outcomes[i] = run_slot(fclass, cfg, slot, first_draws[i]);

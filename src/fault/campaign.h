@@ -40,6 +40,7 @@
 #include "fault/adversary.h"
 #include "sort/driver.h"
 #include "util/rng.h"
+#include "util/topology.h"
 
 namespace aoft::obs {
 class Tracer;
@@ -133,6 +134,19 @@ struct CampaignConfig {
   // hardware thread, N > 1 = fixed pool of N.  The summary is bit-identical
   // for every value — jobs trades wall-clock only, never results.
   int jobs = 1;
+  // Where those workers run (util/topology.h): none (default) leaves them to
+  // the OS scheduler; compact/scatter/explicit pin each worker to a CPU so
+  // its thread-local pools, rings and leased machine stay cache- and
+  // NUMA-local.  Placement changes wall-clock only: results, traces and
+  // metrics are aggregated in (class, slot) order regardless of which core
+  // ran a slot, so every policy is bit-identical to every other (proved by
+  // tests/fault/campaign_placement_test.cpp).  When a tracer is attached and
+  // the policy is not none, the engine records the pin *plan* as worker.cpu
+  // / worker.node instant events — environment metadata that trace_inspect
+  // --diff excludes from determinism comparisons.  Only applied when the
+  // resolved job count actually spins up a pool (jobs != 1); an explicit
+  // policy naming an unavailable CPU makes the campaign throw.
+  util::PlacementPolicy placement;
   // Keep one simulated Machine per worker thread, reset() between scenarios,
   // instead of reconstructing channels/contexts per attempt.  A reset machine
   // is observably identical to a fresh one, so results and traces do not

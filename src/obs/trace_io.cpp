@@ -1,22 +1,23 @@
 #include "obs/trace_io.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <ostream>
 #include <sstream>
-#include <variant>
 
+#include "obs/json.h"
 #include "util/table.h"
 
 namespace aoft::obs {
 
 namespace {
+
+using json::get_num;
+using json::get_str;
+using json::Object;
 
 // ---- JSON writing -----------------------------------------------------------
 
@@ -70,219 +71,7 @@ void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
   os << "}\n";
 }
 
-// ---- minimal JSON reader ----------------------------------------------------
-//
-// Just enough JSON to read back what we (or a Chrome exporter) write:
-// objects, arrays, strings with the common escapes, numbers, true/false/null.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  bool is_object() const { return v.index() == 5; }
-  bool is_array() const { return v.index() == 4; }
-  bool is_string() const { return v.index() == 3; }
-  bool is_number() const { return v.index() == 2; }
-  const JsonObject& object() const { return *std::get<5>(v); }
-  const JsonArray& array() const { return *std::get<4>(v); }
-  const std::string& str() const { return std::get<3>(v); }
-  double num() const { return std::get<2>(v); }
-};
-
-class JsonParser {
- public:
-  JsonParser(std::string_view text, std::string* error)
-      : text_(text), error_(error) {}
-
-  std::optional<JsonValue> parse() {
-    auto v = parse_value();
-    if (!v) return std::nullopt;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing characters");
-    return v;
-  }
-
- private:
-  std::optional<JsonValue> fail(const std::string& what) {
-    if (error_) *error_ = what + " at offset " + std::to_string(pos_);
-    return std::nullopt;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<JsonValue> parse_value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("unexpected end");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (c == 't' || c == 'f') return parse_bool();
-    if (c == 'n') return parse_null();
-    return parse_number();
-  }
-
-  std::optional<JsonValue> parse_object() {
-    ++pos_;  // '{'
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (consume('}')) return JsonValue{obj};
-    for (;;) {
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != '"')
-        return fail("expected object key");
-      auto key = parse_string();
-      if (!key) return std::nullopt;
-      if (!consume(':')) return fail("expected ':'");
-      auto val = parse_value();
-      if (!val) return std::nullopt;
-      (*obj)[key->str()] = std::move(*val);
-      if (consume(',')) continue;
-      if (consume('}')) return JsonValue{obj};
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  std::optional<JsonValue> parse_array() {
-    ++pos_;  // '['
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (consume(']')) return JsonValue{arr};
-    for (;;) {
-      auto val = parse_value();
-      if (!val) return std::nullopt;
-      arr->push_back(std::move(*val));
-      if (consume(',')) continue;
-      if (consume(']')) return JsonValue{arr};
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  std::optional<JsonValue> parse_string() {
-    ++pos_;  // '"'
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return JsonValue{{out}};
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
-            }
-            // Traces only escape control characters; encode as UTF-8 anyway.
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xc0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
-              out += static_cast<char>(0xe0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-              out += static_cast<char>(0x80 | (code & 0x3f));
-            }
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  std::optional<JsonValue> parse_bool() {
-    if (text_.substr(pos_, 4) == "true") {
-      pos_ += 4;
-      return JsonValue{{true}};
-    }
-    if (text_.substr(pos_, 5) == "false") {
-      pos_ += 5;
-      return JsonValue{{false}};
-    }
-    return fail("bad literal");
-  }
-
-  std::optional<JsonValue> parse_null() {
-    if (text_.substr(pos_, 4) == "null") {
-      pos_ += 4;
-      return JsonValue{};
-    }
-    return fail("bad literal");
-  }
-
-  std::optional<JsonValue> parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            std::strchr("+-.eE", text_[pos_]) != nullptr))
-      ++pos_;
-    if (pos_ == start) return fail("expected value");
-    const std::string tok(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double d = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') return fail("bad number");
-    return JsonValue{{d}};
-  }
-
-  std::string_view text_;
-  std::string* error_;
-  std::size_t pos_ = 0;
-};
-
-std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
-  return JsonParser(text, error).parse();
-}
-
-bool get_num(const JsonObject& o, const char* key, double& out) {
-  auto it = o.find(key);
-  if (it == o.end() || !it->second.is_number()) return false;
-  out = it->second.num();
-  return true;
-}
-
-bool get_str(const JsonObject& o, const char* key, std::string& out) {
-  auto it = o.find(key);
-  if (it == o.end() || !it->second.is_string()) return false;
-  out = it->second.str();
-  return true;
-}
+// The JSON reader lives in obs/json.h (shared with tools/bench_check).
 
 bool is_verdict(Ev e) {
   return e == Ev::kPhiP || e == Ev::kPhiF || e == Ev::kPhiC ||
@@ -406,7 +195,7 @@ std::optional<ParsedTrace> read_jsonl(std::istream& is, std::string* error) {
     ++lineno;
     if (line.empty()) continue;
     std::string perr;
-    auto v = parse_json(line, &perr);
+    auto v = json::parse(line, &perr);
     if (!v) return fail(lineno, perr);
     if (!v->is_object()) return fail(lineno, "expected a JSON object");
     const auto& obj = v->object();
@@ -477,7 +266,7 @@ bool validate_chrome(std::istream& is, std::string* error,
   buf << is.rdbuf();
   const std::string text = buf.str();
   std::string perr;
-  auto v = parse_json(text, &perr);
+  auto v = json::parse(text, &perr);
   if (!v) {
     if (error) *error = perr;
     return false;
@@ -564,6 +353,9 @@ std::string summarize(const ParsedTrace& trace) {
   std::uint64_t watchdog = 0, timeouts = 0, drops = 0, errors = 0;
   std::uint64_t scenarios = 0, attempts = 0;
   double elapsed = 0.0;
+  // Worker placement plan (campaigns run with --pin): worker -> cpu / node.
+  std::map<std::int64_t, std::int64_t> worker_cpu, worker_node;
+  std::string placement_policy;
 
   for (const auto& e : trace.events) {
     elapsed = std::max(elapsed, e.t1);
@@ -594,6 +386,11 @@ std::string summarize(const ParsedTrace& trace) {
       case Ev::kDrop: ++drops; break;
       case Ev::kScenario: ++scenarios; break;
       case Ev::kAttempt: ++attempts; break;
+      case Ev::kWorkerCpu:
+        worker_cpu[e.a] = e.b;
+        if (placement_policy.empty()) placement_policy = e.detail;
+        break;
+      case Ev::kWorkerNode: worker_node[e.a] = e.b; break;
       default: break;
     }
   }
@@ -603,6 +400,17 @@ std::string summarize(const ParsedTrace& trace) {
      << " block=" << trace.meta.block << " seed=" << trace.meta.seed
      << " mode=" << (trace.meta.mode.empty() ? "?" : trace.meta.mode)
      << " events=" << trace.events.size() << "\n";
+  if (!worker_cpu.empty()) {
+    os << "placement: policy="
+       << (placement_policy.empty() ? "?" : placement_policy)
+       << " workers=" << worker_cpu.size();
+    for (const auto& [worker, cpu] : worker_cpu) {
+      os << " w" << worker << "->cpu" << cpu;
+      const auto it = worker_node.find(worker);
+      if (it != worker_node.end()) os << "/node" << it->second;
+    }
+    os << "\n";
+  }
   util::Table table({"stage", "spans", "iters", "phi pass", "phi FAIL",
                      "ckpt", "errors", "max t1"});
   for (const auto& [stage, r] : stages)

@@ -12,11 +12,13 @@ int ThreadPool::resolve(int jobs) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, std::vector<WorkerPin> pins)
+    : pins_(std::move(pins)) {
   const int n = resolve(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,7 +38,11 @@ void ThreadPool::submit(std::function<void()> job) {
   cv_work_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Pin before the first job so thread-local pools and leased machines are
+  // allocated NUMA-local.  A rejected pin degrades to unpinned.
+  if (index < pins_.size() && pins_[index].cpu >= 0)
+    pin_current_thread(pins_[index].cpu);
   for (;;) {
     std::function<void()> job;
     {

@@ -12,7 +12,11 @@
 //     between jobs, only that wait_idle() returns after every submitted job
 //     finished,
 //   * the first exception thrown by a job is captured and rethrown from
-//     wait_idle() / parallel_for() on the calling thread.
+//     wait_idle() / parallel_for() on the calling thread,
+//   * workers may be pinned to CPUs via a util::plan_placement pin plan
+//     (util/topology.h) — placement trades cache/NUMA locality only and is
+//     invisible in job results; a pin the kernel rejects degrades to
+//     unpinned rather than failing the pool.
 
 #pragma once
 
@@ -25,12 +29,16 @@
 #include <thread>
 #include <vector>
 
+#include "util/topology.h"
+
 namespace aoft::util {
 
 class ThreadPool {
  public:
-  // threads <= 0 selects the hardware concurrency (at least 1).
-  explicit ThreadPool(int threads = 0);
+  // threads <= 0 selects the hardware concurrency (at least 1).  When a pin
+  // plan is given, worker i pins itself to pins[i].cpu before taking jobs
+  // (entries with cpu < 0, and workers beyond the plan, run unpinned).
+  explicit ThreadPool(int threads = 0, std::vector<WorkerPin> pins = {});
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -55,9 +63,13 @@ class ThreadPool {
   // hardware concurrency", anything else is taken verbatim (min 1).
   static int resolve(int jobs);
 
- private:
-  void worker_loop();
+  // The pin plan the pool was built with (empty when unpinned).
+  const std::vector<WorkerPin>& pins() const { return pins_; }
 
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<WorkerPin> pins_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;

@@ -1,0 +1,260 @@
+#include "util/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace aoft::util {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Parse a non-negative decimal integer occupying the whole of `tok`.
+bool parse_int(std::string_view tok, int* out) {
+  if (tok.empty() || tok.size() > 9) return false;
+  int v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+bool parse_cpulist(std::string_view text, std::vector<int>* out) {
+  out->clear();
+  text = trim(text);
+  if (text.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view tok =
+        trim(text.substr(pos, comma == std::string_view::npos ? comma
+                                                              : comma - pos));
+    const std::size_t dash = tok.find('-');
+    int lo = 0, hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!parse_int(tok, &lo)) return false;
+      hi = lo;
+    } else {
+      if (!parse_int(tok.substr(0, dash), &lo) ||
+          !parse_int(tok.substr(dash + 1), &hi) || hi < lo)
+        return false;
+    }
+    for (int c = lo; c <= hi; ++c) out->push_back(c);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+HostTopology HostTopology::single_node(int ncpus) {
+  if (ncpus <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    ncpus = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  HostTopology topo;
+  topo.cpus.reserve(static_cast<std::size_t>(ncpus));
+  for (int c = 0; c < ncpus; ++c) topo.cpus.push_back({c, 0});
+  topo.nodes = 1;
+  topo.fallback = true;
+  return topo;
+}
+
+HostTopology HostTopology::from_sysfs(const std::string& node_root,
+                                      std::vector<int> available_cpus) {
+  // cpu -> node, from every nodeK/cpulist under the root.  A missing root or
+  // an empty scan leaves the map empty and selects the fallback below.
+  std::map<int, int> cpu_node;
+  std::error_code ec;
+  for (fs::directory_iterator it(node_root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    int node = -1;
+    if (name.rfind("node", 0) != 0 ||
+        !parse_int(std::string_view(name).substr(4), &node))
+      continue;
+    std::ifstream is(it->path() / "cpulist");
+    if (!is) continue;
+    const std::string text{std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>()};
+    std::vector<int> cpus;
+    if (!parse_cpulist(text, &cpus)) continue;
+    for (int c : cpus) cpu_node[c] = node;
+  }
+
+  if (available_cpus.empty())
+    for (const auto& [cpu, node] : cpu_node) available_cpus.push_back(cpu);
+  if (available_cpus.empty()) return single_node(0);
+  std::sort(available_cpus.begin(), available_cpus.end());
+  available_cpus.erase(
+      std::unique(available_cpus.begin(), available_cpus.end()),
+      available_cpus.end());
+
+  HostTopology topo;
+  std::set<int> nodes;
+  for (int c : available_cpus) {
+    const auto it = cpu_node.find(c);
+    const int node = it == cpu_node.end() ? 0 : it->second;
+    topo.cpus.push_back({c, node});
+    nodes.insert(node);
+  }
+  topo.nodes = std::max<int>(1, static_cast<int>(nodes.size()));
+  topo.fallback = cpu_node.empty();
+  return topo;
+}
+
+HostTopology HostTopology::discover() {
+#if defined(__linux__)
+  std::vector<int> available;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c)
+      if (CPU_ISSET(c, &set)) available.push_back(c);
+  }
+  if (available.empty()) return single_node(0);
+  return from_sysfs("/sys/devices/system/node", std::move(available));
+#else
+  return single_node(0);
+#endif
+}
+
+int HostTopology::node_of(int cpu) const {
+  for (const auto& hc : cpus)
+    if (hc.cpu == cpu) return hc.node;
+  return -1;
+}
+
+bool PlacementPolicy::parse(std::string_view spec, PlacementPolicy* out,
+                            std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error) *error = what;
+    return false;
+  };
+  out->cpus.clear();
+  if (spec == "none") {
+    out->kind = Placement::kNone;
+    return true;
+  }
+  if (spec == "compact") {
+    out->kind = Placement::kCompact;
+    return true;
+  }
+  if (spec == "scatter") {
+    out->kind = Placement::kScatter;
+    return true;
+  }
+  std::vector<int> cpus;
+  if (!parse_cpulist(spec, &cpus))
+    return fail("placement must be none|compact|scatter or a CPU list "
+                "(e.g. 0,2 or 0-3), got \"" +
+                std::string(spec) + "\"");
+  if (cpus.empty()) return fail("explicit placement needs at least one CPU");
+  out->kind = Placement::kExplicit;
+  out->cpus = std::move(cpus);
+  return true;
+}
+
+std::string PlacementPolicy::str() const {
+  switch (kind) {
+    case Placement::kNone: return "none";
+    case Placement::kCompact: return "compact";
+    case Placement::kScatter: return "scatter";
+    case Placement::kExplicit: {
+      std::string s;
+      for (int c : cpus) {
+        if (!s.empty()) s += ',';
+        s += std::to_string(c);
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+std::vector<WorkerPin> plan_placement(const PlacementPolicy& policy,
+                                      const HostTopology& topo, int workers) {
+  std::vector<WorkerPin> pins(static_cast<std::size_t>(std::max(workers, 0)));
+  for (std::size_t i = 0; i < pins.size(); ++i)
+    pins[i].worker = static_cast<int>(i);
+  if (policy.kind == Placement::kNone || topo.cpus.empty()) return pins;
+
+  // The CPU cycle workers are dealt onto, in policy order.
+  std::vector<HostCpu> order;
+  switch (policy.kind) {
+    case Placement::kCompact:
+      // Fill node by node: sort by (node, cpu).
+      order = topo.cpus;
+      std::sort(order.begin(), order.end(), [](const HostCpu& a,
+                                               const HostCpu& b) {
+        return a.node != b.node ? a.node < b.node : a.cpu < b.cpu;
+      });
+      break;
+    case Placement::kScatter: {
+      // Deal one CPU from each node in turn, nodes in ascending order.
+      std::map<int, std::vector<int>> by_node;
+      for (const auto& hc : topo.cpus) by_node[hc.node].push_back(hc.cpu);
+      for (std::size_t round = 0; order.size() < topo.cpus.size(); ++round)
+        for (const auto& [node, cpus] : by_node)
+          if (round < cpus.size()) order.push_back({cpus[round], node});
+      break;
+    }
+    case Placement::kExplicit:
+      for (int c : policy.cpus) {
+        const int node = topo.node_of(c);
+        if (node < 0)
+          throw std::invalid_argument(
+              "placement: cpu " + std::to_string(c) +
+              " is not in this process's available CPU set");
+        order.push_back({c, node});
+      }
+      break;
+    case Placement::kNone: break;  // unreachable
+  }
+
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const HostCpu& hc = order[i % order.size()];
+    pins[i].cpu = hc.cpu;
+    pins[i].node = hc.node;
+  }
+  return pins;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace aoft::util

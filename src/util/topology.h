@@ -1,0 +1,121 @@
+// Host CPU/NUMA topology discovery and worker placement planning.
+//
+// The campaign engine (fault/campaign.cpp) keeps key pools, ring buffers and
+// leased machines thread-local (PR 4); this layer decides *where* those
+// threads run so the working set also stays cache- and NUMA-local.  Three
+// pieces:
+//
+//   HostTopology    — which CPUs this process may run on (sched_getaffinity)
+//                     and which NUMA node owns each (parsed from
+//                     /sys/devices/system/node/node*/cpulist), with a
+//                     portable single-node fallback for non-Linux hosts,
+//   PlacementPolicy — none | compact | scatter | explicit CPU list, parsed
+//                     from a --pin=POLICY flag,
+//   plan_placement  — the pure function (policy, topology, workers) ->
+//                     per-worker pins that util::ThreadPool applies via
+//                     pthread_setaffinity_np.
+//
+// Placement is strictly an efficiency knob: it changes which core executes a
+// slot, never what the slot computes.  Campaign results, traces and metrics
+// are aggregated in (class, slot) order regardless of scheduling, so every
+// policy yields bit-identical summaries (tests/fault/campaign_placement_test
+// proves it).  The pin *plan* is deterministic given (policy, topology,
+// worker count); only the plan — never a runtime sched_getcpu() sample — is
+// recorded in traces, so a fixed host and policy always serialize the same
+// bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aoft::util {
+
+struct HostCpu {
+  int cpu = 0;   // OS logical CPU id
+  int node = 0;  // NUMA node owning it (0 on single-node / fallback hosts)
+  friend bool operator==(const HostCpu&, const HostCpu&) = default;
+};
+
+struct HostTopology {
+  std::vector<HostCpu> cpus;  // the CPUs this process may use, ascending id
+  int nodes = 1;              // distinct NUMA nodes among `cpus` (>= 1)
+  bool fallback = false;      // true when /sys discovery was unavailable
+
+  // The live host: sched_getaffinity for the available set, sysfs for the
+  // node map.  Non-Linux builds (and affinity failures) degrade to
+  // single_node(hardware_concurrency).
+  static HostTopology discover();
+
+  // Parse a /sys/devices/system/node-style tree rooted at `node_root`
+  // (directories nodeK each holding a `cpulist` file).  `available_cpus`
+  // restricts the result to that set; empty means "every CPU listed".
+  // A missing or node-less root yields the single-node fallback over
+  // `available_cpus`.  Exposed separately so tests can feed fixture trees.
+  static HostTopology from_sysfs(const std::string& node_root,
+                                 std::vector<int> available_cpus);
+
+  // Portable fallback: CPUs 0..n-1, all on node 0.  n <= 0 selects the
+  // hardware concurrency (at least 1).
+  static HostTopology single_node(int ncpus);
+
+  // NUMA node of `cpu`, or -1 when the CPU is not in the available set.
+  int node_of(int cpu) const;
+  bool has_cpu(int cpu) const { return node_of(cpu) >= 0; }
+};
+
+enum class Placement : std::uint8_t {
+  kNone,      // leave workers wherever the OS scheduler drops them
+  kCompact,   // fill one NUMA node before spilling to the next
+  kScatter,   // round-robin workers across NUMA nodes
+  kExplicit,  // user-supplied CPU set (canonicalized ascending),
+              // worker i -> list[i mod size]
+};
+
+struct PlacementPolicy {
+  Placement kind = Placement::kNone;
+  std::vector<int> cpus;  // kExplicit only: the pinned CPU cycle
+
+  // Parse a --pin value: "none" | "compact" | "scatter" | a CPU list in
+  // cpulist syntax ("0,2,4", "0-3", "0-1,6").  Returns false and fills
+  // `error` on anything else (including an empty list).
+  static bool parse(std::string_view spec, PlacementPolicy* out,
+                    std::string* error);
+
+  // Round-trips through parse(); explicit lists render comma-separated.
+  std::string str() const;
+
+  friend bool operator==(const PlacementPolicy&,
+                         const PlacementPolicy&) = default;
+};
+
+// One worker's planned pin.  cpu/node are -1 for unpinned (policy none).
+struct WorkerPin {
+  int worker = 0;
+  int cpu = -1;
+  int node = -1;
+  friend bool operator==(const WorkerPin&, const WorkerPin&) = default;
+};
+
+// Deterministically map `workers` workers onto the topology under `policy`.
+// Workers wrap around when they outnumber the planned CPU cycle.  An
+// explicit policy naming a CPU outside the available set throws
+// std::invalid_argument — a bad --pin should fail loudly, not silently run
+// unpinned.  With policy none (or an empty topology) every pin is -1.
+std::vector<WorkerPin> plan_placement(const PlacementPolicy& policy,
+                                      const HostTopology& topo, int workers);
+
+// Pin the calling thread to one CPU (pthread_setaffinity_np).  Returns false
+// when pinning is unsupported on this platform or the kernel rejects the
+// CPU; callers treat that as "run unpinned", never as an error.
+bool pin_current_thread(int cpu);
+
+// Parse kernel cpulist syntax ("0-3,8,10-11") into ascending CPU ids.
+// Empty (or whitespace-only) text parses to an empty list.  Returns false on
+// malformed tokens.  Exposed for tests and PlacementPolicy::parse.
+bool parse_cpulist(std::string_view text, std::vector<int>* out);
+
+}  // namespace aoft::util

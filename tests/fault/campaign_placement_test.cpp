@@ -1,0 +1,184 @@
+// Placement-invariance suite for the campaign engine.
+//
+// The contract (fault/campaign.h, util/topology.h, docs/PROTOCOL.md §9.4):
+// worker placement is an efficiency knob.  Pinning workers to CPUs or NUMA
+// nodes changes wall-clock only — the CampaignSummary, the merged metrics
+// and the serialized trace (minus the worker.cpu / worker.node environment
+// records) are bit-identical across every policy and every job count.
+
+#include "fault/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_io.h"
+#include "util/topology.h"
+
+namespace aoft::fault {
+namespace {
+
+void expect_same_tally(const ClassTally& a, const ClassTally& b) {
+  EXPECT_EQ(a.fclass, b.fclass);
+  EXPECT_EQ(a.runs, b.runs) << to_string(a.fclass);
+  EXPECT_EQ(a.detected, b.detected) << to_string(a.fclass);
+  EXPECT_EQ(a.masked, b.masked) << to_string(a.fclass);
+  EXPECT_EQ(a.silent_wrong, b.silent_wrong) << to_string(a.fclass);
+  EXPECT_EQ(a.attempts, b.attempts) << to_string(a.fclass);
+  EXPECT_EQ(a.dropped, b.dropped) << to_string(a.fclass);
+}
+
+void expect_same_summary(const CampaignSummary& a, const CampaignSummary& b) {
+  ASSERT_EQ(a.sft.size(), b.sft.size());
+  ASSERT_EQ(a.snr.size(), b.snr.size());
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.sft.size(); ++i) {
+    expect_same_tally(a.sft[i], b.sft[i]);
+    expect_same_tally(a.snr[i], b.snr[i]);
+  }
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].scenario.input_seed, b.runs[i].scenario.input_seed);
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome);
+    EXPECT_EQ(a.runs[i].detection_stage, b.runs[i].detection_stage);
+  }
+}
+
+CampaignConfig small_config(int jobs, const util::PlacementPolicy& placement) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 3;
+  cfg.seed = 0xfeedULL;
+  cfg.jobs = jobs;
+  cfg.placement = placement;
+  return cfg;
+}
+
+util::PlacementPolicy policy(const std::string& spec) {
+  util::PlacementPolicy p;
+  std::string err;
+  EXPECT_TRUE(util::PlacementPolicy::parse(spec, &p, &err)) << err;
+  return p;
+}
+
+// An explicit policy naming a CPU this process really owns.
+util::PlacementPolicy first_cpu_policy() {
+  const auto topo = util::HostTopology::discover();
+  return policy(std::to_string(topo.cpus.front().cpu));
+}
+
+// Serialize the campaign trace exactly as aoft_sort_cli --trace would.
+std::string traced_campaign(CampaignConfig cfg, obs::MetricsRegistry* metrics,
+                            CampaignSummary* summary = nullptr) {
+  obs::Tracer tracer;
+  cfg.tracer = &tracer;
+  cfg.metrics = metrics;
+  auto s = run_campaign(cfg);
+  if (summary != nullptr) *summary = std::move(s);
+  obs::TraceMeta meta;
+  meta.dim = cfg.dim;
+  meta.seed = cfg.seed;
+  meta.mode = "campaign";
+  std::stringstream ss;
+  obs::write_jsonl(ss, meta, tracer);
+  return ss.str();
+}
+
+// Drop worker.cpu / worker.node lines and the header's event count — the
+// same normalization trace_inspect --diff applies (PROTOCOL.md §9.4).
+std::string strip_placement(const std::string& trace) {
+  std::stringstream in(trace), out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"k\":\"worker.", 0) == 0) continue;
+    if (line.rfind("{\"schema\":", 0) == 0) {
+      const auto pos = line.rfind(",\"events\":");
+      if (pos != std::string::npos) line.resize(pos);
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+std::size_t count_prefix(const std::string& trace, const std::string& prefix) {
+  std::stringstream in(trace);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line))
+    if (line.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+TEST(CampaignPlacementTest, SummaryIsPlacementAndJobCountInvariant) {
+  const auto baseline = run_campaign(small_config(1, policy("none")));
+  for (const auto& p :
+       {policy("none"), policy("compact"), policy("scatter"),
+        first_cpu_policy()}) {
+    for (int jobs : {1, 2, 4}) {
+      const auto summary = run_campaign(small_config(jobs, p));
+      SCOPED_TRACE("pin=" + p.str() + " jobs=" + std::to_string(jobs));
+      expect_same_summary(baseline, summary);
+    }
+  }
+}
+
+TEST(CampaignPlacementTest, TracesAreIdenticalAcrossPoliciesAfterFiltering) {
+  obs::MetricsRegistry m0;
+  const auto reference =
+      strip_placement(traced_campaign(small_config(1, policy("none")), &m0));
+  ASSERT_FALSE(reference.empty());
+  for (const auto& p : {policy("none"), policy("compact"), policy("scatter"),
+                        first_cpu_policy()}) {
+    for (int jobs : {2, 4}) {
+      obs::MetricsRegistry m;
+      const auto trace =
+          strip_placement(traced_campaign(small_config(jobs, p), &m));
+      SCOPED_TRACE("pin=" + p.str() + " jobs=" + std::to_string(jobs));
+      EXPECT_EQ(reference, trace);
+    }
+  }
+}
+
+TEST(CampaignPlacementTest, PinPlanIsRecordedAsWorkerEvents) {
+  obs::MetricsRegistry metrics;
+  const auto trace =
+      traced_campaign(small_config(4, policy("compact")), &metrics);
+  EXPECT_EQ(count_prefix(trace, "{\"k\":\"worker.cpu\""), 4u);
+  EXPECT_EQ(count_prefix(trace, "{\"k\":\"worker.node\""), 4u);
+  EXPECT_NE(trace.find("\"d\":\"compact\""), std::string::npos)
+      << "policy name missing from worker.cpu detail";
+  // Every planned pin on this host is a real CPU, so each worker counts.
+  EXPECT_EQ(metrics.get(obs::Counter::kWorkersPinned), 4u);
+}
+
+TEST(CampaignPlacementTest, NoWorkerEventsWithoutAPolicyOrAPool) {
+  obs::MetricsRegistry m1;
+  const auto none = traced_campaign(small_config(4, policy("none")), &m1);
+  EXPECT_EQ(count_prefix(none, "{\"k\":\"worker."), 0u);
+  EXPECT_EQ(m1.get(obs::Counter::kWorkersPinned), 0u);
+  // jobs == 1 never spins up a pool, so there is nothing to pin.
+  obs::MetricsRegistry m2;
+  const auto serial = traced_campaign(small_config(1, policy("compact")), &m2);
+  EXPECT_EQ(count_prefix(serial, "{\"k\":\"worker."), 0u);
+  EXPECT_EQ(m2.get(obs::Counter::kWorkersPinned), 0u);
+}
+
+TEST(CampaignPlacementTest, ExplicitUnavailableCpuFailsLoudly) {
+  // CPU ids this high cannot be in the affinity mask (CPU_SETSIZE is 1024).
+  const auto cfg = small_config(2, policy("1048576"));
+  EXPECT_THROW(run_campaign(cfg), std::invalid_argument);
+}
+
+TEST(CampaignPlacementTest, PlacementDoesNotLeakIntoTheorem3Verdict) {
+  for (const auto& p : {policy("compact"), policy("scatter")}) {
+    const auto summary = run_campaign(small_config(0, p));
+    for (const auto& tally : summary.sft)
+      EXPECT_EQ(tally.silent_wrong, 0)
+          << to_string(tally.fclass) << " pin=" << p.str();
+  }
+}
+
+}  // namespace
+}  // namespace aoft::fault

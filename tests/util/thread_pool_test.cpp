@@ -7,6 +7,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/topology.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace aoft::util {
 namespace {
 
@@ -62,6 +68,32 @@ TEST(ThreadPoolTest, FirstJobExceptionRethrownOnWait) {
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkersRunOnTheirPinnedCpu) {
+  const auto topo = HostTopology::discover();
+  ASSERT_FALSE(topo.cpus.empty());
+  const int cpu = topo.cpus.front().cpu;
+  std::vector<WorkerPin> pins(2);
+  for (int w = 0; w < 2; ++w) pins[static_cast<std::size_t>(w)] = {w, cpu, 0};
+  ThreadPool pool(2, pins);
+  ASSERT_EQ(pool.pins().size(), 2u);
+  EXPECT_EQ(pool.pins()[1].cpu, cpu);
+#if defined(__linux__)
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    if (sched_getcpu() != cpu) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+#endif
+}
+
+TEST(ThreadPoolTest, RejectedPinDegradesToUnpinnedExecution) {
+  // A nonsense CPU id cannot be applied; the worker must still run jobs.
+  ThreadPool pool(2, {{0, 1 << 20, 0}, {1, -1, -1}});
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 TEST(ThreadPoolTest, PoolReusableAcrossParallelForCalls) {

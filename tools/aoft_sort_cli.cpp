@@ -11,6 +11,7 @@
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --transient --recover=rollback
 //   aoft_sort_cli --campaign --dim=4 --runs=40 --jobs=0 --seed=1989
 //   aoft_sort_cli --campaign --multi=3 --jobs=2
+//   aoft_sort_cli --campaign --jobs=0 --pin=compact
 //
 // Prints the outcome, timing summary and (with --diagnose) the host-side
 // fault localization.  With --recover the run goes through the recovery
@@ -22,8 +23,11 @@
 // --campaign runs the §4 fault-injection campaign instead of a single sort:
 // --runs scenarios per adversary class, fanned out over --jobs worker
 // threads (0 = one per hardware thread; results are bit-identical for every
-// job count), plus an optional --multi=K simultaneous-fault sweep.  Exit
-// status 0 iff every S_FT tally has silent_wrong == 0 (Theorem 3).
+// job count), plus an optional --multi=K simultaneous-fault sweep.
+// --pin=none|compact|scatter|CPULIST places those workers on cores/NUMA
+// nodes (util/topology.h) — wall-clock only, results and traces stay
+// bit-identical across policies.  Exit status 0 iff every S_FT tally has
+// silent_wrong == 0 (Theorem 3).
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +47,7 @@
 #include "sort/snr.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -64,6 +69,8 @@ struct Args {
   int jobs = 1;      // campaign worker threads; 0 = hardware concurrency
   int runs = 25;     // exercised scenarios per fault class
   int multi_k = 0;   // if > 0, also sweep 1..K simultaneous faults
+  bool has_pin = false;
+  util::PlacementPolicy pin;  // worker placement (campaign mode only)
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
   cube::NodeId fault_node = 0;
@@ -121,6 +128,13 @@ bool parse(int argc, char** argv, Args& args) {
       args.runs = std::atoi(value("--runs="));
     } else if (a.rfind("--multi=", 0) == 0) {
       args.multi_k = std::atoi(value("--multi="));
+    } else if (a.rfind("--pin=", 0) == 0) {
+      std::string perr;
+      if (!util::PlacementPolicy::parse(value("--pin="), &args.pin, &perr)) {
+        std::fprintf(stderr, "--pin: %s\n", perr.c_str());
+        return false;
+      }
+      args.has_pin = true;
     } else if (a == "--transient") {
       args.transient = true;
     } else if (a == "--diagnose") {
@@ -166,6 +180,10 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--multi must be in [0, 2^dim]\n");
     return false;
   }
+  if (args.has_pin && !args.campaign) {
+    std::fprintf(stderr, "--pin requires --campaign\n");
+    return false;
+  }
   return true;
 }
 
@@ -200,6 +218,7 @@ int run_campaign_mode(const Args& args) {
   cfg.runs_per_class = args.runs;
   cfg.seed = args.seed;
   cfg.jobs = args.jobs;
+  cfg.placement = args.pin;
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
@@ -210,9 +229,10 @@ int run_campaign_mode(const Args& args) {
 
   if (!args.quiet)
     std::printf("fault campaign: dim=%d block=%zu runs/class=%d seed=%llu "
-                "jobs=%d\n\n",
+                "jobs=%d pin=%s\n\n",
                 cfg.dim, cfg.block, cfg.runs_per_class,
-                static_cast<unsigned long long>(cfg.seed), cfg.jobs);
+                static_cast<unsigned long long>(cfg.seed), cfg.jobs,
+                cfg.placement.str().c_str());
 
   const auto summary = fault::run_campaign(cfg);
   int silent = 0;
@@ -284,6 +304,7 @@ int main(int argc, char** argv) {
                  "          [--diagnose] [--quiet] [--trace=PATH]\n"
                  "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
                  "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n"
+                 "          [--pin=none|compact|scatter|CPULIST]\n"
                  "          [--trace=PATH]  (.json = Chrome trace, else JSONL)\n",
                  argv[0], argv[0]);
     return 1;

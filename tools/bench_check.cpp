@@ -1,0 +1,232 @@
+// bench_check — CI perf gate over BENCH_campaign.json.
+//
+//   bench_check FRESH.json REFERENCE.json [--min-pooling-speedup=F]
+//
+// FRESH is the file campaign_throughput just wrote on this runner; REFERENCE
+// is the one committed at the repo root.  Both must be structurally sound;
+// FRESH additionally gates the merge:
+//
+//   FAIL when  silent_wrong_total != 0         (Theorem 3 violated),
+//              summaries_identical != true     (engine nondeterminism),
+//              a required key is missing or mistyped,
+//              pooling_speedup < the configured floor (default 1.0 — the
+//              pooled hot path must never be slower than the baseline it
+//              replaced; wall-clock-for-wall-clock on the same runner this
+//              is noise-free enough to gate on),
+//              the speedup/cpus_available contract is broken: hosts with
+//              >= 2 CPUs must report a positive "speedup" number, hosts
+//              with fewer must report "speedup": null plus a
+//              speedup_skipped_reason string (no more committing 0.7x
+//              "slowdowns" measured on a 1-core container).
+//
+// Raw throughput numbers (scenarios/sec, placement matrix, trace overhead)
+// are printed as an informational fresh-vs-reference diff but never gate:
+// CI runners differ too much machine-to-machine for absolute wall-clock
+// comparisons to be signal.
+//
+// Exit status: 0 = gate passed, 1 = gate failed or file/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using namespace aoft::obs;
+
+int failures = 0;
+
+void fail(const char* file, const std::string& what) {
+  std::fprintf(stderr, "FAIL %s: %s\n", file, what.c_str());
+  ++failures;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Required numeric / boolean keys every BENCH_campaign.json must carry.
+constexpr const char* kNumKeys[] = {
+    "dim",
+    "runs_per_class",
+    "hardware_concurrency",
+    "cpus_available",
+    "numa_nodes",
+    "scenarios_executed",
+    "unpooled_seconds",
+    "unpooled_scenarios_per_sec",
+    "serial_seconds",
+    "serial_scenarios_per_sec",
+    "pooling_speedup",
+    "parallel_jobs",
+    "parallel_seconds",
+    "parallel_scenarios_per_sec",
+    "traced_seconds",
+    "trace_events",
+    "trace_overhead",
+    "silent_wrong_total",
+};
+
+// Structural + correctness checks shared by FRESH and REFERENCE.  Returns
+// the parsed object via `out`; false (with failures recorded) when the file
+// is unusable.
+bool check_file(const char* label, const std::string& path, json::Value* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(label, "cannot open " + path);
+    return false;
+  }
+  std::string err;
+  auto parsed = json::parse(text, &err);
+  if (!parsed) {
+    fail(label, path + ": " + err);
+    return false;
+  }
+  if (!parsed->is_object()) {
+    fail(label, path + ": top level is not an object");
+    return false;
+  }
+  const auto& o = parsed->object();
+  double d = 0;
+  for (const char* key : kNumKeys)
+    if (!json::get_num(o, key, d))
+      fail(label, "missing or non-numeric key \"" + std::string(key) + "\"");
+  std::string s;
+  if (!json::get_str(o, "placement", s))
+    fail(label, "missing or non-string key \"placement\"");
+  bool b = false;
+  if (!json::get_bool(o, "alloc_hook_active", b))
+    fail(label, "missing or non-boolean key \"alloc_hook_active\"");
+
+  if (!json::get_bool(o, "summaries_identical", b))
+    fail(label, "missing or non-boolean key \"summaries_identical\"");
+  else if (!b)
+    fail(label, "summaries_identical is false — campaign engine produced "
+                "different results across pooling/jobs/placement");
+
+  if (json::get_num(o, "silent_wrong_total", d) && d != 0)
+    fail(label, "silent_wrong_total = " + std::to_string(d) +
+                    " (Theorem 3 requires 0)");
+
+  auto matrix = o.find("placement_matrix");
+  if (matrix == o.end() || !matrix->second.is_array() ||
+      matrix->second.array().empty()) {
+    fail(label, "missing or empty \"placement_matrix\" array");
+  } else {
+    for (const auto& entry : matrix->second.array()) {
+      if (!entry.is_object() || !json::get_str(entry.object(), "placement", s) ||
+          !json::get_num(entry.object(), "seconds", d) ||
+          !json::get_num(entry.object(), "scenarios_per_sec", d)) {
+        fail(label, "malformed placement_matrix entry");
+        break;
+      }
+    }
+  }
+
+  // speedup is the one key whose *type* is conditional: a number on real
+  // multi-core hosts, null (with a stated reason) on 1-CPU runners.
+  double cpus = 0;
+  json::get_num(o, "cpus_available", cpus);
+  auto speedup = o.find("speedup");
+  if (speedup == o.end()) {
+    fail(label, "missing key \"speedup\" (number or null)");
+  } else if (cpus >= 2) {
+    if (!speedup->second.is_number() || speedup->second.num() <= 0)
+      fail(label, "host has >= 2 CPUs but \"speedup\" is not a positive "
+                  "number");
+  } else {
+    if (!speedup->second.is_null())
+      fail(label, "host has < 2 CPUs but \"speedup\" is not null — "
+                  "single-core serial-vs-parallel timings are noise, not a "
+                  "speedup");
+    if (!json::get_str(o, "speedup_skipped_reason", s))
+      fail(label, "null \"speedup\" needs a \"speedup_skipped_reason\" "
+                  "string");
+  }
+
+  *out = *parsed;
+  return true;
+}
+
+void info_diff(const json::Object& fresh, const json::Object& ref,
+               const char* key) {
+  double a = 0, b = 0;
+  if (json::get_num(fresh, key, a) && json::get_num(ref, key, b) && b != 0)
+    std::printf("  %-28s fresh %12.2f   ref %12.2f   (%+.1f%%)\n", key, a, b,
+                100.0 * (a - b) / b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* fresh_path = nullptr;
+  const char* ref_path = nullptr;
+  double min_pooling = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--min-pooling-speedup=", 22) == 0) {
+      min_pooling = std::atof(a + 22);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      fresh_path = nullptr;
+      break;
+    } else if (!fresh_path) {
+      fresh_path = a;
+    } else if (!ref_path) {
+      ref_path = a;
+    } else {
+      fresh_path = nullptr;
+      break;
+    }
+  }
+  if (!fresh_path || !ref_path) {
+    std::fprintf(stderr,
+                 "usage: %s FRESH.json REFERENCE.json "
+                 "[--min-pooling-speedup=F]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  json::Value fresh_v, ref_v;
+  const bool fresh_ok = check_file("fresh", fresh_path, &fresh_v);
+  const bool ref_ok = check_file("reference", ref_path, &ref_v);
+
+  if (fresh_ok) {
+    double d = 0;
+    if (json::get_num(fresh_v.object(), "pooling_speedup", d) &&
+        d < min_pooling)
+      fail("fresh", "pooling_speedup " + std::to_string(d) +
+                        " is below the floor " + std::to_string(min_pooling) +
+                        " — the pooled hot path regressed past its baseline");
+  }
+
+  if (fresh_ok && ref_ok) {
+    std::printf("informational fresh-vs-reference throughput "
+                "(never gates):\n");
+    const auto& f = fresh_v.object();
+    const auto& r = ref_v.object();
+    info_diff(f, r, "unpooled_scenarios_per_sec");
+    info_diff(f, r, "serial_scenarios_per_sec");
+    info_diff(f, r, "parallel_scenarios_per_sec");
+    info_diff(f, r, "pooling_speedup");
+    info_diff(f, r, "trace_overhead");
+  }
+
+  if (failures == 0) {
+    std::printf("bench_check: OK (%s vs %s, pooling floor %.2fx)\n",
+                fresh_path, ref_path, min_pooling);
+    return 0;
+  }
+  std::fprintf(stderr, "bench_check: %d failure(s)\n", failures);
+  return 1;
+}

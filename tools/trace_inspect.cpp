@@ -6,7 +6,14 @@
 //   trace_inspect --diff A B        byte-compare two JSONL traces; prints the
 //                                   first differing line (traces are
 //                                   deterministic, so equal runs are equal
-//                                   files)
+//                                   files).  Lines recording the worker
+//                                   placement plan (worker.cpu /
+//                                   worker.node, docs/PROTOCOL.md §9.4) are
+//                                   environment metadata, not run content —
+//                                   they differ across --pin policies and
+//                                   job counts by design, so --diff skips
+//                                   them on both sides and reports how many
+//                                   it ignored
 //
 // Exit status: 0 = valid / equal, 1 = invalid / different / usage error.
 
@@ -50,20 +57,55 @@ int summary(const std::string& path) {
   return 0;
 }
 
+// Worker placement events describe the execution environment (which CPU a
+// pool worker was planned onto), not the run: they legitimately differ
+// across --pin policies and job counts while the run content stays
+// byte-identical.  The JSONL field order is fixed, so a prefix test is an
+// exact kind test.
+bool is_placement_line(const std::string& line) {
+  return line.rfind("{\"k\":\"worker.", 0) == 0;
+}
+
+// The JSONL header declares the total event count, which includes the
+// skipped placement events — mask it out of the comparison too.
+bool is_header_line(const std::string& line) {
+  return line.rfind("{\"schema\":", 0) == 0;
+}
+
 int diff(const std::string& a_path, const std::string& b_path) {
   std::ifstream a(a_path), b(b_path);
   if (!a || !b) {
     std::fprintf(stderr, "cannot open %s\n", (!a ? a_path : b_path).c_str());
     return 1;
   }
+  std::size_t ignored = 0;
+  bool header_differs = false;
+  // Next comparable line, skipping placement events.
+  auto next = [&ignored](std::ifstream& is, std::string& line) {
+    while (std::getline(is, line)) {
+      if (is_placement_line(line)) {
+        ++ignored;
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
   std::string la, lb;
   std::size_t lineno = 0;
   for (;;) {
-    const bool ga = static_cast<bool>(std::getline(a, la));
-    const bool gb = static_cast<bool>(std::getline(b, lb));
+    const bool ga = next(a, la);
+    const bool gb = next(b, lb);
     ++lineno;
     if (!ga && !gb) {
-      std::printf("traces identical (%zu lines)\n", lineno - 1);
+      if (ignored > 0)
+        std::printf("traces identical (%zu lines, %zu placement lines "
+                    "ignored%s)\n",
+                    lineno - 1, ignored,
+                    header_differs ? ", headers differ only in event count"
+                                   : "");
+      else
+        std::printf("traces identical (%zu lines)\n", lineno - 1);
       return 0;
     }
     if (ga != gb) {
@@ -72,6 +114,18 @@ int diff(const std::string& a_path, const std::string& b_path) {
       return 1;
     }
     if (la != lb) {
+      // Header event counts include placement events; tolerate that one
+      // difference when placement lines are being skipped.
+      if (lineno == 1 && is_header_line(la) && is_header_line(lb)) {
+        const auto cut = [](const std::string& s) {
+          const auto pos = s.rfind(",\"events\":");
+          return pos == std::string::npos ? s : s.substr(0, pos);
+        };
+        if (cut(la) == cut(lb)) {
+          header_differs = true;
+          continue;
+        }
+      }
       std::printf("traces differ at line %zu:\n- %s\n+ %s\n", lineno,
                   la.c_str(), lb.c_str());
       return 1;
