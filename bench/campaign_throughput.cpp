@@ -35,6 +35,7 @@
 // hardware_concurrency / cpus_available / numa_nodes so consumers can judge.
 
 #include <chrono>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "fault/campaign.h"
+#include "util/atomic_file.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/pool.h"
@@ -58,13 +60,15 @@ using namespace aoft;
 bool same_tally(const fault::ClassTally& a, const fault::ClassTally& b) {
   return a.fclass == b.fclass && a.runs == b.runs && a.detected == b.detected &&
          a.masked == b.masked && a.silent_wrong == b.silent_wrong &&
-         a.attempts == b.attempts && a.dropped == b.dropped;
+         a.attempts == b.attempts && a.dropped == b.dropped &&
+         a.multi_fired == b.multi_fired;
 }
 
 bool same_summary(const fault::CampaignSummary& a,
                   const fault::CampaignSummary& b) {
   if (a.sft.size() != b.sft.size() || a.snr.size() != b.snr.size() ||
-      a.runs.size() != b.runs.size())
+      a.runs.size() != b.runs.size() || a.slots_total != b.slots_total ||
+      a.slots_done != b.slots_done)
     return false;
   for (std::size_t i = 0; i < a.sft.size(); ++i)
     if (!same_tally(a.sft[i], b.sft[i]) || !same_tally(a.snr[i], b.snr[i]))
@@ -80,10 +84,23 @@ bool same_summary(const fault::CampaignSummary& a,
         x.scenario.aux_node != y.scenario.aux_node ||
         x.outcome != y.outcome || x.fault_exercised != y.fault_exercised ||
         x.first_detector != y.first_detector ||
-        x.detection_stage != y.detection_stage)
+        x.detection_stage != y.detection_stage ||
+        x.faults_fired != y.faults_fired)
       return false;
   }
   return true;
+}
+
+// printf-append into the JSON buffer (the file is written atomically at the
+// end — a killed benchmark must never leave a truncated BENCH_*.json where a
+// good one stood).
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[1024];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
 }
 
 // Scenario executions the campaign consumed: every S_FT attempt (exercised
@@ -258,66 +275,66 @@ int main(int argc, char** argv) {
   std::printf("summaries bit-identical: %s\n", identical ? "yes" : "NO");
   std::printf("S_FT silent-wrong total: %d\n", silent_wrong);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  std::string json;
+  appendf(json,
+          "{\n"
+          "  \"dim\": %d,\n"
+          "  \"runs_per_class\": %d,\n"
+          "  \"seed\": %llu,\n"
+          "  \"hardware_concurrency\": %d,\n"
+          "  \"cpus_available\": %d,\n"
+          "  \"numa_nodes\": %d,\n"
+          "  \"placement\": \"%s\",\n"
+          "  \"alloc_hook_active\": %s,\n"
+          "  \"scenarios_executed\": %lld,\n"
+          "  \"unpooled_seconds\": %.6f,\n"
+          "  \"unpooled_scenarios_per_sec\": %.2f,\n"
+          "  \"unpooled_allocs_per_scenario\": %.2f,\n"
+          "  \"serial_seconds\": %.6f,\n"
+          "  \"serial_scenarios_per_sec\": %.2f,\n"
+          "  \"pooled_allocs_per_scenario\": %.2f,\n"
+          "  \"pooling_speedup\": %.3f,\n"
+          "  \"parallel_jobs\": %d,\n"
+          "  \"parallel_seconds\": %.6f,\n"
+          "  \"parallel_scenarios_per_sec\": %.2f,\n",
+          cfg.dim, cfg.runs_per_class,
+          static_cast<unsigned long long>(cfg.seed), hw, cpus_available,
+          topo.nodes, headline.str().c_str(),
+          util::alloc_hook_active() ? "true" : "false", scenarios,
+          unpooled.seconds, rate(unpooled), per_scenario(unpooled),
+          serial.seconds, rate(serial), per_scenario(serial), pooling_speedup,
+          parallel_jobs, parallel->seconds, rate(*parallel));
+  if (speedup_valid)
+    appendf(json, "  \"speedup\": %.3f,\n", parallel_speedup);
+  else
+    appendf(json,
+            "  \"speedup\": null,\n"
+            "  \"speedup_skipped_reason\": \"only %d CPU available; "
+            "serial-vs-parallel timing is scheduling noise\",\n",
+            cpus_available);
+  appendf(json, "  \"placement_matrix\": [\n");
+  for (std::size_t i = 0; i < matrix.size(); ++i)
+    appendf(json,
+            "    {\"placement\": \"%s\", \"seconds\": %.6f, "
+            "\"scenarios_per_sec\": %.2f}%s\n",
+            matrix[i].policy.str().c_str(), matrix[i].timed.seconds,
+            rate(matrix[i].timed), i + 1 < matrix.size() ? "," : "");
+  appendf(json,
+          "  ],\n"
+          "  \"traced_seconds\": %.6f,\n"
+          "  \"trace_events\": %zu,\n"
+          "  \"trace_overhead\": %.4f,\n"
+          "  \"summaries_identical\": %s,\n"
+          "  \"silent_wrong_total\": %d\n"
+          "}\n",
+          traced.seconds, tracer.size(), trace_overhead,
+          identical ? "true" : "false", silent_wrong);
+  std::string write_err;
+  if (!util::write_file_atomic(out_path, json, &write_err)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 write_err.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"dim\": %d,\n"
-               "  \"runs_per_class\": %d,\n"
-               "  \"seed\": %llu,\n"
-               "  \"hardware_concurrency\": %d,\n"
-               "  \"cpus_available\": %d,\n"
-               "  \"numa_nodes\": %d,\n"
-               "  \"placement\": \"%s\",\n"
-               "  \"alloc_hook_active\": %s,\n"
-               "  \"scenarios_executed\": %lld,\n"
-               "  \"unpooled_seconds\": %.6f,\n"
-               "  \"unpooled_scenarios_per_sec\": %.2f,\n"
-               "  \"unpooled_allocs_per_scenario\": %.2f,\n"
-               "  \"serial_seconds\": %.6f,\n"
-               "  \"serial_scenarios_per_sec\": %.2f,\n"
-               "  \"pooled_allocs_per_scenario\": %.2f,\n"
-               "  \"pooling_speedup\": %.3f,\n"
-               "  \"parallel_jobs\": %d,\n"
-               "  \"parallel_seconds\": %.6f,\n"
-               "  \"parallel_scenarios_per_sec\": %.2f,\n",
-               cfg.dim, cfg.runs_per_class,
-               static_cast<unsigned long long>(cfg.seed), hw, cpus_available,
-               topo.nodes, headline.str().c_str(),
-               util::alloc_hook_active() ? "true" : "false", scenarios,
-               unpooled.seconds, rate(unpooled), per_scenario(unpooled),
-               serial.seconds, rate(serial), per_scenario(serial),
-               pooling_speedup, parallel_jobs, parallel->seconds,
-               rate(*parallel));
-  if (speedup_valid)
-    std::fprintf(f, "  \"speedup\": %.3f,\n", parallel_speedup);
-  else
-    std::fprintf(f,
-                 "  \"speedup\": null,\n"
-                 "  \"speedup_skipped_reason\": \"only %d CPU available; "
-                 "serial-vs-parallel timing is scheduling noise\",\n",
-                 cpus_available);
-  std::fprintf(f, "  \"placement_matrix\": [\n");
-  for (std::size_t i = 0; i < matrix.size(); ++i)
-    std::fprintf(f,
-                 "    {\"placement\": \"%s\", \"seconds\": %.6f, "
-                 "\"scenarios_per_sec\": %.2f}%s\n",
-                 matrix[i].policy.str().c_str(), matrix[i].timed.seconds,
-                 rate(matrix[i].timed), i + 1 < matrix.size() ? "," : "");
-  std::fprintf(f,
-               "  ],\n"
-               "  \"traced_seconds\": %.6f,\n"
-               "  \"trace_events\": %zu,\n"
-               "  \"trace_overhead\": %.4f,\n"
-               "  \"summaries_identical\": %s,\n"
-               "  \"silent_wrong_total\": %d\n"
-               "}\n",
-               traced.seconds, tracer.size(), trace_overhead,
-               identical ? "true" : "false", silent_wrong);
-  std::fclose(f);
   std::cout << "wrote " << out_path << "\n";
 
   return identical && silent_wrong == 0 ? 0 : 1;

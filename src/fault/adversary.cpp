@@ -101,6 +101,44 @@ Mutator replay_stale_lbs(cube::NodeId faulty, StagePoint from_point) {
   };
 }
 
+Mutator independent_corrupt(double p, sim::Key delta, std::uint64_t seed,
+                            ArrivalStats* stats) {
+  // One generator for the whole run, behind a shared_ptr because mutators
+  // are copied into the Adversary.  Every send consumes exactly one draw,
+  // so the firing pattern is reproducible from the seed alone.
+  auto rng = std::make_shared<util::Rng>(seed);
+  return [=](cube::NodeId from, cube::NodeId, sim::Message& m) {
+    ++stats->points;
+    if (rng->next_unit() >= p) return Action::kPass;
+    bool hit = false;
+    for (auto& k : m.data) {
+      k += delta;
+      hit = true;
+    }
+    for (auto& k : m.lbs) {
+      k += delta;
+      hit = true;
+    }
+    if (!hit) return Action::kPass;  // nothing to corrupt (no key words)
+    ++stats->fired;
+    if (from < stats->fired_nodes.size()) stats->fired_nodes.set(from);
+    return Action::kMutated;
+  };
+}
+
+Mutator run_length_crash(cube::NodeId faulty, std::uint64_t k,
+                         ArrivalStats* stats) {
+  auto sends = std::make_shared<std::uint64_t>(0);
+  return [=](cube::NodeId from, cube::NodeId, sim::Message&) {
+    if (from != faulty) return Action::kPass;
+    ++stats->points;
+    if (++*sends < k) return Action::kPass;  // crash arrives on the k-th send
+    ++stats->fired;
+    if (from < stats->fired_nodes.size()) stats->fired_nodes.set(from);
+    return Action::kDropped;
+  };
+}
+
 Mutator garble_lbs(cube::NodeId faulty, StagePoint from_point, std::uint64_t seed) {
   return [=](cube::NodeId from, cube::NodeId, sim::Message& m) {
     if (from != faulty || m.lbs.empty() || !reached_point(m, from_point))

@@ -19,6 +19,7 @@
 
 #include "fault/fault_spec.h"
 #include "sim/machine.h"
+#include "util/bitvec.h"
 
 namespace aoft::fault {
 
@@ -84,5 +85,33 @@ Mutator garble_lbs(cube::NodeId faulty, StagePoint from_point, std::uint64_t see
 // shape but semantically outdated — the copies disagree with fresh ones or
 // fail the stage-end comparisons).
 Mutator replay_stale_lbs(cube::NodeId faulty, StagePoint from_point);
+
+// ---- probabilistic arrival (InjectionMode, fault_spec.h) --------------------
+
+// Shared accounting for the probabilistic mutators: how many injection
+// points were seen, how many fired, and which source nodes ever fired (the
+// faulty set the <= n-1 resilience bound is judged against).  The caller
+// sizes `fired_nodes` to the cube's node count and keeps the struct alive
+// for the adversary's lifetime.
+struct ArrivalStats {
+  std::uint64_t points = 0;
+  std::uint64_t fired = 0;
+  util::BitVec fired_nodes;
+};
+
+// InjectionMode::kIndependent — every node-node message send is an injection
+// point that fires with probability p, corrupting every key word (operands
+// and piggybacked LBS alike) by +delta.  Draws come from a private generator
+// seeded with `seed`; the simulator delivers messages in a deterministic
+// order, so the firing pattern is a pure function of (seed, p, run).
+Mutator independent_corrupt(double p, sim::Key delta, std::uint64_t seed,
+                            ArrivalStats* stats);
+
+// InjectionMode::kRunLength — `faulty` crashes on its k-th send (1-based):
+// that message and every later one from the node is dropped, modelling
+// fail-silent arrival at message granularity.  Peers detect the absence via
+// the watchdog, exactly as for a scripted halt.
+Mutator run_length_crash(cube::NodeId faulty, std::uint64_t k,
+                         ArrivalStats* stats);
 
 }  // namespace aoft::fault

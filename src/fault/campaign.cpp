@@ -5,8 +5,11 @@
 #include <functional>
 #include <iterator>
 #include <memory>
+#include <mutex>
+#include <numeric>
 #include <optional>
 
+#include "fault/campaign_store.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -43,6 +46,13 @@ int min_dim(FaultClass c) {
     default:
       return 1;  // every link/processor fault needs at least one link
   }
+}
+
+std::vector<FaultClass> active_classes(int dim) {
+  std::vector<FaultClass> active;
+  for (FaultClass fclass : kAllFaultClasses)
+    if (dim >= min_dim(fclass)) active.push_back(fclass);
+  return active;
 }
 
 Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
@@ -169,11 +179,13 @@ bool applies_to_snr(FaultClass c) {
 }
 
 ScenarioResult finish_result(const Scenario& s, const sort::SortRun& run,
-                             std::span<const sim::Key> input, bool exercised) {
+                             std::span<const sim::Key> input, bool exercised,
+                             std::uint64_t fired) {
   ScenarioResult r;
   r.scenario = s;
   r.outcome = sort::classify(run, input);
   r.fault_exercised = exercised;
+  r.faults_fired = fired;
   if (!run.errors.empty()) {
     r.first_detector = run.errors.front().source;
     r.detection_stage = run.errors.front().stage;
@@ -301,6 +313,126 @@ void for_each_slot(const CampaignConfig& cfg, std::size_t count,
   pool.parallel_for(count, body);
 }
 
+// ---- durable-session plumbing (campaign_store.h) ----------------------------
+//
+// Shared by the scripted and soak engines.  A session owns the in-memory
+// CheckpointData, the ordered slot stream, and the list of slots this process
+// still has to execute.  Workers commit completed slots through one mutex;
+// the checkpoint is re-saved crash-safely every cfg.checkpoint_every commits,
+// and the stream cursor advances over every done-in-order slot.  Nothing here
+// affects results: records are keyed by global slot, so the final artifacts
+// are pure functions of the campaign identity regardless of jobs, placement,
+// shard layout or how many times the process was killed and resumed.
+
+struct StoreSession {
+  CampaignIdentity id;
+  CheckpointData data;
+  SlotStream stream;
+  std::vector<std::uint64_t> shard;    // ascending slots owned by this shard
+  std::vector<std::uint64_t> pending;  // shard slots left to execute
+  std::size_t cursor = 0;              // next shard index to stream
+  std::size_t since_save = 0;
+  std::mutex mu;
+};
+
+void open_session(const CampaignConfig& cfg, StoreSession& ss) {
+  ss.id = identity_of(cfg);
+  ss.data.identity = ss.id;
+  ss.data.done = util::BitVec(identity_total_slots(ss.id));
+  ss.shard = shard_slots(ss.id);
+
+  if (cfg.resume && !cfg.force_restart && !cfg.checkpoint_path.empty()) {
+    CheckpointData loaded;
+    std::string err;
+    const StoreStatus status =
+        load_checkpoint(cfg.checkpoint_path, &loaded, &err);
+    if (status == StoreStatus::kOk) {
+      if (!(loaded.identity == ss.id))
+        throw StoreError(
+            StoreStatus::kIdentityMismatch,
+            "checkpoint " + cfg.checkpoint_path +
+                ": belongs to a different campaign (dim/seed/mode/checks/"
+                "shard differ); use --resume=force-restart to discard it");
+      ss.data = std::move(loaded);
+    } else if (status != StoreStatus::kMissing) {
+      // A missing checkpoint is a fresh start; anything else is loud.
+      throw StoreError(status,
+                       err + " [" + std::string(to_string(status)) +
+                           "]; use --resume=force-restart to discard it");
+    }
+  }
+
+  // Split the shard into the already-completed in-order prefix (re-emitted
+  // into the stream from checkpoint records) and the pending remainder.
+  std::vector<std::string> prefix;
+  bool in_prefix = true;
+  for (std::uint64_t g : ss.shard) {
+    if (ss.data.done.test(g)) {
+      if (in_prefix) {
+        prefix.push_back(stream_line(ss.id, *find_record(ss.data, g)));
+        ++ss.cursor;
+      }
+    } else {
+      in_prefix = false;
+      ss.pending.push_back(g);
+    }
+  }
+
+  if (!cfg.stream_path.empty()) {
+    std::string err;
+    if (!ss.stream.open(cfg.stream_path, stream_header(ss.id), prefix,
+                        cfg.resume && !cfg.force_restart, &err))
+      throw StoreError(StoreStatus::kIdentityMismatch, err);
+  }
+
+  // Kill-point simulation: execute only the first pending slots, in order,
+  // so the stream prefix stays gap-free.
+  if (cfg.stop_after_slots > 0 &&
+      ss.pending.size() > static_cast<std::size_t>(cfg.stop_after_slots))
+    ss.pending.resize(static_cast<std::size_t>(cfg.stop_after_slots));
+}
+
+// Record one completed slot: insert its record, maybe checkpoint, advance
+// the stream cursor over every newly in-order done slot.
+void commit_slot(const CampaignConfig& cfg, StoreSession& ss, SlotRecord rec) {
+  std::lock_guard<std::mutex> lock(ss.mu);
+  const std::uint64_t g = rec.gslot;
+  auto it = std::lower_bound(
+      ss.data.records.begin(), ss.data.records.end(), g,
+      [](const SlotRecord& r, std::uint64_t key) { return r.gslot < key; });
+  ss.data.records.insert(it, std::move(rec));
+  ss.data.done.set(g);
+  ++ss.since_save;
+  if (!cfg.checkpoint_path.empty() &&
+      ss.since_save >= static_cast<std::size_t>(std::max(1, cfg.checkpoint_every))) {
+    std::string err;
+    if (!save_checkpoint(cfg.checkpoint_path, ss.data, &err))
+      throw StoreError(StoreStatus::kMalformed, err);
+    ss.since_save = 0;
+  }
+  if (ss.stream.active()) {
+    while (ss.cursor < ss.shard.size() &&
+           ss.data.done.test(ss.shard[ss.cursor])) {
+      std::string err;
+      if (!ss.stream.append(
+              stream_line(ss.id, *find_record(ss.data, ss.shard[ss.cursor])),
+              &err))
+        throw StoreError(StoreStatus::kMalformed, err);
+      ++ss.cursor;
+    }
+  }
+}
+
+// Final save after the pool drains, so a clean exit never leaves the
+// checkpoint a cadence behind the stream.
+void close_session(const CampaignConfig& cfg, StoreSession& ss) {
+  if (cfg.checkpoint_path.empty() || ss.since_save == 0) return;
+  std::string err;
+  if (!save_checkpoint(cfg.checkpoint_path, ss.data, &err))
+    throw StoreError(StoreStatus::kMalformed, err);
+  ss.since_save = 0;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg) {
@@ -319,7 +451,9 @@ ScenarioResult run_scenario_sft(const Scenario& s, const CampaignConfig& cfg) {
   auto run = sort::run_sft(s.dim, input, opts);
   const bool exercised =
       is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
-  return finish_result(s, run, input, exercised);
+  const std::uint64_t fired =
+      is_link_class(s.fclass) ? adversary.touched() : (exercised ? 1 : 0);
+  return finish_result(s, run, input, exercised, fired);
 }
 
 ScenarioResult run_scenario_snr(const Scenario& s, const CampaignConfig& cfg) {
@@ -336,7 +470,9 @@ ScenarioResult run_scenario_snr(const Scenario& s, const CampaignConfig& cfg) {
   auto run = sort::run_snr(s.dim, input, opts);
   const bool exercised =
       is_link_class(s.fclass) ? adversary.touched() > 0 : !opts.node_faults.empty();
-  return finish_result(s, run, input, exercised);
+  const std::uint64_t fired =
+      is_link_class(s.fclass) ? adversary.touched() : (exercised ? 1 : 0);
+  return finish_result(s, run, input, exercised, fired);
 }
 
 MultiScenario draw_multi_scenario(int k, const CampaignConfig& cfg,
@@ -465,74 +601,179 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
 }
 
 CampaignSummary run_campaign(const CampaignConfig& cfg) {
-  const auto slots_per_class = static_cast<std::size_t>(cfg.runs_per_class);
+  const auto slots_per_class = static_cast<std::uint64_t>(cfg.runs_per_class);
 
   // Supported classes at this dimension; unsupported ones keep a zeroed
   // tally with every slot reported dropped rather than crashing the draw.
-  std::vector<FaultClass> active;
-  for (FaultClass fclass : kAllFaultClasses)
-    if (cfg.dim >= min_dim(fclass)) active.push_back(fclass);
+  const std::vector<FaultClass> active = active_classes(cfg.dim);
 
-  // Phase 1: pre-draw attempt-0 scenarios serially.
-  std::vector<Scenario> first_draws(active.size() * slots_per_class);
-  for (std::size_t c = 0; c < active.size(); ++c)
-    for (std::size_t slot = 0; slot < slots_per_class; ++slot)
-      first_draws[c * slots_per_class + slot] =
-          draw_slot_attempt(active[c], cfg, slot, 0);
+  // Phase 0: open the durable session — load/validate any checkpoint,
+  // rebuild the stream prefix, compute the pending slot list.  A fresh
+  // non-durable campaign degenerates to "every shard slot is pending".
+  StoreSession ss;
+  open_session(cfg, ss);
 
-  // Phase 2: execute every slot, possibly across the pool.
-  std::vector<SlotOutcome> outcomes(first_draws.size());
-  for_each_slot(cfg, outcomes.size(), [&](std::size_t i) {
-    const FaultClass fclass = active[i / slots_per_class];
-    const std::size_t slot = i % slots_per_class;
-    outcomes[i] = run_slot(fclass, cfg, slot, first_draws[i]);
-  });
-
-  // Phase 3: aggregate in (class, slot) order — identical for every job
-  // count, so jobs == 1 and jobs == N produce the same CampaignSummary.
-  CampaignSummary summary;
-  std::size_t c = 0;
-  for (FaultClass fclass : kAllFaultClasses) {
-    ClassTally sft_tally;
-    sft_tally.fclass = fclass;
-    ClassTally snr_tally;
-    snr_tally.fclass = fclass;
-    if (cfg.dim < min_dim(fclass)) {
-      sft_tally.dropped = cfg.runs_per_class;
-      summary.sft.push_back(sft_tally);
-      summary.snr.push_back(snr_tally);
-      continue;
-    }
-    for (std::size_t slot = 0; slot < slots_per_class; ++slot) {
-      auto& out = outcomes[c * slots_per_class + slot];
-      if (cfg.tracer != nullptr) cfg.tracer->append(std::move(out.trace));
-      if (cfg.metrics != nullptr) cfg.metrics->merge(out.metrics);
-      sft_tally.attempts += out.attempts;
-      if (!out.sft) {
-        ++sft_tally.dropped;
-        continue;
-      }
-      ++sft_tally.runs;
-      switch (out.sft->outcome) {
-        case sort::Outcome::kFailStop: ++sft_tally.detected; break;
-        case sort::Outcome::kCorrect: ++sft_tally.masked; break;
-        case sort::Outcome::kSilentWrong: ++sft_tally.silent_wrong; break;
-      }
-      summary.runs.push_back(std::move(*out.sft));
-      if (out.snr_counted) {
-        ++snr_tally.runs;
-        switch (out.snr_outcome) {
-          case sort::Outcome::kFailStop: ++snr_tally.detected; break;
-          case sort::Outcome::kCorrect: ++snr_tally.masked; break;
-          case sort::Outcome::kSilentWrong: ++snr_tally.silent_wrong; break;
-        }
-      }
-    }
-    summary.sft.push_back(sft_tally);
-    summary.snr.push_back(snr_tally);
-    ++c;
+  // Phase 1: pre-draw attempt-0 scenarios for pending slots serially.
+  std::vector<Scenario> first_draws(ss.pending.size());
+  for (std::size_t i = 0; i < ss.pending.size(); ++i) {
+    const std::uint64_t g = ss.pending[i];
+    first_draws[i] = draw_slot_attempt(active[g / slots_per_class], cfg,
+                                       g % slots_per_class, 0);
   }
-  return summary;
+
+  // Phase 2: execute every pending slot, possibly across the pool, and
+  // commit each to the checkpoint/stream as it completes.
+  std::vector<SlotOutcome> outcomes(ss.pending.size());
+  for_each_slot(cfg, outcomes.size(), [&](std::size_t i) {
+    const std::uint64_t g = ss.pending[i];
+    const FaultClass fclass = active[g / slots_per_class];
+    auto& out = outcomes[i];
+    out = run_slot(fclass, cfg, g % slots_per_class, first_draws[i]);
+    SlotRecord rec;
+    rec.gslot = g;
+    rec.attempts = out.attempts;
+    rec.exercised = out.sft.has_value();
+    if (out.sft) {
+      rec.scenario = out.sft->scenario;
+      rec.outcome = out.sft->outcome;
+      rec.first_detector = out.sft->first_detector;
+      rec.detection_stage = out.sft->detection_stage;
+      rec.snr_counted = out.snr_counted;
+      rec.snr_outcome = out.snr_outcome;
+      rec.faults_fired = out.sft->faults_fired;
+      rec.faulty_nodes = 1;  // scripted scenarios have one faulty node
+    }
+    commit_slot(cfg, ss, std::move(rec));
+  });
+  close_session(cfg, ss);
+
+  // Merge per-slot observability in ascending global-slot order (pending is
+  // ascending, so this matches the old (class, slot) walk exactly).
+  for (auto& out : outcomes) {
+    if (cfg.tracer != nullptr) cfg.tracer->append(std::move(out.trace));
+    if (cfg.metrics != nullptr) cfg.metrics->merge(out.metrics);
+  }
+
+  // Phase 3: aggregate from the records in (class, slot) order — identical
+  // for every job count, shard layout and resume history.
+  return summarize_slots(cfg, ss.data);
+}
+
+// ---- probabilistic soak campaigns -------------------------------------------
+
+std::uint64_t max_dislocation(std::span<const sim::Key> output) {
+  std::vector<std::size_t> idx(output.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return output[a] < output[b];
+  });
+  std::uint64_t worst = 0;
+  for (std::size_t rank = 0; rank < idx.size(); ++rank) {
+    const std::size_t from = idx[rank];
+    worst = std::max(worst,
+                     static_cast<std::uint64_t>(rank > from ? rank - from
+                                                            : from - rank));
+  }
+  return worst;
+}
+
+namespace {
+
+// Seed stream for soak slots: disjoint from the per-class and multi-fault
+// ranges.
+std::uint64_t soak_stream(InjectionMode mode) {
+  return 0x200u + static_cast<std::uint64_t>(mode);
+}
+
+// One soak slot: redraw (input, delta, gate seed, victim) until an injection
+// actually fires, up to the shared redraw budget.  Everything consumed comes
+// from derive_seed(seed, soak_stream, slot, attempt) — pure per attempt.
+SlotRecord run_soak_slot(const CampaignConfig& cfg, std::uint64_t g) {
+  const auto num_nodes = std::size_t{1} << cfg.dim;
+  SlotRecord rec;
+  rec.gslot = g;
+  for (int attempt = 0; attempt < kMaxSlotAttempts; ++attempt) {
+    util::Rng rng(util::derive_seed(cfg.seed, soak_stream(cfg.injection.mode),
+                                    g, static_cast<std::uint64_t>(attempt)));
+    const std::uint64_t input_seed = rng.next_u64();
+    const sim::Key delta = rng.next_in(1, 1 << 20) * (rng.next_bool() ? 1 : -1);
+    const std::uint64_t gate_seed = rng.next_u64();
+    const auto faulty = static_cast<cube::NodeId>(rng.next_below(num_nodes));
+    ++rec.attempts;
+    if (auto* tr = obs::tracer())
+      tr->instant(obs::Ev::kScenario, obs::kGlobal, -1, -1, 0.0,
+                  static_cast<std::int64_t>(g), attempt,
+                  to_string(cfg.injection.mode));
+    if (auto* me = obs::metrics()) me->inc(obs::Counter::kScenarios);
+
+    ArrivalStats stats;
+    stats.fired_nodes = util::BitVec(num_nodes);
+    Adversary adversary;
+    if (cfg.injection.mode == InjectionMode::kIndependent)
+      adversary.add(
+          independent_corrupt(cfg.injection.p, delta, gate_seed, &stats));
+    else
+      adversary.add(run_length_crash(faulty, cfg.injection.k, &stats));
+
+    auto input = util::random_keys(input_seed, num_nodes * cfg.block);
+    sort::SftOptions opts;
+    opts.block = cfg.block;
+    opts.check_progress = cfg.check_progress;
+    opts.check_feasibility = cfg.check_feasibility;
+    opts.check_consistency = cfg.check_consistency;
+    opts.check_exchange = cfg.check_exchange;
+    opts.interceptor = &adversary;
+    opts.machine = lease_machine(cfg.dim, cfg.reuse_machines);
+    auto run = sort::run_sft(cfg.dim, input, opts);
+    if (stats.fired == 0) continue;  // no arrival this attempt; redraw
+
+    rec.exercised = true;
+    rec.outcome = sort::classify(run, input);
+    if (!run.errors.empty()) {
+      rec.first_detector = run.errors.front().source;
+      rec.detection_stage = run.errors.front().stage;
+    }
+    rec.faults_fired = stats.fired;
+    rec.faulty_nodes = static_cast<std::uint32_t>(stats.fired_nodes.count());
+    rec.scenario.dim = cfg.dim;
+    rec.scenario.block = cfg.block;
+    rec.scenario.delta = delta;
+    rec.scenario.input_seed = input_seed;
+    if (cfg.injection.mode == InjectionMode::kRunLength)
+      rec.scenario.faulty = faulty;
+    if (rec.outcome == sort::Outcome::kSilentWrong)
+      rec.dislocation = max_dislocation(run.output);
+    break;
+  }
+  return rec;
+}
+
+}  // namespace
+
+SoakTally run_soak_campaign(const CampaignConfig& cfg) {
+  assert(cfg.injection.mode != InjectionMode::kScripted);
+
+  StoreSession ss;
+  open_session(cfg, ss);
+
+  struct SoakSlotOutcome {
+    obs::Tracer trace;
+    obs::MetricsRegistry metrics;
+  };
+  std::vector<SoakSlotOutcome> outcomes(ss.pending.size());
+  for_each_slot(cfg, ss.pending.size(), [&](std::size_t i) {
+    auto& out = outcomes[i];
+    obs::ScopedSink bind(cfg.tracer != nullptr ? &out.trace : nullptr,
+                         cfg.metrics != nullptr ? &out.metrics : nullptr);
+    commit_slot(cfg, ss, run_soak_slot(cfg, ss.pending[i]));
+  });
+  close_session(cfg, ss);
+
+  for (auto& out : outcomes) {
+    if (cfg.tracer != nullptr) cfg.tracer->append(std::move(out.trace));
+    if (cfg.metrics != nullptr) cfg.metrics->merge(out.metrics);
+  }
+  return summarize_soak(cfg, ss.data);
 }
 
 }  // namespace aoft::fault

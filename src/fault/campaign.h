@@ -93,6 +93,8 @@ struct Scenario {
   sim::Key delta = 1;
   std::uint64_t input_seed = 0;
   cube::NodeId aux_node = 0;  // relay victim / dead-link destination
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
 // Outcome of one scenario under one algorithm.
@@ -102,6 +104,10 @@ struct ScenarioResult {
   bool fault_exercised = false;       // the injection actually fired
   sim::ErrorSource first_detector{};  // valid when outcome == kFailStop
   int detection_stage = -1;           // stage of the first error report
+  // Injections that actually fired during the run: interceptor touches for
+  // link classes (a from-point-onward mutator can fire many times), 1 for
+  // processor faults.
+  std::uint64_t faults_fired = 0;
 };
 
 struct ClassTally {
@@ -117,6 +123,9 @@ struct ClassTally {
   // reporting percentages over a smaller denominator.
   int attempts = 0;
   int dropped = 0;
+  // Runs in which the injection fired more than once (a from-point-onward
+  // mutator touching several messages).
+  int multi_fired = 0;
 };
 
 struct CampaignConfig {
@@ -158,14 +167,49 @@ struct CampaignConfig {
   // pool drains, the engine appends/merges them into these in (class, slot)
   // order — so the combined trace and metrics are bit-identical for every
   // `jobs` value, exactly like the CampaignSummary.  Null = no collection.
+  // On a resumed campaign only the slots executed by *this* process
+  // contribute trace events (completed slots are replayed from their
+  // checkpoint records, not re-simulated).
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // How injections arrive (fault_spec.h).  kScripted sweeps the FaultClass
+  // scenario space; kIndependent/kRunLength run probabilistic soak slots
+  // instead (run_soak_campaign).
+  InjectionPolicy injection;
+  // ---- durability (campaign_store.h, docs/PROTOCOL.md §10) ----
+  // Non-empty: persist a slots-completed checkpoint here, written
+  // crash-safely after every `checkpoint_every` newly completed slots.
+  std::string checkpoint_path;
+  // With `resume`, a checkpoint at checkpoint_path is loaded and its
+  // completed slots are skipped; the final summary is bit-identical to an
+  // uninterrupted run.  A missing file starts fresh; a corrupted or
+  // mismatched one throws StoreError — unless `force_restart`, which
+  // discards it loudly and starts clean.
+  bool resume = false;
+  bool force_restart = false;
+  // Non-empty: stream one canonical JSONL record per slot (in global slot
+  // order) here while the campaign runs.
+  std::string stream_path;
+  // Shard i of N sweeps the global slots g with g % shard_count ==
+  // shard_index; tools/campaign_merge folds shard checkpoints back into the
+  // canonical whole.
+  int shard_index = 0;
+  int shard_count = 1;
+  // Checkpoint save cadence, in newly completed slots (>= 1).
+  int checkpoint_every = 1;
+  // Testing hook (kill-point simulation): when > 0, execute at most this
+  // many pending slots, checkpoint, and return the partial summary.
+  int stop_after_slots = 0;
 };
 
 struct CampaignSummary {
   std::vector<ClassTally> sft;       // per class, algorithm S_FT
   std::vector<ClassTally> snr;       // per class, unprotected S_NR
   std::vector<ScenarioResult> runs;  // every S_FT run, for drill-down
+  // Coverage: a full uninterrupted run has slots_done == slots_total; a
+  // sharded or stopped-early run reports the records actually present.
+  std::size_t slots_total = 0;
+  std::size_t slots_done = 0;
 };
 
 // Redraw budget per slot: a slot whose injection is never exercised is
@@ -173,6 +217,10 @@ struct CampaignSummary {
 // is counted as dropped.  Matches the old serial engine's global
 // runs_per_class * 10 attempt cap, applied per slot.
 inline constexpr int kMaxSlotAttempts = 10;
+
+// Fault classes injectable at this dimension, in kAllFaultClasses order —
+// the class axis of the scripted campaign's global slot space.
+std::vector<FaultClass> active_classes(int dim);
 
 // Draw a concrete scenario of the given class.
 Scenario draw_scenario(FaultClass fclass, const CampaignConfig& cfg,
@@ -220,5 +268,45 @@ struct MultiTally {
 // For k = 1 .. max_k: cfg.runs_per_class exercised multi-fault runs each.
 // Theorem 3 promises silent_wrong == 0 for every k <= dim-1.
 std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k);
+
+// ---- probabilistic soak campaigns (InjectionMode != kScripted) --------------
+
+// One soak run = one S_FT sort under probabilistic fault arrival
+// (fault_spec.h): kIndependent corrupts each node-node message with
+// probability p, kRunLength crashes one drawn node on its k-th send.  A
+// slot redraws (fresh sub-seed) while no injection fires, exactly like the
+// scripted engine, and the whole campaign is a pure function of
+// (seed, mode, params) at every job count.
+//
+// Theorem 3's silent-wrong == 0 contract is asserted only while the
+// faulty-node count stays within the <= n-1 resilience bound.  A run whose
+// arrival pattern exceeds the bound is outside the theorem's hypothesis:
+// a silent-wrong there is *recorded* — outcome plus the observed
+// dislocation of the output — never counted as a violation.
+struct SoakTally {
+  int runs = 0;
+  int detected = 0;
+  int masked = 0;
+  int silent_wrong_in_bound = 0;   // the gated column: must be 0
+  int silent_wrong_beyond = 0;     // observed outside the theorem's bound
+  int beyond_bound_runs = 0;       // runs with faulty_nodes > dim-1
+  int multi_fired = 0;             // runs where > 1 injection fired
+  long long faults_fired = 0;      // total injections across all runs
+  int attempts = 0;
+  int dropped = 0;
+  std::uint64_t max_dislocation = 0;  // worst silent-wrong-beyond output
+  std::size_t slots_total = 0;
+  std::size_t slots_done = 0;
+};
+
+// Full soak campaign: cfg.runs_per_class slots under cfg.injection, with the
+// same checkpoint/stream/shard surface as run_campaign.
+SoakTally run_soak_campaign(const CampaignConfig& cfg);
+
+// Max displacement of any element from its position in the stable-sorted
+// copy of `output` — 0 iff sorted.  The honesty metric recorded for
+// silent-wrong outcomes beyond the resilience bound (cf. the dislocation
+// measure of the randomized-persistent-faults literature).
+std::uint64_t max_dislocation(std::span<const sim::Key> output);
 
 }  // namespace aoft::fault

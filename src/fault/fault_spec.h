@@ -72,4 +72,51 @@ struct NodeFault {
 // Per-node fault assignment for one run.
 using NodeFaultMap = std::unordered_map<cube::NodeId, NodeFault>;
 
+// ---- fault arrival ----------------------------------------------------------
+//
+// How injections arrive during a campaign slot (docs/PROTOCOL.md §10.3).
+// Scripted is the classic single-fault script: a concrete (node, stage, iter)
+// drawn per slot.  The two probabilistic modes model realistic failure
+// arrival for long soak campaigns, after the Independent / RunLength styles
+// of Katana's FaultTest harness:
+//
+//   kIndependent — every injection point (here: every node-node message
+//                  send) fires independently with probability p.  Multiple
+//                  nodes may end up faulty in one run, so the Theorem 3
+//                  silent-wrong == 0 contract is only asserted while the
+//                  faulty-node count stays within the <= n-1 resilience
+//                  bound; beyond it the observed dislocation is recorded
+//                  instead of counted as a violation.
+//
+//   kRunLength   — one drawn node crashes (fail-silent at message
+//                  granularity) on its k-th send and stays down.  Always a
+//                  single faulty node, so always within the bound.
+//
+// All Bernoulli draws come from the slot's derived RNG stream
+// (util::derive_seed), never from global state: a soak campaign is
+// reproducible from (seed, mode, params) alone, at any job count.
+enum class InjectionMode : std::uint8_t {
+  kScripted,     // deterministic single-fault script (default)
+  kIndependent,  // each injection point fires with probability p
+  kRunLength,    // crash on the k-th eligible call
+};
+
+inline const char* to_string(InjectionMode m) {
+  switch (m) {
+    case InjectionMode::kScripted: return "scripted";
+    case InjectionMode::kIndependent: return "independent";
+    case InjectionMode::kRunLength: return "runlength";
+  }
+  return "?";
+}
+
+struct InjectionPolicy {
+  InjectionMode mode = InjectionMode::kScripted;
+  double p = 0.0;        // kIndependent: per-point Bernoulli probability
+  std::uint64_t k = 1;   // kRunLength: crash on the k-th send (1-based)
+
+  friend bool operator==(const InjectionPolicy&,
+                         const InjectionPolicy&) = default;
+};
+
 }  // namespace aoft::fault

@@ -49,4 +49,17 @@ bool get_num(const Object& o, const char* key, double& out);
 bool get_str(const Object& o, const char* key, std::string& out);
 bool get_bool(const Object& o, const char* key, bool& out);
 
+// ---- canonical writing helpers ---------------------------------------------
+// Shared by the trace serializer (obs/trace_io.cpp) and the campaign slot
+// stream (fault/campaign_store.cpp): both formats promise that equal runs
+// serialize to equal bytes, so string escaping and double formatting must be
+// identical everywhere.
+
+// `s` as a quoted JSON string with the common escapes.
+std::string escape(std::string_view s);
+
+// Shortest decimal that round-trips to the same double, so canonical files
+// never differ in trailing digits.
+std::string shortest_double(double v);
+
 }  // namespace aoft::obs::json

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "util/atomic_file.h"
 #include "util/table.h"
 
 namespace aoft::obs {
@@ -22,42 +23,12 @@ using json::Object;
 // ---- JSON writing -----------------------------------------------------------
 
 void write_escaped(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  os << json::escape(s);
 }
 
 // Shortest round-trippable decimal: logical clocks are sums of cost-model
 // terms, so the same run always prints the same bytes.
-std::string fmt_ticks(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double back = 0.0;
-  std::sscanf(buf, "%lg", &back);
-  for (int prec = 1; prec <= 16; ++prec) {
-    char shorter[32];
-    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
-    std::sscanf(shorter, "%lg", &back);
-    if (back == v) return shorter;
-  }
-  return buf;
-}
+std::string fmt_ticks(double v) { return json::shortest_double(v); }
 
 void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
   os << "{\"k\":\"" << to_string(e.kind) << "\",\"n\":" << e.node
@@ -160,23 +131,17 @@ void write_chrome(std::ostream& os, const TraceMeta& meta, const Tracer& tracer)
 
 bool write_trace_file(const std::string& path, const TraceMeta& meta,
                       const Tracer& tracer, std::string* error) {
-  std::ofstream os(path);
-  if (!os) {
-    if (error) *error = "cannot open " + path + " for writing";
-    return false;
-  }
+  // Serialize fully in memory, then replace the destination atomically
+  // (util/atomic_file.h): a crash mid-export must never leave a truncated
+  // trace where a previous complete one stood.
   const bool chrome =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ostringstream os;
   if (chrome)
     write_chrome(os, meta, tracer);
   else
     write_jsonl(os, meta, tracer);
-  os.flush();
-  if (!os) {
-    if (error) *error = "write to " + path + " failed";
-    return false;
-  }
-  return true;
+  return util::write_file_atomic(path, os.str(), error);
 }
 
 std::optional<ParsedTrace> read_jsonl(std::istream& is, std::string* error) {

@@ -1,0 +1,86 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace aoft::util {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+// Flush a stdio stream all the way to the medium.  On platforms without
+// fsync the flush alone is the best available effort.
+bool sync_file(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifdef _WIN32
+  return _commit(_fileno(f)) == 0;
+#else
+  return ::fsync(fileno(f)) == 0;
+#endif
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  // A per-process suffix keeps two concurrent writers (e.g. two shards
+  // misconfigured onto one path) from scribbling into each other's temp.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(
+#ifdef _WIN32
+                           _getpid()
+#else
+                           ::getpid()
+#endif
+                           ));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + tmp + " for writing: " + errno_text();
+    return false;
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  ok = sync_file(f) && ok;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    if (error) *error = "write to " + tmp + " failed: " + errno_text();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error)
+      *error = "rename " + tmp + " -> " + path + " failed: " + errno_text();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error) *error = "cannot open " + path + ": " + errno_text();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (is.bad()) {
+    if (error) *error = "read from " + path + " failed";
+    return false;
+  }
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace aoft::util

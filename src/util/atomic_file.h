@@ -1,0 +1,56 @@
+// Crash-safe file replacement and the content digest used by durable
+// artifacts (campaign checkpoints, BENCH_*.json, trace exports).
+//
+// A process that dies mid-write must never leave a truncated or interleaved
+// artifact where a previous good one stood.  The only portable discipline
+// that guarantees this on POSIX filesystems is: write the full contents to a
+// sibling temporary file, fsync it, then rename() it over the destination —
+// rename within one directory is atomic, so any observer (including a
+// resumed campaign) sees either the old complete file or the new complete
+// file, never a prefix.
+//
+// fnv1a64 is the checksum protecting the campaign checkpoint payload
+// (docs/PROTOCOL.md §10): not cryptographic, but it turns every truncation,
+// bit flip or partial overwrite a crash can produce into a loud
+// digest-mismatch error instead of a silent partial resume.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aoft::util {
+
+// Atomically replace `path` with `contents`: write `path`.tmp.<pid>, fsync,
+// rename over `path`.  Returns false and fills `error` (errno text included)
+// on any failure; the destination is untouched in that case.
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error);
+
+// Read a whole file into `out`.  Returns false (and fills `error` when given)
+// if the file cannot be opened or read.
+bool read_file(const std::string& path, std::string* out,
+               std::string* error = nullptr);
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+// FNV-1a over `len` bytes, chainable via `seed` for split buffers.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace aoft::util

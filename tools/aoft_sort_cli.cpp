@@ -28,6 +28,20 @@
 // nodes (util/topology.h) — wall-clock only, results and traces stay
 // bit-identical across policies.  Exit status 0 iff every S_FT tally has
 // silent_wrong == 0 (Theorem 3).
+//
+// Campaign durability (docs/PROTOCOL.md §10):
+//   --checkpoint=PATH persists a crash-safe slots-completed checkpoint;
+//   --resume skips the slots it records (a resumed campaign's summary and
+//   stream are bit-identical to an uninterrupted run's); --resume=
+//   force-restart discards an unusable checkpoint and starts clean.  A
+//   corrupted or mismatched checkpoint exits with status 4 and a specific
+//   diagnosis.  --stream=PATH emits one canonical JSONL record per slot
+//   while the campaign runs; --shard=i/N sweeps only slots g with
+//   g % N == i (fold shards back with tools/campaign_merge).
+//   --mode=independent:P / --mode=runlength:K replace the scripted
+//   single-fault sweep with probabilistic soak slots (fault_spec.h); the
+//   Theorem 3 gate then applies to silent-wrongs within the <= n-1 bound.
+//   --multi sweeps are never checkpointed — they rerun on resume.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +54,7 @@
 #include "obs/sink.h"
 #include "obs/trace_io.h"
 #include "fault/campaign.h"
+#include "fault/campaign_store.h"
 #include "fault/localization.h"
 #include "fault/supervisor.h"
 #include "sort/sequential.h"
@@ -71,6 +86,16 @@ struct Args {
   int multi_k = 0;   // if > 0, also sweep 1..K simultaneous faults
   bool has_pin = false;
   util::PlacementPolicy pin;  // worker placement (campaign mode only)
+  // campaign durability (docs/PROTOCOL.md §10)
+  std::string checkpoint;      // --checkpoint=PATH
+  bool resume = false;         // --resume[=force-restart]
+  bool force_restart = false;
+  std::string stream;          // --stream=PATH (per-slot JSONL)
+  int shard_index = 0;         // --shard=i/N
+  int shard_count = 1;
+  int checkpoint_every = 1;    // --checkpoint-every=N
+  int stop_after = 0;          // --stop-after=N (kill-point simulation)
+  fault::InjectionPolicy injection;  // --mode=scripted|independent:P|runlength:K
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
   cube::NodeId fault_node = 0;
@@ -128,6 +153,72 @@ bool parse(int argc, char** argv, Args& args) {
       args.runs = std::atoi(value("--runs="));
     } else if (a.rfind("--multi=", 0) == 0) {
       args.multi_k = std::atoi(value("--multi="));
+    } else if (a.rfind("--checkpoint=", 0) == 0) {
+      args.checkpoint = value("--checkpoint=");
+      if (args.checkpoint.empty()) {
+        std::fprintf(stderr, "--checkpoint requires a path\n");
+        return false;
+      }
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (a.rfind("--resume=", 0) == 0) {
+      const std::string mode = value("--resume=");
+      if (mode != "force-restart") {
+        std::fprintf(stderr, "--resume takes no value, or =force-restart\n");
+        return false;
+      }
+      args.resume = true;
+      args.force_restart = true;
+    } else if (a.rfind("--stream=", 0) == 0) {
+      args.stream = value("--stream=");
+      if (args.stream.empty()) {
+        std::fprintf(stderr, "--stream requires a path\n");
+        return false;
+      }
+    } else if (a.rfind("--shard=", 0) == 0) {
+      if (std::sscanf(value("--shard="), "%d/%d", &args.shard_index,
+                      &args.shard_count) != 2 ||
+          args.shard_count < 1 || args.shard_index < 0 ||
+          args.shard_index >= args.shard_count) {
+        std::fprintf(stderr, "--shard must be i/N with 0 <= i < N\n");
+        return false;
+      }
+    } else if (a.rfind("--checkpoint-every=", 0) == 0) {
+      args.checkpoint_every = std::atoi(value("--checkpoint-every="));
+      if (args.checkpoint_every < 1) {
+        std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
+        return false;
+      }
+    } else if (a.rfind("--stop-after=", 0) == 0) {
+      args.stop_after = std::atoi(value("--stop-after="));
+      if (args.stop_after < 1) {
+        std::fprintf(stderr, "--stop-after must be >= 1\n");
+        return false;
+      }
+    } else if (a.rfind("--mode=", 0) == 0) {
+      const std::string mode = value("--mode=");
+      if (mode == "scripted") {
+        args.injection.mode = fault::InjectionMode::kScripted;
+      } else if (mode.rfind("independent:", 0) == 0) {
+        args.injection.mode = fault::InjectionMode::kIndependent;
+        args.injection.p = std::atof(mode.c_str() + 12);
+        if (!(args.injection.p > 0.0 && args.injection.p <= 1.0)) {
+          std::fprintf(stderr, "--mode=independent:P needs 0 < P <= 1\n");
+          return false;
+        }
+      } else if (mode.rfind("runlength:", 0) == 0) {
+        const long long k = std::atoll(mode.c_str() + 10);
+        if (k < 1) {
+          std::fprintf(stderr, "--mode=runlength:K needs K >= 1\n");
+          return false;
+        }
+        args.injection.mode = fault::InjectionMode::kRunLength;
+        args.injection.k = static_cast<std::uint64_t>(k);
+      } else {
+        std::fprintf(stderr,
+                     "--mode must be scripted|independent:P|runlength:K\n");
+        return false;
+      }
     } else if (a.rfind("--pin=", 0) == 0) {
       std::string perr;
       if (!util::PlacementPolicy::parse(value("--pin="), &args.pin, &perr)) {
@@ -184,6 +275,24 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--pin requires --campaign\n");
     return false;
   }
+  if (!args.campaign &&
+      (!args.checkpoint.empty() || args.resume || !args.stream.empty() ||
+       args.shard_count != 1 || args.stop_after > 0 ||
+       args.injection.mode != fault::InjectionMode::kScripted)) {
+    std::fprintf(stderr,
+                 "--checkpoint/--resume/--stream/--shard/--stop-after/--mode "
+                 "require --campaign\n");
+    return false;
+  }
+  if (args.resume && args.checkpoint.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
+    return false;
+  }
+  if (args.multi_k > 0 &&
+      args.injection.mode != fault::InjectionMode::kScripted) {
+    std::fprintf(stderr, "--multi requires --mode=scripted\n");
+    return false;
+  }
   return true;
 }
 
@@ -211,6 +320,41 @@ bool finish_trace(const Args& args, const char* mode,
   return true;
 }
 
+// Soak-mode campaign body: probabilistic injection, SoakTally output, gated
+// on silent-wrong *within* the Theorem 3 resilience bound.
+int run_soak_mode(const Args& args, fault::CampaignConfig& cfg,
+                  const obs::Tracer& tracer,
+                  const obs::MetricsRegistry& metrics) {
+  const auto tally = fault::run_soak_campaign(cfg);
+  if (!args.quiet) {
+    util::Table table({"metric", "value"});
+    table.add_row({"runs", util::fmt_int(tally.runs)});
+    table.add_row({"dropped", util::fmt_int(tally.dropped)});
+    table.add_row({"attempts", util::fmt_int(tally.attempts)});
+    table.add_row({"detected", util::fmt_int(tally.detected)});
+    table.add_row({"masked", util::fmt_int(tally.masked)});
+    table.add_row({"SILENT-WRONG (in bound)",
+                   util::fmt_int(tally.silent_wrong_in_bound)});
+    table.add_row({"beyond-bound runs", util::fmt_int(tally.beyond_bound_runs)});
+    table.add_row({"silent-wrong (beyond bound)",
+                   util::fmt_int(tally.silent_wrong_beyond)});
+    table.add_row({"multi-fault runs", util::fmt_int(tally.multi_fired)});
+    table.add_row({"injections fired",
+                   util::fmt_int(static_cast<int>(tally.faults_fired))});
+    table.add_row({"max dislocation",
+                   util::fmt_int(static_cast<int>(tally.max_dislocation))});
+    table.print(std::cout);
+    std::printf("\ncoverage: %zu/%zu slots\n", tally.slots_done,
+                tally.slots_total);
+    std::printf("Theorem 3 verdict (within <= n-1 bound): silent-wrong = %d  "
+                "[%s]\n",
+                tally.silent_wrong_in_bound,
+                tally.silent_wrong_in_bound == 0 ? "OK" : "VIOLATION");
+  }
+  if (!finish_trace(args, "soak-campaign", tracer, metrics)) return 1;
+  return tally.silent_wrong_in_bound == 0 ? 0 : 1;
+}
+
 int run_campaign_mode(const Args& args) {
   fault::CampaignConfig cfg;
   cfg.dim = args.dim;
@@ -219,6 +363,15 @@ int run_campaign_mode(const Args& args) {
   cfg.seed = args.seed;
   cfg.jobs = args.jobs;
   cfg.placement = args.pin;
+  cfg.injection = args.injection;
+  cfg.checkpoint_path = args.checkpoint;
+  cfg.resume = args.resume;
+  cfg.force_restart = args.force_restart;
+  cfg.stream_path = args.stream;
+  cfg.shard_index = args.shard_index;
+  cfg.shard_count = args.shard_count;
+  cfg.checkpoint_every = args.checkpoint_every;
+  cfg.stop_after_slots = args.stop_after;
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
@@ -229,10 +382,15 @@ int run_campaign_mode(const Args& args) {
 
   if (!args.quiet)
     std::printf("fault campaign: dim=%d block=%zu runs/class=%d seed=%llu "
-                "jobs=%d pin=%s\n\n",
+                "jobs=%d pin=%s mode=%s shard=%d/%d\n\n",
                 cfg.dim, cfg.block, cfg.runs_per_class,
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
-                cfg.placement.str().c_str());
+                cfg.placement.str().c_str(),
+                fault::to_string(cfg.injection.mode), cfg.shard_index,
+                cfg.shard_count);
+
+  if (cfg.injection.mode != fault::InjectionMode::kScripted)
+    return run_soak_mode(args, cfg, tracer, metrics);
 
   const auto summary = fault::run_campaign(cfg);
   int silent = 0;
@@ -271,9 +429,12 @@ int run_campaign_mode(const Args& args) {
       if (t.k <= args.dim - 1) silent += t.silent_wrong;
   }
 
-  if (!args.quiet)
-    std::printf("\nTheorem 3 verdict: S_FT silent-wrong = %d  [%s]\n", silent,
+  if (!args.quiet) {
+    std::printf("\ncoverage: %zu/%zu slots\n", summary.slots_done,
+                summary.slots_total);
+    std::printf("Theorem 3 verdict: S_FT silent-wrong = %d  [%s]\n", silent,
                 silent == 0 ? "OK" : "VIOLATION");
+  }
   if (!finish_trace(args, "campaign", tracer, metrics)) return 1;
   return silent == 0 ? 0 : 1;
 }
@@ -305,12 +466,25 @@ int main(int argc, char** argv) {
                  "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
                  "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n"
                  "          [--pin=none|compact|scatter|CPULIST]\n"
+                 "          [--mode=scripted|independent:P|runlength:K]\n"
+                 "          [--checkpoint=PATH] [--resume[=force-restart]]\n"
+                 "          [--stream=PATH] [--shard=i/N]\n"
+                 "          [--checkpoint-every=N] [--stop-after=N]\n"
                  "          [--trace=PATH]  (.json = Chrome trace, else JSONL)\n",
                  argv[0], argv[0]);
     return 1;
   }
 
-  if (args.campaign) return run_campaign_mode(args);
+  if (args.campaign) {
+    try {
+      return run_campaign_mode(args);
+    } catch (const fault::StoreError& e) {
+      // Unusable checkpoint/stream: loud, specific, distinct exit status.
+      std::fprintf(stderr, "campaign store [%s]: %s\n",
+                   fault::to_string(e.status()), e.what());
+      return 4;
+    }
+  }
 
   // Single and supervised runs execute on this thread; bind the sinks here.
   obs::Tracer tracer;

@@ -1,6 +1,15 @@
-// bench_check — CI perf gate over BENCH_campaign.json.
+// bench_check — CI perf gate over BENCH_campaign.json and the campaign
+// durability artifacts.
 //
 //   bench_check FRESH.json REFERENCE.json [--min-pooling-speedup=F]
+//              [--stream=SLOTS.jsonl] [--merge-summary=MERGED.json]
+//
+// --stream validates a campaign slot stream (aoft_sort_cli --stream=...):
+// a schema header line plus one structurally sound record per slot, global
+// slots ascending within the declared shard.  --merge-summary gates a
+// campaign_merge --summary output: the merge must be complete, byte-match
+// its oracle (summaries_identical) and carry silent_wrong_total == 0.  Both
+// flags also work without the positional FRESH/REFERENCE pair.
 //
 // FRESH is the file campaign_throughput just wrote on this runner; REFERENCE
 // is the one committed at the repo root.  Both must be structurally sound;
@@ -32,6 +41,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -158,6 +168,144 @@ bool check_file(const char* label, const std::string& path, json::Value* out) {
   return true;
 }
 
+// Required keys of every slot record in an aoft-campaign-v1 stream.
+constexpr const char* kSlotNumKeys[] = {"g", "slot", "attempts", "fired",
+                                        "faulty_nodes", "dislocation"};
+
+// Validate a campaign slot stream: header line + one JSONL record per slot.
+void check_stream(const std::string& path) {
+  const char* label = "stream";
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(label, "cannot open " + path);
+    return;
+  }
+  std::size_t pos = 0, line_no = 0;
+  double shard_count = 1;
+  double prev_g = -1;
+  bool have_header = false;
+  std::size_t records = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      fail(label, path + ": last line is not newline-terminated (torn write)");
+      break;
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    std::string err;
+    auto parsed = json::parse(line, &err);
+    if (!parsed || !parsed->is_object()) {
+      fail(label, path + " line " + std::to_string(line_no) + ": " +
+                      (parsed ? "not an object" : err));
+      return;
+    }
+    const auto& o = parsed->object();
+    if (line_no == 1) {
+      std::string schema;
+      if (!json::get_str(o, "schema", schema) ||
+          schema != "aoft-campaign-v1") {
+        fail(label, path + ": header schema is not \"aoft-campaign-v1\"");
+        return;
+      }
+      double d = 0;
+      for (const char* key : {"dim", "runs_per_class", "seed", "total_slots"})
+        if (!json::get_num(o, key, d))
+          fail(label, path + ": header missing numeric \"" +
+                          std::string(key) + "\"");
+      std::string s;
+      if (!json::get_str(o, "mode", s))
+        fail(label, path + ": header missing \"mode\"");
+      if (!json::get_str(o, "shard", s) ||
+          std::sscanf(s.c_str(), "%*d/%lf", &shard_count) != 1)
+        fail(label, path + ": header \"shard\" is not \"i/N\"");
+      have_header = true;
+      continue;
+    }
+    ++records;
+    double d = 0;
+    for (const char* key : kSlotNumKeys)
+      if (!json::get_num(o, key, d))
+        fail(label, path + " line " + std::to_string(line_no) +
+                        ": missing numeric \"" + std::string(key) + "\"");
+    std::string s;
+    if (!json::get_str(o, "class", s))
+      fail(label, path + " line " + std::to_string(line_no) +
+                      ": missing \"class\"");
+    bool dropped = false, exercised = false;
+    if (!json::get_bool(o, "dropped", dropped) ||
+        !json::get_bool(o, "exercised", exercised) || dropped == exercised)
+      fail(label, path + " line " + std::to_string(line_no) +
+                      ": dropped/exercised flags missing or inconsistent");
+    // A dropped slot has a null outcome; an exercised one a string.  Either
+    // way the key must be present — redraw exhaustion is surfaced, not
+    // omitted.
+    auto outcome = o.find("outcome");
+    if (outcome == o.end() ||
+        (exercised ? !outcome->second.is_string()
+                   : !outcome->second.is_null()))
+      fail(label, path + " line " + std::to_string(line_no) +
+                      ": \"outcome\" must be a string (exercised) or null "
+                      "(dropped)");
+    double g = 0;
+    if (json::get_num(o, "g", g)) {
+      if (g <= prev_g)
+        fail(label, path + " line " + std::to_string(line_no) +
+                        ": global slots not strictly ascending");
+      prev_g = g;
+    }
+    if (failures > 0 && records > 3) return;  // stop flooding on a bad file
+  }
+  if (!have_header) fail(label, path + ": empty stream (no header line)");
+  if (failures == 0)
+    std::printf("stream %s: header + %zu record(s) OK\n", path.c_str(),
+                records);
+}
+
+// Gate a campaign_merge --summary output.
+void check_merge_summary(const std::string& path) {
+  const char* label = "merge-summary";
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(label, "cannot open " + path);
+    return;
+  }
+  std::string err;
+  auto parsed = json::parse(text, &err);
+  if (!parsed || !parsed->is_object()) {
+    fail(label, path + ": " + (parsed ? "top level is not an object" : err));
+    return;
+  }
+  const auto& o = parsed->object();
+  std::string schema;
+  if (!json::get_str(o, "schema", schema) ||
+      schema != "aoft-campaign-merge-v1") {
+    fail(label, path + ": schema is not \"aoft-campaign-merge-v1\"");
+    return;
+  }
+  double d = 0;
+  for (const char* key : {"slots_total", "slots_done", "silent_wrong_total"})
+    if (!json::get_num(o, key, d))
+      fail(label, path + ": missing numeric \"" + std::string(key) + "\"");
+  bool b = false;
+  if (!json::get_bool(o, "complete", b))
+    fail(label, path + ": missing boolean \"complete\"");
+  else if (!b)
+    fail(label, path + ": merge coverage incomplete");
+  if (!json::get_bool(o, "summaries_identical", b))
+    fail(label, path + ": \"summaries_identical\" missing or not boolean — "
+                    "run campaign_merge with --oracle");
+  else if (!b)
+    fail(label, path + ": summaries_identical is false — the merged shards "
+                    "do not reproduce the unsharded campaign");
+  if (json::get_num(o, "silent_wrong_total", d) && d != 0)
+    fail(label, path + ": silent_wrong_total = " + std::to_string(d) +
+                    " (Theorem 3 requires 0)");
+  if (failures == 0)
+    std::printf("merge-summary %s: OK\n", path.c_str());
+}
+
 void info_diff(const json::Object& fresh, const json::Object& ref,
                const char* key) {
   double a = 0, b = 0;
@@ -172,28 +320,51 @@ int main(int argc, char** argv) {
   const char* fresh_path = nullptr;
   const char* ref_path = nullptr;
   double min_pooling = 1.0;
+  std::vector<std::string> stream_paths;
+  std::vector<std::string> merge_paths;
+  bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--min-pooling-speedup=", 22) == 0) {
       min_pooling = std::atof(a + 22);
+    } else if (std::strncmp(a, "--stream=", 9) == 0) {
+      stream_paths.push_back(a + 9);
+    } else if (std::strncmp(a, "--merge-summary=", 16) == 0) {
+      merge_paths.push_back(a + 16);
     } else if (a[0] == '-') {
       std::fprintf(stderr, "unknown argument: %s\n", a);
-      fresh_path = nullptr;
+      usage_error = true;
       break;
     } else if (!fresh_path) {
       fresh_path = a;
     } else if (!ref_path) {
       ref_path = a;
     } else {
-      fresh_path = nullptr;
+      usage_error = true;
       break;
     }
   }
-  if (!fresh_path || !ref_path) {
+  // The positional pair is required unless only artifact checks were asked.
+  const bool artifacts_only =
+      !fresh_path && (!stream_paths.empty() || !merge_paths.empty());
+  if (usage_error || (!artifacts_only && (!fresh_path || !ref_path))) {
     std::fprintf(stderr,
                  "usage: %s FRESH.json REFERENCE.json "
-                 "[--min-pooling-speedup=F]\n",
+                 "[--min-pooling-speedup=F]\n"
+                 "       [--stream=SLOTS.jsonl]... "
+                 "[--merge-summary=MERGED.json]...\n",
                  argv[0]);
+    return 1;
+  }
+
+  for (const auto& path : stream_paths) check_stream(path);
+  for (const auto& path : merge_paths) check_merge_summary(path);
+  if (artifacts_only) {
+    if (failures == 0) {
+      std::printf("bench_check: OK (campaign artifacts)\n");
+      return 0;
+    }
+    std::fprintf(stderr, "bench_check: %d failure(s)\n", failures);
     return 1;
   }
 

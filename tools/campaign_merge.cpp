@@ -1,0 +1,218 @@
+// campaign_merge: fold per-shard campaign checkpoints back into the
+// canonical whole (docs/PROTOCOL.md §10.4).
+//
+//   campaign_merge --out=merged.ckp shard0.ckp shard1.ckp ...
+//                  [--stream=merged.jsonl] [--summary=merged.json]
+//                  [--oracle=full.jsonl] [--allow-partial]
+//
+// Every input must be a loadable checkpoint of the *same* campaign (same
+// dim/block/runs/seed/mode/checks and shard count, distinct shard indices);
+// anything else is a loud per-file error.  The merged artifact claims shard
+// 0/1 — the whole slot space — so its stream and summary are byte-identical
+// to what one unsharded, uninterrupted run produces, regardless of how the
+// work was split (proved against --oracle, which byte-compares the merged
+// stream with an unsharded run's stream and records the verdict in the
+// summary JSON as "summaries_identical").
+//
+// Exit status: 0 = merged (and complete, unless --allow-partial);
+// 1 = usage; 2 = a shard failed to load or the parts are inconsistent;
+// 3 = merged coverage is incomplete without --allow-partial;
+// 4 = an output file could not be written;
+// 5 = --oracle given and the streams differ.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/campaign_store.h"
+#include "obs/json.h"
+#include "util/atomic_file.h"
+
+namespace {
+
+using namespace aoft;
+
+// Canonical merged-summary JSON (consumed by tools/bench_check --merge-summary).
+std::string summary_json(const fault::CampaignConfig& cfg,
+                         const fault::CheckpointData& merged, int shard_count_in,
+                         bool complete, const char* oracle_verdict) {
+  const auto id = merged.identity;
+  std::string out = "{\n  \"schema\": \"aoft-campaign-merge-v1\",\n";
+  out += "  \"dim\": " + std::to_string(id.dim) + ",\n";
+  out += "  \"block\": " + std::to_string(id.block) + ",\n";
+  out += "  \"runs_per_class\": " + std::to_string(id.runs_per_class) + ",\n";
+  out += "  \"seed\": " + std::to_string(id.seed) + ",\n";
+  out += "  \"mode\": ";
+  out += obs::json::escape(
+      to_string(static_cast<fault::InjectionMode>(id.mode)));
+  out += ",\n";
+  out += "  \"shard_count_in\": " + std::to_string(shard_count_in) + ",\n";
+  out += "  \"slots_total\": " +
+         std::to_string(fault::identity_total_slots(id)) + ",\n";
+  out += "  \"slots_done\": " + std::to_string(merged.records.size()) + ",\n";
+  out += std::string("  \"complete\": ") + (complete ? "true" : "false") +
+         ",\n";
+
+  long long silent_total = 0;
+  if (static_cast<fault::InjectionMode>(id.mode) ==
+      fault::InjectionMode::kScripted) {
+    const auto summary = fault::summarize_slots(cfg, merged);
+    out += "  \"sft\": [\n";
+    for (std::size_t i = 0; i < summary.sft.size(); ++i) {
+      const auto& t = summary.sft[i];
+      silent_total += t.silent_wrong;
+      out += "    {\"class\": ";
+      out += obs::json::escape(fault::to_string(t.fclass));
+      out += ", \"runs\": " + std::to_string(t.runs);
+      out += ", \"detected\": " + std::to_string(t.detected);
+      out += ", \"masked\": " + std::to_string(t.masked);
+      out += ", \"silent_wrong\": " + std::to_string(t.silent_wrong);
+      out += ", \"attempts\": " + std::to_string(t.attempts);
+      out += ", \"dropped\": " + std::to_string(t.dropped);
+      out += ", \"multi_fired\": " + std::to_string(t.multi_fired);
+      out += i + 1 < summary.sft.size() ? "},\n" : "}\n";
+    }
+    out += "  ],\n";
+    long long snr_silent = 0;
+    for (const auto& t : summary.snr) snr_silent += t.silent_wrong;
+    out += "  \"snr_silent_wrong_total\": " + std::to_string(snr_silent) +
+           ",\n";
+  } else {
+    const auto tally = fault::summarize_soak(cfg, merged);
+    silent_total = tally.silent_wrong_in_bound;
+    out += "  \"soak\": {\"runs\": " + std::to_string(tally.runs);
+    out += ", \"detected\": " + std::to_string(tally.detected);
+    out += ", \"masked\": " + std::to_string(tally.masked);
+    out += ", \"silent_wrong_in_bound\": " +
+           std::to_string(tally.silent_wrong_in_bound);
+    out += ", \"silent_wrong_beyond\": " +
+           std::to_string(tally.silent_wrong_beyond);
+    out += ", \"beyond_bound_runs\": " +
+           std::to_string(tally.beyond_bound_runs);
+    out += ", \"multi_fired\": " + std::to_string(tally.multi_fired);
+    out += ", \"faults_fired\": " + std::to_string(tally.faults_fired);
+    out += ", \"attempts\": " + std::to_string(tally.attempts);
+    out += ", \"dropped\": " + std::to_string(tally.dropped);
+    out += ", \"max_dislocation\": " + std::to_string(tally.max_dislocation);
+    out += "},\n";
+  }
+  out += "  \"silent_wrong_total\": " + std::to_string(silent_total) + ",\n";
+  out += std::string("  \"summaries_identical\": ") + oracle_verdict + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path, stream_path, summary_path, oracle_path;
+  bool allow_partial = false;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a.rfind("--stream=", 0) == 0) {
+      stream_path = a.substr(9);
+    } else if (a.rfind("--summary=", 0) == 0) {
+      summary_path = a.substr(10);
+    } else if (a.rfind("--oracle=", 0) == 0) {
+      oracle_path = a.substr(9);
+    } else if (a == "--allow-partial") {
+      allow_partial = true;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 1;
+    } else {
+      shard_paths.push_back(a);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: campaign_merge --out=MERGED.ckp SHARD.ckp...\n"
+                 "       [--stream=MERGED.jsonl] [--summary=MERGED.json]\n"
+                 "       [--oracle=FULL.jsonl] [--allow-partial]\n");
+    return 1;
+  }
+
+  std::vector<fault::CheckpointData> parts(shard_paths.size());
+  for (std::size_t i = 0; i < shard_paths.size(); ++i) {
+    std::string err;
+    const auto status =
+        fault::load_checkpoint(shard_paths[i], &parts[i], &err);
+    if (status != fault::StoreStatus::kOk) {
+      std::fprintf(stderr, "%s: [%s] %s\n", shard_paths[i].c_str(),
+                   fault::to_string(status), err.c_str());
+      return 2;
+    }
+  }
+
+  const int shard_count_in = parts.front().identity.shard_count;
+  fault::CheckpointData merged;
+  std::string err;
+  const auto status = fault::merge_checkpoints(parts, &merged, &err);
+  if (status != fault::StoreStatus::kOk) {
+    std::fprintf(stderr, "merge: [%s] %s\n", fault::to_string(status),
+                 err.c_str());
+    return 2;
+  }
+  const std::size_t total = fault::identity_total_slots(merged.identity);
+  const bool complete = merged.records.size() == total;
+
+  if (!fault::save_checkpoint(out_path, merged, &err)) {
+    std::fprintf(stderr, "%s: %s\n", out_path.c_str(), err.c_str());
+    return 4;
+  }
+
+  std::string merged_stream;
+  if (!stream_path.empty() || !oracle_path.empty()) {
+    merged_stream = fault::stream_header(merged.identity);
+    for (const auto& rec : merged.records)
+      merged_stream += fault::stream_line(merged.identity, rec);
+  }
+  if (!stream_path.empty() &&
+      !aoft::util::write_file_atomic(stream_path, merged_stream, &err)) {
+    std::fprintf(stderr, "%s: %s\n", stream_path.c_str(), err.c_str());
+    return 4;
+  }
+
+  const char* verdict = "null";
+  bool oracle_matches = true;
+  if (!oracle_path.empty()) {
+    std::string oracle;
+    if (!aoft::util::read_file(oracle_path, &oracle, &err)) {
+      std::fprintf(stderr, "%s: %s\n", oracle_path.c_str(), err.c_str());
+      return 4;
+    }
+    oracle_matches = oracle == merged_stream;
+    verdict = oracle_matches ? "true" : "false";
+  }
+
+  if (!summary_path.empty()) {
+    const auto cfg = fault::config_of(merged.identity);
+    const std::string json =
+        summary_json(cfg, merged, shard_count_in, complete, verdict);
+    if (!aoft::util::write_file_atomic(summary_path, json, &err)) {
+      std::fprintf(stderr, "%s: %s\n", summary_path.c_str(), err.c_str());
+      return 4;
+    }
+  }
+
+  std::printf("merged %zu shard(s): %zu/%zu slots%s%s\n", parts.size(),
+              merged.records.size(), total, complete ? "" : " (partial)",
+              oracle_path.empty()
+                  ? ""
+                  : (oracle_matches ? ", stream == oracle"
+                                    : ", stream != ORACLE"));
+  if (!complete && !allow_partial) {
+    std::fprintf(stderr,
+                 "merge: coverage incomplete (%zu of %zu slots); rerun the "
+                 "missing shards or pass --allow-partial\n",
+                 merged.records.size(), total);
+    return 3;
+  }
+  if (!oracle_matches) return 5;
+  return 0;
+}
