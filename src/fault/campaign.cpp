@@ -21,6 +21,23 @@
 
 namespace aoft::fault {
 
+namespace {
+
+// Campaigns read adversary.touched() after every attempt to drive the redraw
+// loop; under the shm backend the interceptor fires inside a forked child, so
+// the counter this process reads would always be zero and every slot would be
+// "unexercised".  Refuse loudly instead of sweeping nothing.
+void require_sim_backend(const CampaignConfig& cfg) {
+  if (cfg.backend != transport::Backend::kSim)
+    throw std::invalid_argument(
+        "fault campaigns require the in-process sim backend (got \"" +
+        std::string(transport::to_string(cfg.backend)) +
+        "\"): injection-exercised accounting lives in the worker's address "
+        "space");
+}
+
+}  // namespace
+
 const char* to_string(FaultClass c) {
   switch (c) {
     case FaultClass::kCorruptData: return "corrupt-data";
@@ -524,6 +541,7 @@ MultiResult run_multi_scenario_sft(const MultiScenario& ms,
 }
 
 std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k) {
+  require_sim_backend(cfg);
   const auto slots_per_k = static_cast<std::size_t>(cfg.runs_per_class);
 
   struct MultiSlotOutcome {
@@ -601,6 +619,7 @@ std::vector<MultiTally> run_multi_campaign(const CampaignConfig& cfg, int max_k)
 }
 
 CampaignSummary run_campaign(const CampaignConfig& cfg) {
+  require_sim_backend(cfg);
   const auto slots_per_class = static_cast<std::uint64_t>(cfg.runs_per_class);
 
   // Supported classes at this dimension; unsupported ones keep a zeroed
@@ -751,6 +770,7 @@ SlotRecord run_soak_slot(const CampaignConfig& cfg, std::uint64_t g) {
 }  // namespace
 
 SoakTally run_soak_campaign(const CampaignConfig& cfg) {
+  require_sim_backend(cfg);
   assert(cfg.injection.mode != InjectionMode::kScripted);
 
   StoreSession ss;

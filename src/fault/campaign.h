@@ -39,6 +39,7 @@
 
 #include "fault/adversary.h"
 #include "sort/driver.h"
+#include "transport/backend.h"
 #include "util/rng.h"
 #include "util/topology.h"
 
@@ -200,6 +201,15 @@ struct CampaignConfig {
   // Testing hook (kill-point simulation): when > 0, execute at most this
   // many pending slots, checkpoint, and return the partial summary.
   int stop_after_slots = 0;
+  // Which transport executes the scenarios.  Campaigns currently require the
+  // in-process simulator: the redraw loop reads adversary.touched() after
+  // each attempt, and under the shm backend the interceptor fires inside a
+  // forked child whose counters never reach this process.  run_campaign /
+  // run_soak_campaign / run_multi_campaign throw std::invalid_argument on
+  // any other value — a loud refusal, never a silently-sim campaign wearing
+  // an shm label.  The field still participates in CampaignIdentity so a
+  // future shm campaign's checkpoints can never be resumed against sim ones.
+  transport::Backend backend = transport::Backend::kSim;
 };
 
 struct CampaignSummary {

@@ -138,8 +138,9 @@ StoreStatus fail(StoreStatus s, std::string* error, const std::string& what) {
 // divides by runs_per_class or shifts by dim.
 bool identity_sane(const CampaignIdentity& id) {
   return id.dim >= 1 && id.dim <= 30 && id.block >= 1 &&
-         id.runs_per_class >= 1 && id.mode <= 2 && id.shard_count >= 1 &&
-         id.shard_index >= 0 && id.shard_index < id.shard_count;
+         id.runs_per_class >= 1 && id.mode <= 2 && id.transport <= 1 &&
+         id.shard_count >= 1 && id.shard_index >= 0 &&
+         id.shard_index < id.shard_count;
 }
 
 void classify_outcome(sort::Outcome o, int& detected, int& masked,
@@ -173,6 +174,7 @@ CampaignIdentity identity_of(const CampaignConfig& cfg) {
               (cfg.check_feasibility ? 2u : 0u) |
               (cfg.check_consistency ? 4u : 0u) |
               (cfg.check_exchange ? 8u : 0u);
+  id.transport = static_cast<std::uint8_t>(cfg.backend);
   id.shard_index = cfg.shard_index;
   id.shard_count = cfg.shard_count;
   return id;
@@ -191,6 +193,7 @@ CampaignConfig config_of(const CampaignIdentity& id) {
   cfg.injection.mode = static_cast<InjectionMode>(id.mode);
   cfg.injection.p = std::bit_cast<double>(id.p_bits);
   cfg.injection.k = id.k;
+  cfg.backend = static_cast<transport::Backend>(id.transport);
   cfg.shard_index = id.shard_index;
   cfg.shard_count = id.shard_count;
   return cfg;
@@ -223,6 +226,7 @@ bool save_checkpoint(const std::string& path, const CheckpointData& data,
   put_u64(payload, id.p_bits);
   put_u64(payload, id.k);
   put_u32(payload, id.checks);
+  put_u8(payload, id.transport);
   put_i32(payload, id.shard_index);
   put_i32(payload, id.shard_count);
   const std::uint64_t total = data.done.size();
@@ -286,6 +290,7 @@ StoreStatus load_checkpoint(const std::string& path, CheckpointData* out,
   data.identity.p_bits = rd.u64();
   data.identity.k = rd.u64();
   data.identity.checks = rd.u32();
+  data.identity.transport = rd.u8();
   data.identity.shard_index = rd.i32();
   data.identity.shard_count = rd.i32();
   const std::uint64_t total = rd.u64();
@@ -553,6 +558,9 @@ std::string stream_header(const CampaignIdentity& id) {
   line += ",\"p\":" + obs::json::shortest_double(std::bit_cast<double>(id.p_bits));
   line += ",\"k\":" + std::to_string(id.k);
   line += ",\"checks\":" + std::to_string(id.checks);
+  line += ",\"transport\":";
+  line += obs::json::escape(
+      transport::to_string(static_cast<transport::Backend>(id.transport)));
   line += ",\"shard\":\"" + std::to_string(id.shard_index) + "/" +
           std::to_string(id.shard_count) + "\"";
   line += ",\"total_slots\":" + std::to_string(identity_total_slots(id));

@@ -43,7 +43,9 @@
 
 namespace aoft::fault {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2 added the identity's transport byte; v1 files load as
+// kBadVersion — loud, never a silent cross-transport resume.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 inline constexpr char kCheckpointMagic[8] = {'A', 'O', 'F', 'T',
                                              'C', 'K', 'P', '1'};
 inline constexpr const char* kCampaignStreamSchema = "aoft-campaign-v1";
@@ -60,6 +62,7 @@ struct CampaignIdentity {
   std::uint64_t p_bits = 0;      // bit pattern of InjectionPolicy::p
   std::uint64_t k = 1;           // InjectionPolicy::k
   std::uint32_t checks = 0xF;    // predicate ablation bits (P|F<<1|C<<2|X<<3)
+  std::uint8_t transport = 0;    // transport::Backend that ran the slots
   std::int32_t shard_index = 0;
   std::int32_t shard_count = 1;
 

@@ -47,6 +47,14 @@ struct NodeFault {
   // Peers detect the resulting message absence via the watchdog.
   std::optional<StagePoint> halt_at;
 
+  // Escalate halt_at from a graceful coroutine return to real process death:
+  // on the shared-memory backend the node SIGKILLs itself at the halt point,
+  // mid-protocol with no goodbye.  The simulator (no processes to kill)
+  // degrades it to the graceful halt — the two must still yield the same
+  // fail-stop verdict, which is part of the backend oracle contract
+  // (docs/PROTOCOL.md §11).  Meaningless without halt_at.
+  bool kill_process = false;
+
   // Byzantine computation: perform every compare-exchange from the given
   // point onward with the *inverted* direction, so the node keeps the wrong
   // half.  Produces locally plausible but globally non-bitonic sequences.

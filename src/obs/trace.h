@@ -64,6 +64,12 @@ enum class Ev : std::uint8_t {
                    //   describe *where* workers run, not what the run
                    //   computed, so trace_inspect --diff skips them.
   kWorkerNode,     // as kWorkerCpu, b=NUMA node of the planned pin
+  kLink,           // one link message (transport cross-checks): node=sender
+                   //   (kHostNode when from the host), a=receiver (kHostNode
+                   //   when to the host), b packs
+                   //   words<<16 | kind<<8 | delivered<<2 | to_host<<1
+                   //   | from_host.  Emitted canonically sorted by the CLI's
+                   //   --trace-links writer, not on the sim hot path.
 };
 
 const char* to_string(Ev e);

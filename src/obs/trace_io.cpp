@@ -80,6 +80,10 @@ void write_jsonl(std::ostream& os, const TraceMeta& meta, const Tracer& tracer) 
      << ",\"block\":" << meta.block << ",\"seed\":" << meta.seed
      << ",\"mode\":";
   write_escaped(os, meta.mode);
+  if (!meta.transport.empty()) {
+    os << ",\"transport\":";
+    write_escaped(os, meta.transport);
+  }
   os << ",\"events\":" << tracer.size() << "}\n";
   for (const auto& e : tracer.events()) write_event_jsonl(os, e);
 }
@@ -126,6 +130,10 @@ void write_chrome(std::ostream& os, const TraceMeta& meta, const Tracer& tracer)
      << kTraceSchema << "\",\"dim\":" << meta.dim << ",\"block\":" << meta.block
      << ",\"seed\":" << meta.seed << ",\"mode\":";
   write_escaped(os, meta.mode);
+  if (!meta.transport.empty()) {
+    os << ",\"transport\":";
+    write_escaped(os, meta.transport);
+  }
   os << "}}\n";
 }
 
@@ -177,6 +185,7 @@ std::optional<ParsedTrace> read_jsonl(std::istream& is, std::string* error) {
       out.meta.block = static_cast<std::uint64_t>(b);
       out.meta.seed = static_cast<std::uint64_t>(s);
       get_str(obj, "mode", out.meta.mode);
+      get_str(obj, "transport", out.meta.transport);
       double ev_count = -1;
       if (get_num(obj, "events", ev_count))
         declared_events = static_cast<std::int64_t>(ev_count);
@@ -363,8 +372,10 @@ std::string summarize(const ParsedTrace& trace) {
   std::ostringstream os;
   os << "trace: schema=" << kTraceSchema << " dim=" << trace.meta.dim
      << " block=" << trace.meta.block << " seed=" << trace.meta.seed
-     << " mode=" << (trace.meta.mode.empty() ? "?" : trace.meta.mode)
-     << " events=" << trace.events.size() << "\n";
+     << " mode=" << (trace.meta.mode.empty() ? "?" : trace.meta.mode);
+  if (!trace.meta.transport.empty())
+    os << " transport=" << trace.meta.transport;
+  os << " events=" << trace.events.size() << "\n";
   if (!worker_cpu.empty()) {
     os << "placement: policy="
        << (placement_policy.empty() ? "?" : placement_policy)

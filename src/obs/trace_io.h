@@ -30,6 +30,11 @@ struct TraceMeta {
   std::uint64_t seed = 0;
   std::string mode;  // "single" | "supervised" | "campaign" | ...
 
+  // Which fabric carried the run ("sim" | "shm").  Written to the header
+  // only when non-empty, so traces from older writers stay byte-identical;
+  // trace_inspect --diff strips it when comparing across backends.
+  std::string transport;
+
   friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
 };
 

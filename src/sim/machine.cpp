@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/sink.h"
+#include "sim/remote.h"
 
 namespace aoft::sim {
 
@@ -175,6 +176,12 @@ void Machine::deliver(cube::NodeId from, cube::NodeId to, Message m) {
                   static_cast<std::int64_t>(m.words()));
     return;
   }
+  // Interception, recording and metrics all happen sender-side (above), so a
+  // remote run's event log is the local node's exact share of the sim's.
+  if (remote_ != nullptr && static_cast<std::int32_t>(to) != remote_local_) {
+    remote_->send_node(from, to, m);
+    return;
+  }
   link_channel(to, from).push(std::move(m));
 }
 
@@ -189,6 +196,10 @@ void Machine::deliver_host(cube::NodeId from, Message m) {
     me->inc(obs::Counter::kHostMsgs);
     me->inc(obs::Counter::kHostWords, m.words());
   }
+  if (remote_ != nullptr && remote_local_ >= 0) {  // node endpoint: host is remote
+    remote_->send_host(from, m);
+    return;
+  }
   host_inbox_->push(std::move(m));
 }
 
@@ -202,6 +213,10 @@ void Machine::deliver_from_host(cube::NodeId to, Message m) {
   if (auto* me = obs::metrics()) {
     me->inc(obs::Counter::kHostMsgs);
     me->inc(obs::Counter::kHostWords, m.words());
+  }
+  if (remote_ != nullptr && static_cast<std::int32_t>(to) != remote_local_) {
+    remote_->send_from_host(to, m);
+    return;
   }
   host_out_[to]->push(std::move(m));
 }
@@ -234,6 +249,65 @@ void Machine::run_per_node(std::vector<NodeMain> mains,
   watchdog_rounds_ = sched_.run();
 }
 
+void Machine::attach_remote(RemoteLink* link, std::int32_t local_node) {
+  if (ran_)
+    throw std::logic_error("attach_remote must precede the machine's run");
+  remote_ = link;
+  remote_local_ = local_node;
+  sched_.set_idle_handler([this] { return remote_idle(); });
+}
+
+void Machine::run_remote_node(cube::NodeId p, const NodeMain& node_main) {
+  if (ran_) throw std::logic_error("Machine::run may be called once per reset");
+  if (remote_ == nullptr || remote_local_ != static_cast<std::int32_t>(p))
+    throw std::logic_error("run_remote_node requires attach_remote(link, p)");
+  ran_ = true;
+  NodeMain local(node_main);
+  sched_.spawn(local(ctxs_[p]));
+  watchdog_rounds_ = sched_.run();
+}
+
+void Machine::run_remote_host(const HostMain& host_main) {
+  if (ran_) throw std::logic_error("Machine::run may be called once per reset");
+  if (remote_ == nullptr || remote_local_ >= 0)
+    throw std::logic_error(
+        "run_remote_host requires attach_remote(link, negative)");
+  ran_ = true;
+  HostMain host_local(host_main);
+  sched_.spawn(host_local(host_ctx_));
+  watchdog_rounds_ = sched_.run();
+}
+
+bool Machine::remote_idle() {
+  const auto deliver = [this](bool from_host, cube::NodeId from, Message&& m) {
+    if (remote_local_ < 0) {
+      host_inbox_->push(std::move(m));
+    } else if (from_host) {
+      host_out_[static_cast<std::size_t>(remote_local_)]->push(std::move(m));
+    } else {
+      link_channel(static_cast<cube::NodeId>(remote_local_), from)
+          .push(std::move(m));
+    }
+  };
+  for (;;) {
+    if (remote_->pump(pool_, deliver) > 0) return true;
+    // Map each blocked receiver back to the peer it waits on, so the link
+    // can detect peer death long before the real-time timeout: a receiver on
+    // in_links_[local][k] waits on neighbor local ^ (1 << k).  A receiver
+    // blocked on the host link names no peer — the host is reliable by
+    // Environmental Assumption 2, so only the deadline can fail it.
+    remote_peers_.clear();
+    if (remote_local_ >= 0) {
+      const auto local = static_cast<cube::NodeId>(remote_local_);
+      for (const Channel* ch : sched_.blocked())
+        for (int k = 0; k < topo_.dimension(); ++k)
+          if (ch == in_links_[local][static_cast<std::size_t>(k)].get())
+            remote_peers_.push_back(local ^ (cube::NodeId{1} << k));
+    }
+    if (!remote_->wait_activity(remote_peers_)) return false;
+  }
+}
+
 void Machine::reset() { reset(cost_); }
 
 void Machine::reset(const CostModel& cost) {
@@ -248,6 +322,8 @@ void Machine::reset(const CostModel& cost) {
   for (auto& ctx : ctxs_) ctx.stats_ = NodeStats{};
   host_ctx_.stats_ = NodeStats{};
   cost_ = cost;
+  remote_ = nullptr;
+  remote_local_ = -1;
   interceptor_ = nullptr;
   record_events_ = false;
   events_.clear();

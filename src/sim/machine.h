@@ -75,6 +75,7 @@ struct RunSummary {
 };
 
 class Machine;
+class RemoteLink;  // sim/remote.h
 
 // Per-node view of the machine: the only interface node programs may use.
 class Ctx {
@@ -209,6 +210,20 @@ class Machine {
   // and the closures are stored exactly once for the whole run.
   void run_per_node(std::vector<NodeMain> mains, const HostMain& host_main = {});
 
+  // ---- remote transport (sim/remote.h) -------------------------------------
+  // Drive only one endpoint of the cube — node `local_node`, or the host when
+  // local_node is negative — and route every non-local delivery through
+  // `link`.  Inbound messages are pumped from the link whenever the local
+  // tasks quiesce; the watchdog fires only once the link reports that nothing
+  // further can arrive.  Attach before running; reset() detaches.
+  void attach_remote(RemoteLink* link, std::int32_t local_node);
+  bool remote() const { return remote_ != nullptr; }
+
+  // Run exactly one node's program (attach_remote(link, p) first).
+  void run_remote_node(cube::NodeId p, const NodeMain& node_main);
+  // Run only the host program (attach_remote(link, negative) first).
+  void run_remote_host(const HostMain& host_main);
+
   // Return the machine to its just-constructed state so it can run again:
   // destroys any leftover coroutine frames, drains channels (pooled buffers
   // return to the pool), zeroes clocks/stats, clears the interceptor, event
@@ -265,6 +280,14 @@ class Machine {
 
   std::vector<Ctx> ctxs_;
   HostCtx host_ctx_;
+
+  // Remote-transport state: the attached link, the driven endpoint (node
+  // label, or negative for the host) and the scratch peer list the idle pump
+  // rebuilds per quiescence.
+  bool remote_idle();
+  RemoteLink* remote_ = nullptr;
+  std::int32_t remote_local_ = -1;
+  std::vector<cube::NodeId> remote_peers_;
 
   LinkInterceptor* interceptor_ = nullptr;
   bool record_events_ = false;

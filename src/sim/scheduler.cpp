@@ -19,6 +19,7 @@ void Scheduler::reset() {
   ready_.clear();
   blocked_.clear();
   quiesce_scratch_.clear();
+  idle_handler_ = {};
 }
 
 void Scheduler::spawn(SimTask task) {
@@ -55,6 +56,9 @@ int Scheduler::run() {
       }
     }
     if (blocked_.empty()) break;
+    // Remote transport attached: pump it before declaring message absence —
+    // on a real transport, quiescence of the *local* tasks proves nothing.
+    if (idle_handler_ && idle_handler_()) continue;
     // Global quiescence with suspended receivers: the watchdog fires and
     // every pending receive fails (message absence detected).
     ++watchdog_rounds;

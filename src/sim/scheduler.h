@@ -15,6 +15,7 @@
 #pragma once
 
 #include <coroutine>
+#include <functional>
 #include <vector>
 
 #include "sim/task.h"
@@ -41,6 +42,18 @@ class Scheduler {
   void add_blocked(Channel* ch);
   void remove_blocked(Channel* ch);
 
+  // Remote-transport hook (sim/remote.h): invoked at global quiescence
+  // *before* the watchdog.  Returning true means external progress was made
+  // (messages were pumped into channels), so the scheduler re-enters its
+  // ready loop instead of failing the blocked receivers.
+  void set_idle_handler(std::function<bool()> handler) {
+    idle_handler_ = std::move(handler);
+  }
+
+  // Channels currently holding a suspended receiver; idle handlers map these
+  // back to the peers being waited on.
+  const std::vector<Channel*>& blocked() const { return blocked_; }
+
   // Drive everything to completion.  Returns the number of watchdog rounds
   // that were needed (0 for a fault-free run of a deadlock-free protocol).
   // Rethrows the first exception escaping a task (programming error).
@@ -54,6 +67,7 @@ class Scheduler {
   std::vector<SimTask::Handle> tasks_;  // owned frames
   util::Ring<std::coroutine_handle<>> ready_;
   std::vector<Channel*> blocked_;
+  std::function<bool()> idle_handler_;
   // Scratch for the watchdog sweep: swapped with blocked_ at quiescence so
   // neither vector's capacity is lost across rounds (std::move would discard
   // the allocation every round).

@@ -10,6 +10,9 @@
 #include "obs/sink.h"
 #include "sort/blockops.h"
 #include "sort/predicates.h"
+#include "sort/shm_detail.h"
+#include "transport/process.h"
+#include "transport/shm_transport.h"
 
 namespace aoft::sort {
 
@@ -34,6 +37,7 @@ struct SftShared {
   std::span<const Key> input;
   std::vector<Key> output;
   std::vector<CkptUpload> uploads;
+  bool in_child = false;  // shm backend: this copy runs inside a node process
 
   const fault::NodeFault* fault_for(cube::NodeId p) const {
     auto it = opts.node_faults.find(p);
@@ -267,6 +271,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
 
     for (int j = i; j >= 0; --j) {
       if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, i, j)) {
+        if (st.fault->kill_process && sh.in_child) transport::kill_self();
         write_out();
         co_return;  // fail-silent; peers' watchdogs flag the absence
       }
@@ -430,6 +435,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
   const double final_t0 = ctx.clock();
   for (int j = fi; j >= 0; --j) {
     if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, n, j)) {
+      if (st.fault->kill_process && sh.in_child) transport::kill_self();
       write_out();
       co_return;
     }
@@ -572,7 +578,116 @@ std::vector<StageCheckpoint> certify_checkpoints(const SftShared& sh) {
   return out;
 }
 
+// ---- shared-memory backend --------------------------------------------------
+
+// The body every child process runs, fork- or exec-spawned: a one-node
+// machine wired to the segment, the same sft_node program, results published
+// into the node's slot.  kDone is stored only after the output block is
+// copied, so a kDone slot always implies a complete output region.
+int sft_child_body(transport::ShmSegment& seg, cube::NodeId p, SftShared& sh) {
+  transport::NodeSlot& slot = seg.slot(p);
+  try {
+    sim::Machine mach(cube::Topology{sh.dim}, sh.opts.cost);
+    transport::ShmTransport link(seg, static_cast<std::int32_t>(p));
+    mach.attach_remote(&link, static_cast<std::int32_t>(p));
+    mach.set_interceptor(sh.opts.interceptor);
+    mach.record_link_events(sh.opts.record_link_events);
+    slot.state.store(static_cast<std::uint32_t>(transport::SlotState::kRunning),
+                     std::memory_order_release);
+    mach.run_remote_node(p, [&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
+    transport::finish_shm_node(seg, p, mach);
+    const std::size_t m = sh.m;
+    std::copy(sh.output.begin() + static_cast<std::ptrdiff_t>(p * m),
+              sh.output.begin() + static_cast<std::ptrdiff_t>((p + 1) * m),
+              seg.output().begin() + static_cast<std::ptrdiff_t>(p * m));
+    slot.state.store(static_cast<std::uint32_t>(transport::SlotState::kDone),
+                     std::memory_order_release);
+    return 0;
+  } catch (const std::exception& e) {
+    return shm_detail::fail_child(seg, p, e.what());
+  }
+}
+
+SortRun run_sft_shm(int dim, SftShared& sh) {
+  if (sh.opts.machine != nullptr)
+    throw std::invalid_argument(
+        "SftOptions::machine is a single-process affordance; not available "
+        "on the shm backend");
+  if (sh.opts.observer)
+    throw std::invalid_argument(
+        "SftOptions::observer runs in the node's process on the shm backend; "
+        "its snapshots cannot reach the caller — use the sim backend");
+
+  transport::ShmSegment::Config cfg;
+  cfg.dim = dim;
+  cfg.block = sh.m;
+  cfg.algo = 0;
+  cfg.start_stage = sh.start_stage;
+  cfg.checkpoint = sh.opts.checkpoint;
+  cfg.record_events = sh.opts.record_link_events;
+  cfg.with_resume = sh.start_stage > 0;
+  cfg.check_progress = sh.opts.check_progress;
+  cfg.check_feasibility = sh.opts.check_feasibility;
+  cfg.check_consistency = sh.opts.check_consistency;
+  cfg.check_exchange = sh.opts.check_exchange;
+  cfg.cost = sh.opts.cost;
+  cfg.recv_timeout_s = sh.opts.shm.recv_timeout_s;
+  cfg.run_deadline_s = sh.opts.shm.run_deadline_s;
+  auto seg = transport::ShmSegment::create(cfg);
+
+  std::copy(sh.input.begin(), sh.input.end(), seg.input().begin());
+  if (sh.start_stage > 0)
+    std::copy(sh.resume_llbs.begin(), sh.resume_llbs.end(),
+              seg.llbs().begin());
+  shm_detail::fill_wire_faults(seg, sh.opts.node_faults);
+
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kRunBegin, obs::kGlobal, sh.start_stage, -1, 0.0, dim,
+                static_cast<std::int64_t>(sh.m));
+
+  transport::ShmParent par(seg);
+  sh.in_child = true;  // fork children inherit the flag copy-on-write
+  if (sh.opts.shm.node_binary.empty())
+    par.spawn_fork(
+        [&](cube::NodeId p) { return sft_child_body(seg, p, sh); });
+  else
+    par.spawn_exec(sh.opts.shm.node_binary);
+  sh.in_child = false;
+
+  SortRun run;
+  if (sh.opts.checkpoint) {
+    // The parent is the reliable host: same collector coroutine as the sim,
+    // pumping the up-rings, reaping children from the idle path.
+    sim::Machine hostm(cube::Topology{dim}, sh.opts.cost);
+    transport::ShmTransport hlink(seg, transport::kHostRole);
+    hlink.set_host_poll([&par] { par.poll(); });
+    hostm.attach_remote(&hlink, transport::kHostRole);
+    hostm.run_remote_host(
+        [&sh](sim::HostCtx& host) { return ckpt_collector(host, sh); });
+    par.await_all();
+    run.summary.host_comm = hostm.host_stats().comm_ticks;
+    run.summary.host_comp = hostm.host_stats().comp_ticks;
+    run.summary.elapsed = hostm.host_stats().clock;
+  } else {
+    par.await_all();
+  }
+
+  shm_detail::collect_shm_results(seg, run, sh.opts.record_link_events);
+  if (sh.opts.checkpoint) run.checkpoints = certify_checkpoints(sh);
+  if (auto* tr = obs::tracer()) {
+    for (const auto& ck : run.checkpoints)
+      tr->instant(obs::Ev::kCkptCertify, obs::kHostNode, ck.stage, -1,
+                  run.summary.elapsed, ck.certified ? 1 : 0,
+                  ck.windows_agreed);
+    tr->instant(obs::Ev::kRunEnd, obs::kGlobal, -1, -1, run.summary.elapsed,
+                static_cast<std::int64_t>(run.errors.size()),
+                run.summary.watchdog_rounds);
+  }
+  return run;
+}
+
 SortRun run_sft_impl(int dim, SftShared& sh) {
+  if (sh.opts.backend == transport::Backend::kShm) return run_sft_shm(dim, sh);
   // Run on the caller's machine when provided (reset() keeps its pool and
   // channel storage warm across campaign scenarios); construct one otherwise.
   std::optional<sim::Machine> owned;
@@ -643,5 +758,31 @@ SortRun resume_sft(int dim, const ResumeState& rs, const SftOptions& opts) {
   sh.output.assign(rs.blocks.size(), 0);
   return run_sft_impl(dim, sh);
 }
+
+namespace detail {
+
+int run_sft_shm_node(transport::ShmSegment& seg, cube::NodeId p) {
+  const transport::SegmentHeader& hd = seg.header();
+  SftShared sh;
+  sh.dim = static_cast<int>(hd.dim);
+  sh.m = static_cast<std::size_t>(hd.block);
+  sh.start_stage = hd.start_stage;
+  sh.opts.block = sh.m;
+  sh.opts.cost = hd.cost;
+  sh.opts.check_progress = hd.check_progress != 0;
+  sh.opts.check_feasibility = hd.check_feasibility != 0;
+  sh.opts.check_consistency = hd.check_consistency != 0;
+  sh.opts.check_exchange = hd.check_exchange != 0;
+  sh.opts.checkpoint = hd.checkpoint != 0;
+  sh.opts.record_link_events = hd.record_events != 0;
+  sh.opts.node_faults = shm_detail::faults_from_segment(seg);
+  sh.in_child = true;
+  sh.input = seg.input();
+  if (hd.with_resume) sh.resume_llbs = seg.llbs();
+  sh.output.assign(sh.input.size(), 0);
+  return sft_child_body(seg, p, sh);
+}
+
+}  // namespace detail
 
 }  // namespace aoft::sort

@@ -40,6 +40,11 @@
 #include "sim/cost_model.h"
 #include "sim/machine.h"
 #include "sort/driver.h"
+#include "transport/backend.h"
+
+namespace aoft::transport {
+class ShmSegment;
+}
 
 namespace aoft::sort {
 
@@ -88,7 +93,23 @@ struct SftOptions {
   // keeps one machine per worker thread this way.  Owned by the caller; must
   // outlive the run.
   sim::Machine* machine = nullptr;
+
+  // Which fabric carries the cube (docs/PROTOCOL.md §11).  kSim is the
+  // deterministic single-process oracle; kShm runs one OS process per node
+  // over shared-memory rings and must reproduce the oracle's sorted output
+  // and fail-stop verdicts for identical fault scripts.  kShm rejects
+  // `observer` and `machine` (both are in-process affordances a forked child
+  // cannot share back) and is limited to dim <= transport::kMaxShmDim.
+  transport::Backend backend = transport::Backend::kSim;
+  transport::ShmOptions shm;
 };
+
+namespace detail {
+// Exec-mode child entry (tools/aoft_node): run node `p`'s S_FT program
+// against an attached segment, reconstructing the options from its header.
+// Returns the child's exit code.
+int run_sft_shm_node(transport::ShmSegment& seg, cube::NodeId p);
+}  // namespace detail
 
 // Sort `input` (flattened, size 2^dim * block) reliably.  The returned run is
 // kCorrect or kFailStop for up to dim-1 faulty nodes (paper Thm 3) — the

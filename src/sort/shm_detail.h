@@ -1,0 +1,141 @@
+// Internal glue between the sort drivers and the shared-memory backend:
+// fault-script (de)serialization through the segment, child-side guard, and
+// parent-side result assembly.  Used by sft.cpp and snr.cpp only.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "fault/fault_spec.h"
+#include "sort/driver.h"
+#include "transport/process.h"
+#include "transport/shm_segment.h"
+
+namespace aoft::sort::shm_detail {
+
+inline void fill_wire_faults(transport::ShmSegment& seg,
+                             const fault::NodeFaultMap& faults) {
+  for (const auto& [p, f] : faults) {
+    if (p >= seg.num_nodes()) continue;
+    transport::WireFault& w = seg.fault(p);
+    if (f.halt_at) {
+      w.has_halt = 1;
+      w.halt_stage = f.halt_at->stage;
+      w.halt_iter = f.halt_at->iter;
+    }
+    if (f.invert_direction_from) {
+      w.has_invert = 1;
+      w.invert_stage = f.invert_direction_from->stage;
+      w.invert_iter = f.invert_direction_from->iter;
+    }
+    if (f.substitute_at) {
+      w.has_subst = 1;
+      w.subst_stage = f.substitute_at->stage;
+      w.subst_iter = f.substitute_at->iter;
+    }
+    w.subst_value = f.substitute_value;
+    w.silent_checker = f.silent_checker ? 1 : 0;
+    w.kill_process = f.kill_process ? 1 : 0;
+  }
+}
+
+// Exec-mode children rebuild their NodeFaultMap from the segment (fork-mode
+// children inherit the parent's map copy-on-write and never call this).
+inline fault::NodeFaultMap faults_from_segment(transport::ShmSegment& seg) {
+  fault::NodeFaultMap out;
+  for (cube::NodeId p = 0; p < seg.num_nodes(); ++p) {
+    const transport::WireFault& w = seg.fault(p);
+    fault::NodeFault f;
+    if (w.has_halt) f.halt_at = fault::StagePoint{w.halt_stage, w.halt_iter};
+    if (w.has_invert)
+      f.invert_direction_from =
+          fault::StagePoint{w.invert_stage, w.invert_iter};
+    if (w.has_subst)
+      f.substitute_at = fault::StagePoint{w.subst_stage, w.subst_iter};
+    f.substitute_value = w.subst_value;
+    f.silent_checker = w.silent_checker != 0;
+    f.kill_process = w.kill_process != 0;
+    if (f.any()) out.emplace(p, f);
+  }
+  return out;
+}
+
+// Child-side terminal failure: record why and publish kFailed so peers and
+// the parent stop waiting.
+inline int fail_child(transport::ShmSegment& seg, cube::NodeId p,
+                      const char* what) {
+  transport::NodeSlot& slot = seg.slot(p);
+  std::snprintf(slot.fail_reason, sizeof slot.fail_reason, "%s", what);
+  slot.state.store(static_cast<std::uint32_t>(transport::SlotState::kFailed),
+                   std::memory_order_release);
+  return 1;
+}
+
+// Parent-side assembly after every child is reaped: output image, per-node
+// error reports (node order), summary aggregates, merged link events.  The
+// host's share of the summary (checkpoint collector) is added by the caller.
+inline void collect_shm_results(transport::ShmSegment& seg, SortRun& run,
+                                bool record_events) {
+  const auto out = seg.output();
+  run.output.assign(out.begin(), out.end());
+
+  for (cube::NodeId p = 0; p < seg.num_nodes(); ++p) {
+    transport::NodeSlot& slot = seg.slot(p);
+    const auto n_err = std::min(slot.error_count, transport::kMaxSlotErrors);
+    for (std::uint32_t e = 0; e < n_err; ++e) {
+      const transport::WireError& w = slot.errors[e];
+      sim::ErrorReport r;
+      r.node = p;
+      r.stage = w.stage;
+      r.iter = w.iter;
+      r.source = static_cast<sim::ErrorSource>(w.source);
+      r.detail = w.detail;
+      run.errors.push_back(std::move(r));
+    }
+    // A child the parent had to declare dead published nothing — the fault
+    // is visible through its peers' kTimeout reports, like a sim halt.
+    run.summary.elapsed = std::max(run.summary.elapsed, slot.clock);
+    run.summary.max_comm = std::max(run.summary.max_comm, slot.comm_ticks);
+    run.summary.max_comp = std::max(run.summary.max_comp, slot.comp_ticks);
+    run.summary.total_msgs += slot.msgs_sent;
+    run.summary.total_words += slot.words_sent;
+    run.summary.watchdog_rounds += static_cast<int>(slot.watchdog_rounds);
+
+    if (record_events) {
+      const auto events = seg.events(p);
+      const auto n_ev =
+          std::min<std::size_t>(slot.event_count, events.size());
+      for (std::size_t e = 0; e < n_ev; ++e) {
+        const transport::WireLinkEvent& w = events[e];
+        sim::LinkEvent ev;
+        ev.from = static_cast<cube::NodeId>(w.from);
+        ev.to = static_cast<cube::NodeId>(w.to);
+        ev.kind = static_cast<sim::MsgKind>(w.kind);
+        ev.stage = w.stage;
+        ev.iter = w.iter;
+        ev.words = w.words;
+        ev.delivered = w.delivered != 0;
+        ev.to_host = w.to_host != 0;
+        ev.from_host = w.from_host != 0;
+        run.link_events.push_back(ev);
+      }
+    }
+  }
+  // Children publish in whatever order they finish; canonicalize so the
+  // merged log is a deterministic function of the event multiset.
+  if (record_events) {
+    const auto key = [](const sim::LinkEvent& e) {
+      return std::make_tuple(e.stage, e.iter, e.from, e.to, e.to_host,
+                             e.from_host, static_cast<int>(e.kind), e.words,
+                             e.delivered);
+    };
+    std::sort(run.link_events.begin(), run.link_events.end(),
+              [&](const sim::LinkEvent& a, const sim::LinkEvent& b) {
+                return key(a) < key(b);
+              });
+  }
+}
+
+}  // namespace aoft::sort::shm_detail

@@ -13,6 +13,9 @@
 #include "hypercube/subcube.h"
 #include "sort/blockops.h"
 #include "sort/sequential.h"
+#include "sort/shm_detail.h"
+#include "transport/process.h"
+#include "transport/shm_transport.h"
 
 namespace aoft::sort {
 
@@ -24,6 +27,8 @@ struct SnrShared {
   fault::NodeFaultMap node_faults;
   int dim = 0;
   bool with_host = false;  // host-verified variant: gather + Theorem-1 check
+  bool in_child = false;   // shm backend: this copy runs inside a node process
+  sim::LinkInterceptor* interceptor = nullptr;  // carried for fork children
   std::span<const Key> input;  // view into caller storage, alive for the run
   std::vector<Key> output;
 
@@ -86,6 +91,7 @@ sim::SimTask snr_node(sim::Ctx& ctx, SnrShared& sh) {
 
     for (int j = i; j >= 0; --j) {
       if (fault && fault->halt_at && fault::reached(*fault->halt_at, i, j)) {
+        if (fault->kill_process && sh.in_child) transport::kill_self();
         write_out();
         co_return;  // fail-silent: peers see message absence
       }
@@ -215,6 +221,64 @@ SortRun finish(sim::Machine& machine, SnrShared& sh) {
   return run;
 }
 
+// ---- shared-memory backend --------------------------------------------------
+
+int snr_child_body(transport::ShmSegment& seg, cube::NodeId p, SnrShared& sh) {
+  transport::NodeSlot& slot = seg.slot(p);
+  try {
+    sim::Machine mach(cube::Topology{sh.dim}, sh.cost);
+    transport::ShmTransport link(seg, static_cast<std::int32_t>(p));
+    mach.attach_remote(&link, static_cast<std::int32_t>(p));
+    mach.set_interceptor(sh.interceptor);
+    slot.state.store(static_cast<std::uint32_t>(transport::SlotState::kRunning),
+                     std::memory_order_release);
+    mach.run_remote_node(p, [&sh](sim::Ctx& ctx) { return snr_node(ctx, sh); });
+    transport::finish_shm_node(seg, p, mach);
+    const std::size_t m = sh.m;
+    std::copy(sh.output.begin() + static_cast<std::ptrdiff_t>(p * m),
+              sh.output.begin() + static_cast<std::ptrdiff_t>((p + 1) * m),
+              seg.output().begin() + static_cast<std::ptrdiff_t>(p * m));
+    slot.state.store(static_cast<std::uint32_t>(transport::SlotState::kDone),
+                     std::memory_order_release);
+    return 0;
+  } catch (const std::exception& e) {
+    return shm_detail::fail_child(seg, p, e.what());
+  }
+}
+
+SortRun run_snr_shm(int dim, SnrShared& sh, const SnrOptions& opts) {
+  if (opts.machine != nullptr)
+    throw std::invalid_argument(
+        "SnrOptions::machine is a single-process affordance; not available "
+        "on the shm backend");
+
+  transport::ShmSegment::Config cfg;
+  cfg.dim = dim;
+  cfg.block = sh.m;
+  cfg.algo = 1;
+  cfg.cost = sh.cost;
+  cfg.recv_timeout_s = opts.shm.recv_timeout_s;
+  cfg.run_deadline_s = opts.shm.run_deadline_s;
+  auto seg = transport::ShmSegment::create(cfg);
+
+  std::copy(sh.input.begin(), sh.input.end(), seg.input().begin());
+  shm_detail::fill_wire_faults(seg, sh.node_faults);
+
+  transport::ShmParent par(seg);
+  sh.in_child = true;
+  if (opts.shm.node_binary.empty())
+    par.spawn_fork(
+        [&](cube::NodeId p) { return snr_child_body(seg, p, sh); });
+  else
+    par.spawn_exec(opts.shm.node_binary);
+  sh.in_child = false;
+  par.await_all();
+
+  SortRun run;
+  shm_detail::collect_shm_results(seg, run, /*record_events=*/false);
+  return run;
+}
+
 }  // namespace
 
 SortRun run_snr(int dim, std::span<const Key> input, const SnrOptions& opts) {
@@ -224,8 +288,12 @@ SortRun run_snr(int dim, std::span<const Key> input, const SnrOptions& opts) {
   sh.cost = opts.cost;
   sh.node_faults = opts.node_faults;
   sh.dim = dim;
+  sh.interceptor = opts.interceptor;
   sh.input = input;
   sh.output.assign(input.size(), 0);
+
+  if (opts.backend == transport::Backend::kShm)
+    return run_snr_shm(dim, sh, opts);
 
   std::optional<sim::Machine> owned;
   sim::Machine* machine = opts.machine;
@@ -261,5 +329,22 @@ SortRun run_host_verified_snr(int dim, std::span<const Key> input,
               [&sh](sim::HostCtx& host) { return verify_host(host, sh); });
   return finish(machine, sh);
 }
+
+namespace detail {
+
+int run_snr_shm_node(transport::ShmSegment& seg, cube::NodeId p) {
+  const transport::SegmentHeader& hd = seg.header();
+  SnrShared sh;
+  sh.dim = static_cast<int>(hd.dim);
+  sh.m = static_cast<std::size_t>(hd.block);
+  sh.cost = hd.cost;
+  sh.node_faults = shm_detail::faults_from_segment(seg);
+  sh.in_child = true;
+  sh.input = seg.input();
+  sh.output.assign(sh.input.size(), 0);
+  return snr_child_body(seg, p, sh);
+}
+
+}  // namespace detail
 
 }  // namespace aoft::sort

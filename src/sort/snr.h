@@ -20,6 +20,11 @@
 #include "sim/cost_model.h"
 #include "sim/machine.h"
 #include "sort/driver.h"
+#include "transport/backend.h"
+
+namespace aoft::transport {
+class ShmSegment;
+}
 
 namespace aoft::sort {
 
@@ -32,7 +37,17 @@ struct SnrOptions {
   // Run on this caller-owned machine instead of constructing one (reset()
   // first; dimension must match).  See SftOptions::machine.
   sim::Machine* machine = nullptr;
+
+  // Transport selection, as in SftOptions: kShm rejects `machine` and runs
+  // one process per node.  The host-verified variant stays sim-only.
+  transport::Backend backend = transport::Backend::kSim;
+  transport::ShmOptions shm;
 };
+
+namespace detail {
+// Exec-mode child entry (tools/aoft_node) for the S_NR node program.
+int run_snr_shm_node(transport::ShmSegment& seg, cube::NodeId p);
+}  // namespace detail
 
 // Sort `input` (flattened, size 2^dim * block) on a simulated dim-cube.
 // S_NR is unprotected: under faults the run may end kSilentWrong, which is

@@ -1,0 +1,64 @@
+// Transport selection: which fabric carries the cube's messages.
+//
+// The deterministic single-process simulator (sim/machine.h) is the oracle:
+// every protocol claim is first established there.  The shared-memory
+// backend (transport/shm_segment.h) runs the same node programs as one OS
+// process per hypercube node over lock-free SPSC rings in an mmap'd segment;
+// its sorted output and fail-stop verdicts must match the simulator's for
+// identical fault scripts (docs/PROTOCOL.md §11 — the oracle contract).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aoft::transport {
+
+enum class Backend : std::uint8_t {
+  kSim = 0,  // single-process deterministic coroutine simulator (the oracle)
+  kShm = 1,  // one OS process per node over shared-memory SPSC rings
+};
+
+inline const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kShm: return "shm";
+  }
+  return "?";
+}
+
+inline bool parse_backend(std::string_view s, Backend& out) {
+  if (s == "sim") {
+    out = Backend::kSim;
+    return true;
+  }
+  if (s == "shm") {
+    out = Backend::kShm;
+    return true;
+  }
+  return false;
+}
+
+// Knobs for the shared-memory backend (ignored under kSim).
+struct ShmOptions {
+  // Real-time bound a blocked receiver waits for link activity before its
+  // watchdog declares message absence.  Environmental Assumption 4 needs an
+  // actual clock on a real transport; peer death is detected much faster via
+  // the per-node status slots, so the timeout is only the backstop for a
+  // peer that wedges without dying.
+  double recv_timeout_s = 15.0;
+
+  // Parent-side bound on the whole run: on expiry every child is SIGKILLed,
+  // after which the surviving receivers fail over normally.
+  double run_deadline_s = 120.0;
+
+  // Non-empty: spawn each node by exec'ing this launcher binary
+  // (tools/aoft_node) so every node gets a fresh address space.  Empty: fork
+  // directly — children inherit the caller's interceptor/observer closures
+  // copy-on-write, which is what lets the fault-injection test rigs run
+  // unchanged over real processes.
+  std::string node_binary;
+};
+
+}  // namespace aoft::transport

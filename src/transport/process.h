@@ -1,0 +1,72 @@
+// Child-process lifecycle for the shared-memory backend.
+//
+// ShmParent owns the one-process-per-node fleet: it forks (or fork+execs)
+// the children, reaps them, and is the authority that turns a vanished
+// process into a kDead status slot — a SIGKILLed child cannot update its own
+// slot, so peers' message-absence detection depends on the parent polling.
+// finish_shm_node is the child-side counterpart: it publishes a completed
+// machine's stats, error reports and link events into the node's slot.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "transport/shm_segment.h"
+
+namespace aoft::transport {
+
+class ShmParent {
+ public:
+  explicit ShmParent(ShmSegment& seg);
+
+  // Fork one child per node; each child runs child_main(p) and _exits with
+  // its return value.  The parent records pids in the status slots.
+  void spawn_fork(const std::function<int(cube::NodeId)>& child_main);
+
+  // Fork+exec `binary --segment=<name> --node=<p>` per node (fresh address
+  // spaces; tools/aoft_node is the standard launcher).
+  void spawn_exec(const std::string& binary);
+
+  // Reap exits without blocking and keep the status slots truthful: a child
+  // that died by signal (or exited without publishing a terminal state)
+  // becomes kDead/kFailed here.  Enforces the run deadline by killing the
+  // fleet once it expires.  Safe to call repeatedly; host wait loops call it
+  // on every iteration.
+  void poll();
+
+  // Block (polling) until every child is reaped.
+  void await_all();
+
+  // SIGKILL every still-live child.
+  void kill_all();
+
+  bool all_reaped() const;
+
+ private:
+  void reap(cube::NodeId p, int wstatus);
+
+  ShmSegment& seg_;
+  std::vector<std::int32_t> pids_;
+  std::vector<bool> reaped_;
+  std::chrono::steady_clock::time_point start_;
+  bool killed_ = false;
+};
+
+// Publish a finished node machine into its status slot: stats, watchdog
+// rounds, error reports (truncated at kMaxSlotErrors) and link events
+// (truncated at event_cap).  Does NOT store the terminal state — the caller
+// copies its output block first, then stores kDone, so a kDone slot always
+// implies a complete output region.
+void finish_shm_node(ShmSegment& seg, cube::NodeId p, const sim::Machine& mach);
+
+// The fail-stop injection for the shm backend: die the way a crashed node
+// dies, mid-protocol with no goodbye.  (The simulator degrades kill_process
+// to a graceful halt; that equivalence is part of the oracle contract.)
+[[noreturn]] void kill_self();
+
+}  // namespace aoft::transport

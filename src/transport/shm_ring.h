@@ -1,0 +1,102 @@
+// Lock-free single-producer/single-consumer byte ring for shared memory.
+//
+// The in-process simulator already queues messages through util::Ring; this
+// is the same idea flattened into a position-independent layout a segment
+// can hold: a 128-byte header with the producer and consumer cursors on
+// separate cache lines, followed by a power-of-two byte buffer.  Records are
+// length-prefixed (u32 length, then payload); cursors grow monotonically and
+// are reduced modulo the capacity on access, so full/empty never alias.
+//
+// Exactly one process writes (the link's sender) and one reads (the
+// receiver), which is all the sorting protocols need: every hypercube link
+// is point-to-point and directed, and the host links are per-node.  The
+// atomics are lock-free on every platform the cpp toolchain targets here, so
+// they are address-free and safe across process boundaries (mmap'd MAP_SHARED).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace aoft::transport {
+
+struct ShmRingHdr {
+  alignas(64) std::atomic<std::uint64_t> tail;  // bytes ever written
+  alignas(64) std::atomic<std::uint64_t> head;  // bytes ever read
+};
+static_assert(sizeof(ShmRingHdr) == 128, "cursor cache lines");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process rings need address-free atomics");
+
+// Non-owning view over a (header, buffer) pair living in a shared segment.
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(ShmRingHdr* hdr, unsigned char* buf, std::uint64_t capacity)
+      : hdr_(hdr), buf_(buf), cap_(capacity), mask_(capacity - 1) {}
+
+  static void init(ShmRingHdr* hdr) {
+    hdr->tail.store(0, std::memory_order_relaxed);
+    hdr->head.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t capacity() const { return cap_; }
+
+  bool empty() const {
+    return hdr_->head.load(std::memory_order_acquire) ==
+           hdr_->tail.load(std::memory_order_acquire);
+  }
+
+  // Producer side.  False when the record does not fit right now.
+  bool try_push(const void* data, std::uint32_t len) {
+    const std::uint64_t need = 4 + static_cast<std::uint64_t>(len);
+    const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+    if (cap_ - (tail - head) < need) return false;
+    copy_in(tail, &len, 4);
+    copy_in(tail + 4, data, len);
+    hdr_->tail.store(tail + need, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False when the ring is empty; otherwise fills `out` with
+  // one record's payload.
+  bool try_pop(std::vector<unsigned char>& out) {
+    const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    std::uint32_t len = 0;
+    copy_out(head, &len, 4);
+    out.resize(len);
+    copy_out(head + 4, out.data(), len);
+    hdr_->head.store(head + 4 + len, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  // Wrap-aware copies: at most two memcpy chunks each.
+  void copy_in(std::uint64_t pos, const void* src, std::uint64_t n) {
+    const std::uint64_t at = pos & mask_;
+    const std::uint64_t first = n < cap_ - at ? n : cap_ - at;
+    std::memcpy(buf_ + at, src, first);
+    if (n > first)
+      std::memcpy(buf_, static_cast<const unsigned char*>(src) + first,
+                  n - first);
+  }
+  void copy_out(std::uint64_t pos, void* dst, std::uint64_t n) const {
+    const std::uint64_t at = pos & mask_;
+    const std::uint64_t first = n < cap_ - at ? n : cap_ - at;
+    std::memcpy(dst, buf_ + at, first);
+    if (n > first)
+      std::memcpy(static_cast<unsigned char*>(dst) + first, buf_, n - first);
+  }
+
+  ShmRingHdr* hdr_ = nullptr;
+  unsigned char* buf_ = nullptr;
+  std::uint64_t cap_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace aoft::transport

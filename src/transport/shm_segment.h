@@ -1,0 +1,188 @@
+// The shared-memory segment one multi-process sort runs over.
+//
+// Layout (offsets in the header, every region 64-byte aligned):
+//
+//   SegmentHeader      job configuration: dimensions, cost model, predicate
+//                      toggles, per-run timeouts — everything an exec'd
+//                      child needs to reconstruct its SftOptions/SnrOptions
+//   WireFault[N]       scripted per-node faults (fault::NodeFault as POD)
+//   NodeSlot[N]        per-child status (atomic), pid, stats, error records
+//   WireLinkEvent[N*cap] per-child link-event log (record_events)
+//   Key[N*m] input     flattened run input
+//   Key[N*m] llbs      resume state C_{start-1} (with_resume)
+//   Key[N*m] output    per-node result blocks, written at child completion
+//   rings              N*dim node link rings, N up (node->host) rings,
+//                      N down (host->node) rings, each ShmRingHdr + buffer
+//
+// Rings are sized for the whole run's traffic on their link — S_FT uses each
+// directed link at most dim+1 times — so a push only fails when the protocol
+// misbehaves; senders then count the overflow in their slot rather than
+// block (a dead peer must absorb traffic like a halted sim receiver).
+//
+// The segment is created with shm_open + ftruncate + mmap(MAP_SHARED): fork
+// children inherit the mapping, exec'd children re-open it by name.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hypercube/topology.h"
+#include "sim/cost_model.h"
+#include "sim/pool.h"
+#include "transport/shm_ring.h"
+
+namespace aoft::transport {
+
+inline constexpr int kMaxShmDim = 8;  // 256 node processes is plenty
+inline constexpr char kSegmentMagic[8] = {'A', 'O', 'F', 'T',
+                                          'S', 'H', 'M', '1'};
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::uint32_t kMaxSlotErrors = 16;
+inline constexpr std::uint32_t kErrDetailBytes = 96;
+
+// The host's role id for ShmTransport (any negative value works for
+// Machine::attach_remote; this one is the convention).
+inline constexpr std::int32_t kHostRole = -1;
+
+// fault::NodeFault flattened to POD for the segment (exec'd children cannot
+// inherit the parent's NodeFaultMap).
+struct WireFault {
+  std::uint8_t has_halt = 0, has_invert = 0, has_subst = 0;
+  std::uint8_t silent_checker = 0, kill_process = 0;
+  std::int32_t halt_stage = 0, halt_iter = 0;
+  std::int32_t invert_stage = 0, invert_iter = 0;
+  std::int32_t subst_stage = 0, subst_iter = 0;
+  std::int64_t subst_value = 0;
+};
+
+struct WireError {
+  std::int32_t stage = -1, iter = -1;
+  std::uint8_t source = 0;
+  char detail[kErrDetailBytes] = {};
+};
+
+struct WireLinkEvent {
+  std::int32_t from = 0, to = 0;
+  std::uint8_t kind = 0, delivered = 0, to_host = 0, from_host = 0;
+  std::int32_t stage = -1, iter = -1;
+  std::uint32_t words = 0;
+};
+
+enum class SlotState : std::uint32_t {
+  kIdle = 0,     // spawned, child not yet running
+  kRunning = 1,  // child entered its node program
+  kDone = 2,     // child completed and published its results
+  kFailed = 3,   // child caught an exception (harness bug; fail_reason set)
+  kDead = 4,     // parent reaped a crash/SIGKILL without a kDone slot
+};
+
+// Terminal from a waiting peer's point of view: no further message can ever
+// originate from this node.
+inline bool slot_terminal(SlotState s) {
+  return s == SlotState::kDone || s == SlotState::kFailed ||
+         s == SlotState::kDead;
+}
+
+struct NodeSlot {
+  std::atomic<std::uint32_t> state;  // SlotState; child-written, parent-reaped
+  std::int32_t pid = 0;
+  // sim::NodeStats of the child's machine, published at completion.
+  double clock = 0.0, comp_ticks = 0.0, comm_ticks = 0.0;
+  std::uint64_t msgs_sent = 0, words_sent = 0;
+  std::uint32_t watchdog_rounds = 0;
+  std::uint32_t send_overflow = 0;  // ring-full sends absorbed (sizing bug)
+  std::uint32_t error_count = 0, error_overflow = 0;
+  std::uint32_t event_count = 0, event_overflow = 0;
+  WireError errors[kMaxSlotErrors] = {};
+  char fail_reason[kErrDetailBytes] = {};
+};
+
+struct SegmentHeader {
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t dim = 0;
+  std::uint64_t block = 1;
+  std::int32_t start_stage = 0;
+  std::uint8_t algo = 0;  // 0 = sft, 1 = snr
+  std::uint8_t checkpoint = 0, record_events = 0, with_resume = 0;
+  std::uint8_t check_progress = 1, check_feasibility = 1;
+  std::uint8_t check_consistency = 1, check_exchange = 1;
+  std::int32_t host_pid = 0;
+  double recv_timeout_s = 0.0;
+  double run_deadline_s = 0.0;
+  sim::CostModel cost{};
+  std::uint64_t link_ring_bytes = 0, up_ring_bytes = 0, down_ring_bytes = 0;
+  std::uint32_t event_cap = 0;
+  std::uint64_t off_faults = 0, off_slots = 0, off_events = 0;
+  std::uint64_t off_input = 0, off_llbs = 0, off_output = 0, off_rings = 0;
+  std::uint64_t total_bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<SegmentHeader>);
+
+class ShmSegment {
+ public:
+  struct Config {
+    int dim = 0;
+    std::uint64_t block = 1;
+    std::uint8_t algo = 0;
+    int start_stage = 0;
+    bool checkpoint = false;
+    bool record_events = false;
+    bool with_resume = false;
+    bool check_progress = true, check_feasibility = true;
+    bool check_consistency = true, check_exchange = true;
+    sim::CostModel cost{};
+    double recv_timeout_s = 15.0;
+    double run_deadline_s = 120.0;
+  };
+
+  // Parent side: create, size and zero-init a fresh segment.  Throws
+  // std::runtime_error on any shm/mmap failure and std::invalid_argument on
+  // an out-of-range configuration (dim > kMaxShmDim).
+  static ShmSegment create(const Config& cfg);
+
+  // Child side (exec mode): open an existing segment by name and validate
+  // magic/version/size.  Throws std::runtime_error on mismatch.
+  static ShmSegment attach(const std::string& name);
+
+  ShmSegment(ShmSegment&&) noexcept;
+  ShmSegment& operator=(ShmSegment&&) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment();  // unmaps; the creating side also shm_unlinks
+
+  const std::string& name() const { return name_; }
+  int dim() const { return static_cast<int>(header().dim); }
+  cube::NodeId num_nodes() const { return cube::NodeId{1} << header().dim; }
+
+  SegmentHeader& header() { return *reinterpret_cast<SegmentHeader*>(base_); }
+  const SegmentHeader& header() const {
+    return *reinterpret_cast<const SegmentHeader*>(base_);
+  }
+
+  WireFault& fault(cube::NodeId p);
+  NodeSlot& slot(cube::NodeId p);
+  std::span<WireLinkEvent> events(cube::NodeId p);  // event_cap entries
+  std::span<sim::Key> input();
+  std::span<sim::Key> llbs();
+  std::span<sim::Key> output();
+
+  // Messages into `to` across dimension k.
+  ShmRing link_ring(cube::NodeId to, int k);
+  ShmRing up_ring(cube::NodeId p);    // p -> host
+  ShmRing down_ring(cube::NodeId p);  // host -> p
+
+ private:
+  ShmSegment() = default;
+  unsigned char* at(std::uint64_t off) { return base_ + off; }
+
+  std::string name_;
+  unsigned char* base_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool owner_ = false;  // the creator unlinks on destruction
+};
+
+}  // namespace aoft::transport

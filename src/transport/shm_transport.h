@@ -1,0 +1,55 @@
+// sim::RemoteLink over a ShmSegment: the per-process endpoint driver.
+//
+// Each OS process owns one endpoint — node p (role == p) or the host (role
+// == kHostRole) — and a ShmTransport wired to the shared segment.  Sends
+// encode into the destination's inbound ring; pump drains every ring that
+// feeds the local endpoint.  wait_activity implements message-absence
+// detection (Environmental Assumption 4) on real time: a blocked node
+// returns "nothing further can arrive" only once every peer it waits on is
+// terminally down (status slot) with its inbound rings drained, or after
+// recv_timeout_s of no progress; the host variant waits for all slots
+// terminal and up-rings empty, polling the parent's reaper on the way.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/remote.h"
+#include "transport/shm_segment.h"
+
+namespace aoft::transport {
+
+class ShmTransport final : public sim::RemoteLink {
+ public:
+  // `role` is a node id, or kHostRole for the host endpoint.
+  ShmTransport(ShmSegment& seg, std::int32_t role);
+
+  // Host side: invoked on every wait iteration so the parent can reap dead
+  // children and enforce the run deadline while its collector is blocked.
+  void set_host_poll(std::function<void()> poll) { host_poll_ = std::move(poll); }
+
+  void send_node(cube::NodeId from, cube::NodeId to,
+                 const sim::Message& m) override;
+  void send_host(cube::NodeId from, const sim::Message& m) override;
+  void send_from_host(cube::NodeId to, const sim::Message& m) override;
+  std::size_t pump(sim::KeyPool& pool, const Deliver& deliver) override;
+  bool wait_activity(std::span<const cube::NodeId> peers) override;
+
+ private:
+  bool push_ring(ShmRing ring, const sim::Message& m);
+
+  ShmSegment& seg_;
+  std::int32_t role_;
+  std::function<void()> host_poll_;
+  std::vector<unsigned char> scratch_;
+
+  // One waiting episode: starts when wait_activity first sees no progress,
+  // ends when pump delivers something.  The recv timeout bounds the episode.
+  bool waiting_ = false;
+  std::chrono::steady_clock::time_point wait_start_{};
+};
+
+}  // namespace aoft::transport

@@ -1,14 +1,58 @@
 // Minimal --name=value flag parsing shared by the bench harnesses and small
 // tools.  Unknown arguments are ignored by design: every bench keeps running
-// with no arguments at all (the CI default), and flags only override.
+// with no arguments at all (the CI default), and flags only override.  Known
+// flags with unparseable values are a different matter — "--runs=ten" used to
+// silently become 0 via atoi and corrupt a whole bench sweep — so the typed
+// accessors reject garbage loudly (usage message + exit 2).
 
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace aoft::util {
+
+// Checked numeric parsers.  All require the *entire* string to be consumed
+// (no trailing junk), reject empty strings, and report range overflow.
+// They set no global state besides errno and never exit — the flag_* helpers
+// below layer the loud-usage-error policy on top.
+
+inline bool parse_i64(const char* s, long long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+inline bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0') return false;
+  // strtoull happily wraps "-1" to UINT64_MAX; a negative count is garbage.
+  for (const char* p = s; *p != '\0'; ++p)
+    if (*p == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+inline bool parse_f64(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
 
 inline const char* flag_value(int argc, char** argv, const char* name) {
   const std::size_t len = std::strlen(name);
@@ -19,15 +63,36 @@ inline const char* flag_value(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+[[noreturn]] inline void flag_die(const char* name, const char* value,
+                                  const char* want) {
+  std::fprintf(stderr, "%s: bad value \"%s\" (want %s)\n", name, value, want);
+  std::exit(2);
+}
+
 inline int flag_int(int argc, char** argv, const char* name, int def) {
   const char* v = flag_value(argc, argv, name);
-  return v ? std::atoi(v) : def;
+  if (v == nullptr) return def;
+  long long parsed = 0;
+  if (!parse_i64(v, parsed) || parsed < INT_MIN || parsed > INT_MAX)
+    flag_die(name, v, "an integer");
+  return static_cast<int>(parsed);
 }
 
 inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
                               std::uint64_t def) {
   const char* v = flag_value(argc, argv, name);
-  return v ? static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10)) : def;
+  if (v == nullptr) return def;
+  std::uint64_t parsed = 0;
+  if (!parse_u64(v, parsed)) flag_die(name, v, "a non-negative integer");
+  return parsed;
+}
+
+inline double flag_f64(int argc, char** argv, const char* name, double def) {
+  const char* v = flag_value(argc, argv, name);
+  if (v == nullptr) return def;
+  double parsed = 0.0;
+  if (!parse_f64(v, parsed)) flag_die(name, v, "a number");
+  return parsed;
 }
 
 }  // namespace aoft::util

@@ -1,0 +1,102 @@
+// Transport-aware campaign identity (docs/PROTOCOL.md §10/§11): checkpoints
+// record which backend produced their slots, a cross-transport resume is an
+// identity mismatch (loud StoreStatus, never a silent mix), and the campaign
+// engines refuse non-sim backends outright — their injection-exercised
+// accounting reads interceptor counters that live in the worker's address
+// space, which a forked shm child never shares back.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "fault/campaign.h"
+#include "fault/campaign_store.h"
+#include "util/bitvec.h"
+
+namespace {
+
+using namespace aoft;
+using fault::CampaignConfig;
+using fault::CampaignIdentity;
+using fault::CheckpointData;
+using fault::StoreStatus;
+
+std::string fresh_path(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "aoft_ct_" + std::to_string(getpid()) + "_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+CheckpointData empty_store(const CampaignIdentity& id) {
+  CheckpointData data;
+  data.identity = id;
+  data.done = util::BitVec(fault::identity_total_slots(id));
+  return data;
+}
+
+TEST(CampaignTransport, IdentityRoundTripsTheBackend) {
+  CampaignConfig cfg;
+  EXPECT_EQ(fault::identity_of(cfg).transport, 0) << "sim is transport 0";
+
+  cfg.backend = transport::Backend::kShm;
+  const auto id = fault::identity_of(cfg);
+  EXPECT_EQ(id.transport, 1);
+  EXPECT_EQ(fault::config_of(id).backend, transport::Backend::kShm);
+}
+
+TEST(CampaignTransport, CheckpointPersistsTheTransportByte) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 2;
+  cfg.backend = transport::Backend::kShm;
+  const auto path = fresh_path("ckpt");
+  std::string err;
+  ASSERT_TRUE(fault::save_checkpoint(path, empty_store(fault::identity_of(cfg)),
+                                     &err))
+      << err;
+  CheckpointData loaded;
+  ASSERT_EQ(fault::load_checkpoint(path, &loaded, &err), StoreStatus::kOk)
+      << err;
+  EXPECT_EQ(loaded.identity.transport, 1);
+  EXPECT_EQ(loaded.identity, fault::identity_of(cfg));
+}
+
+TEST(CampaignTransport, CrossTransportIdentitiesAreDifferentCampaigns) {
+  CampaignConfig cfg;
+  const auto sim_id = fault::identity_of(cfg);
+  cfg.backend = transport::Backend::kShm;
+  const auto shm_id = fault::identity_of(cfg);
+  EXPECT_FALSE(sim_id.same_campaign(shm_id))
+      << "a sim checkpoint must never resume an shm campaign";
+}
+
+TEST(CampaignTransport, OutOfRangeTransportByteLoadsAsMalformed) {
+  CampaignConfig cfg;
+  cfg.dim = 3;
+  cfg.runs_per_class = 2;
+  auto id = fault::identity_of(cfg);
+  id.transport = 7;  // no such backend
+  const auto path = fresh_path("bad_transport");
+  std::string err;
+  ASSERT_TRUE(fault::save_checkpoint(path, empty_store(id), &err)) << err;
+  CheckpointData loaded;
+  EXPECT_EQ(fault::load_checkpoint(path, &loaded, &err),
+            StoreStatus::kMalformed);
+}
+
+TEST(CampaignTransport, EnginesRefuseNonSimBackends) {
+  CampaignConfig cfg;
+  cfg.dim = 2;
+  cfg.runs_per_class = 1;
+  cfg.backend = transport::Backend::kShm;
+  EXPECT_THROW(fault::run_campaign(cfg), std::invalid_argument);
+  EXPECT_THROW(fault::run_multi_campaign(cfg, 1), std::invalid_argument);
+  cfg.injection.mode = fault::InjectionMode::kIndependent;
+  cfg.injection.p = 0.5;
+  EXPECT_THROW(fault::run_soak_campaign(cfg), std::invalid_argument);
+}
+
+}  // namespace

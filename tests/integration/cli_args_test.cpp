@@ -1,0 +1,159 @@
+// CLI argument validation, end to end against the real binary: unknown
+// arguments and unparseable values must produce a usage error and exit 1 —
+// never a silently different run — and the new transport surface
+// (--transport/--kill/--node-bin/--emit-run) enforces its documented
+// constraints.  Also proves the --emit-run cross-check contract at the CLI
+// level: the same fault script on sim and shm emits records that agree in
+// everything but the transport label.
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/atomic_file.h"
+
+#ifndef AOFT_CLI_PATH
+#error "build must define AOFT_CLI_PATH (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace aoft;
+
+std::string fresh_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "aoft_cli_" +
+                           std::to_string(getpid()) + "_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// Fork/exec the CLI with the given arguments; returns its exit code
+// (-1 when it died by signal, 127 when exec failed).
+int run_cli(const std::vector<std::string>& extra_args) {
+  std::vector<std::string> args = {AOFT_CLI_PATH};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      dup2(devnull, STDOUT_FILENO);
+      dup2(devnull, STDERR_FILENO);
+      close(devnull);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(AOFT_CLI_PATH, argv.data());
+    _exit(127);
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+obs::json::Value parse_run_file(const std::string& path) {
+  std::string text, err;
+  EXPECT_TRUE(util::read_file(path, &text, &err)) << path << ": " << err;
+  auto parsed = obs::json::parse(text, &err);
+  EXPECT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(parsed->is_object());
+  return *parsed;
+}
+
+TEST(CliArgs, UnknownArgumentIsAUsageError) {
+  EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--verbose"}), 1);
+  EXPECT_EQ(run_cli({"--frobnicate"}), 1);
+}
+
+TEST(CliArgs, GarbageNumericValuesAreUsageErrors) {
+  EXPECT_EQ(run_cli({"--dim=four"}), 1);
+  EXPECT_EQ(run_cli({"--dim=4x"}), 1);
+  EXPECT_EQ(run_cli({"--block=2.5"}), 1);
+  EXPECT_EQ(run_cli({"--seed=-1"}), 1);
+  EXPECT_EQ(run_cli({"--campaign", "--runs=ten"}), 1);
+  EXPECT_EQ(run_cli({"--campaign", "--jobs=all"}), 1);
+  EXPECT_EQ(run_cli({"--campaign", "--mode=independent:lots"}), 1);
+}
+
+TEST(CliArgs, TransportSurfaceValidation) {
+  EXPECT_EQ(run_cli({"--transport=tcp"}), 1);
+  EXPECT_EQ(run_cli({"--transport=shm", "--algo=host", "--dim=2"}), 1);
+  EXPECT_EQ(run_cli({"--transport=shm", "--campaign"}), 1);
+  EXPECT_EQ(run_cli({"--transport=shm", "--dim=9"}), 1);
+  EXPECT_EQ(run_cli({"--node-bin=/bin/true", "--dim=2"}), 1)
+      << "--node-bin without --transport=shm";
+  EXPECT_EQ(run_cli({"--transport=shm", "--dim=2", "--timeout=soon"}), 1);
+  EXPECT_EQ(run_cli({"--kill=1@1:0", "--halt=1@1:0", "--dim=2"}), 1)
+      << "--kill and --halt are mutually exclusive";
+}
+
+TEST(CliArgs, CleanRunsStillExitZero) {
+  EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--quiet"}), 0);
+  EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--transport=shm", "--quiet"}),
+            0);
+}
+
+TEST(CliArgs, EmitRunWritesACanonicalRecord) {
+  const auto path = fresh_path("run.json");
+  ASSERT_EQ(run_cli({"--algo=sft", "--dim=2", "--block=2", "--seed=9",
+                     "--halt=1@1:0", "--quiet", "--emit-run=" + path}),
+            2)
+      << "a halt script is a fail-stop (exit 2)";
+  const auto v = parse_run_file(path);
+  const auto& o = v.object();
+  std::string s;
+  ASSERT_TRUE(obs::json::get_str(o, "schema", s));
+  EXPECT_EQ(s, "aoft-run-v1");
+  ASSERT_TRUE(obs::json::get_str(o, "transport", s));
+  EXPECT_EQ(s, "sim");
+  ASSERT_TRUE(obs::json::get_str(o, "outcome", s));
+  EXPECT_EQ(s, "fail-stop");
+  ASSERT_TRUE(obs::json::get_str(o, "output_fnv", s));
+  EXPECT_EQ(s.rfind("0x", 0), 0u);
+  const auto errs = o.find("errors");
+  ASSERT_NE(errs, o.end());
+  ASSERT_TRUE(errs->second.is_array());
+  EXPECT_FALSE(errs->second.array().empty());
+}
+
+TEST(CliArgs, SimAndShmEmitRunsAgree) {
+  const auto sim_path = fresh_path("sim.json");
+  const auto shm_path = fresh_path("shm.json");
+  const std::vector<std::string> script = {"--algo=sft", "--dim=2",
+                                           "--block=2", "--seed=5",
+                                           "--halt=1@1:0", "--quiet"};
+  auto with = [&](const std::vector<std::string>& extra) {
+    auto args = script;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  ASSERT_EQ(run_cli(with({"--emit-run=" + sim_path})), 2);
+  ASSERT_EQ(run_cli(with({"--transport=shm", "--emit-run=" + shm_path})), 2);
+
+  const auto sim_v = parse_run_file(sim_path);
+  const auto shm_v = parse_run_file(shm_path);
+  const auto& a = sim_v.object();
+  const auto& b = shm_v.object();
+  for (const char* key : {"outcome", "algo", "output_fnv"}) {
+    std::string sa, sb;
+    ASSERT_TRUE(obs::json::get_str(a, key, sa)) << key;
+    ASSERT_TRUE(obs::json::get_str(b, key, sb)) << key;
+    EXPECT_EQ(sa, sb) << key;
+  }
+  std::string ta, tb;
+  ASSERT_TRUE(obs::json::get_str(a, "transport", ta));
+  ASSERT_TRUE(obs::json::get_str(b, "transport", tb));
+  EXPECT_EQ(ta, "sim");
+  EXPECT_EQ(tb, "shm");
+}
+
+}  // namespace

@@ -39,7 +39,12 @@ TracedRun traced_sft(int dim, std::span<const Key> input, SftOptions opts) {
     out.run = run_sft(dim, input, opts);
   }
   std::ostringstream os;
-  obs::write_jsonl(os, obs::TraceMeta{dim, opts.block, 0, "test"}, tracer);
+  obs::TraceMeta meta;
+  meta.dim = dim;
+  meta.block = opts.block;
+  meta.seed = 0;
+  meta.mode = "test";
+  obs::write_jsonl(os, meta, tracer);
   out.trace = os.str();
   return out;
 }

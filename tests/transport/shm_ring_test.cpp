@@ -1,0 +1,118 @@
+#include "transport/shm_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace aoft::transport {
+namespace {
+
+struct RingFixture : ::testing::Test {
+  static constexpr std::uint64_t kCap = 256;  // power of two
+  ShmRingHdr hdr;
+  std::vector<unsigned char> buf = std::vector<unsigned char>(kCap);
+  ShmRing ring{&hdr, buf.data(), kCap};
+
+  void SetUp() override { ShmRing::init(&hdr); }
+};
+
+TEST_F(RingFixture, StartsEmpty) {
+  EXPECT_TRUE(ring.empty());
+  std::vector<unsigned char> out;
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST_F(RingFixture, RoundTripsOneRecord) {
+  const char payload[] = "hello rings";
+  ASSERT_TRUE(ring.try_push(payload, sizeof payload));
+  EXPECT_FALSE(ring.empty());
+  std::vector<unsigned char> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_EQ(out.size(), sizeof payload);
+  EXPECT_EQ(std::memcmp(out.data(), payload, sizeof payload), 0);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST_F(RingFixture, PreservesFifoOrder) {
+  for (std::uint32_t v = 0; v < 10; ++v)
+    ASSERT_TRUE(ring.try_push(&v, sizeof v));
+  std::vector<unsigned char> out;
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    ASSERT_TRUE(ring.try_pop(out));
+    std::uint32_t got = 0;
+    ASSERT_EQ(out.size(), sizeof got);
+    std::memcpy(&got, out.data(), sizeof got);
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST_F(RingFixture, RejectsWhenFull) {
+  // Each record costs 4 (length) + 60 bytes; four fit in 256, a fifth not.
+  const std::vector<unsigned char> rec(60, 0xAB);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(ring.try_push(rec.data(), rec.size()));
+  EXPECT_FALSE(ring.try_push(rec.data(), rec.size()));
+  // Draining one record makes room again.
+  std::vector<unsigned char> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(rec.data(), rec.size()));
+}
+
+TEST_F(RingFixture, WrapsAroundTheBufferEnd) {
+  // Advance the cursors to just short of the boundary, then push a record
+  // that must split across it.
+  const std::vector<unsigned char> filler(100, 0x11);
+  std::vector<unsigned char> out;
+  ASSERT_TRUE(ring.try_push(filler.data(), filler.size()));
+  ASSERT_TRUE(ring.try_push(filler.data(), filler.size()));
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_pop(out));  // cursors now at 208 of 256
+  std::vector<unsigned char> rec(90);
+  std::iota(rec.begin(), rec.end(), 0);
+  ASSERT_TRUE(ring.try_push(rec.data(), rec.size()));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, rec);
+}
+
+TEST(ShmRingStress, SpscThreadsSeeEveryRecordInOrder) {
+  constexpr std::uint64_t kCap = 1024;
+  constexpr std::uint32_t kRecords = 200000;
+  ShmRingHdr hdr;
+  ShmRing::init(&hdr);
+  std::vector<unsigned char> buf(kCap);
+  ShmRing producer(&hdr, buf.data(), kCap);
+  ShmRing consumer(&hdr, buf.data(), kCap);
+
+  std::thread prod([&] {
+    for (std::uint32_t v = 0; v < kRecords;) {
+      // Variable record sizes exercise wrap at many alignments.
+      unsigned char rec[32];
+      const std::uint32_t len = 4 + (v % 24);
+      std::memcpy(rec, &v, 4);
+      for (std::uint32_t i = 4; i < len; ++i)
+        rec[i] = static_cast<unsigned char>(v + i);
+      if (producer.try_push(rec, len)) ++v;
+    }
+  });
+
+  std::vector<unsigned char> out;
+  for (std::uint32_t expect = 0; expect < kRecords;) {
+    if (!consumer.try_pop(out)) continue;
+    std::uint32_t got = 0;
+    ASSERT_GE(out.size(), 4u);
+    std::memcpy(&got, out.data(), 4);
+    ASSERT_EQ(got, expect);
+    ASSERT_EQ(out.size(), 4 + (expect % 24));
+    for (std::uint32_t i = 4; i < out.size(); ++i)
+      ASSERT_EQ(out[i], static_cast<unsigned char>(expect + i));
+    ++expect;
+  }
+  prod.join();
+  EXPECT_TRUE(consumer.empty());
+}
+
+}  // namespace
+}  // namespace aoft::transport

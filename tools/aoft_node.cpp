@@ -1,0 +1,47 @@
+// aoft_node — per-node launcher for the shared-memory transport's exec mode.
+//
+//   aoft_node --segment=/aoft-<pid>-<seq> --node=P
+//
+// The parent (aoft_sort_cli --transport=shm --node-bin=..., or any caller
+// setting ShmOptions::node_binary) creates the segment and exec's one of
+// these per hypercube node.  The launcher re-opens the segment by name,
+// reconstructs the node program's options from the segment header — exec'd
+// children inherit nothing — and runs exactly the node body a forked child
+// would (sort/sft.cpp, sort/snr.cpp).  Exit status: 0 = slot published
+// (kDone, or a protocol-detected fail-stop), 1 = harness failure (kFailed,
+// reason in the slot), 2 = usage/attach error before the slot was claimed.
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "sort/sft.h"
+#include "sort/snr.h"
+#include "transport/shm_segment.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  const char* segment = aoft::util::flag_value(argc, argv, "--segment");
+  const char* node_str = aoft::util::flag_value(argc, argv, "--node");
+  long long node = -1;
+  if (segment == nullptr || node_str == nullptr ||
+      !aoft::util::parse_i64(node_str, node) || node < 0) {
+    std::fprintf(stderr, "usage: %s --segment=NAME --node=P\n", argv[0]);
+    return 2;
+  }
+  try {
+    auto seg = aoft::transport::ShmSegment::attach(segment);
+    if (node >= static_cast<long long>(seg.num_nodes())) {
+      std::fprintf(stderr, "%s: node %lld outside the %u-node cube\n", argv[0],
+                   node, seg.num_nodes());
+      return 2;
+    }
+    const auto p = static_cast<aoft::cube::NodeId>(node);
+    return seg.header().algo == 0 ? aoft::sort::detail::run_sft_shm_node(seg, p)
+                                  : aoft::sort::detail::run_snr_shm_node(seg, p);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+}

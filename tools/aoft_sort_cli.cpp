@@ -9,9 +9,24 @@
 //   aoft_sort_cli --algo=sft --dim=4 --two-faced=2@2:0 --diagnose
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --recover=ladder
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --transient --recover=rollback
+//   aoft_sort_cli --algo=sft --dim=3 --transport=shm
+//   aoft_sort_cli --algo=sft --dim=3 --transport=shm --kill=2@1:0 --recover=ladder
 //   aoft_sort_cli --campaign --dim=4 --runs=40 --jobs=0 --seed=1989
 //   aoft_sort_cli --campaign --multi=3 --jobs=2
 //   aoft_sort_cli --campaign --jobs=0 --pin=compact
+//
+// --transport picks the fabric (docs/PROTOCOL.md §11): sim (default) is the
+// deterministic in-process simulator, shm runs one OS process per node over
+// shared-memory rings (sft/snr only, dim <= 8, no --campaign).  --node-bin
+// spawns nodes by exec'ing tools/aoft_node instead of forking; --timeout
+// overrides the shm watchdog's receive timeout.  --kill=node@stage:iter
+// escalates a halt fault to real process death (SIGKILL under shm, graceful
+// halt under sim — identical fail-stop verdicts either way, which is the
+// oracle contract).  --emit-run writes a canonical aoft-run-v1 JSON record
+// of the run (parameters, outcome, sorted error tuples, output checksum);
+// bench_check --cross-check compares two of them across transports.
+// --trace-links writes the run's per-message link events as a canonically
+// sorted JSONL trace for trace_inspect --diff.
 //
 // Prints the outcome, timing summary and (with --diagnose) the host-side
 // fault localization.  With --recover the run goes through the recovery
@@ -43,15 +58,19 @@
 //   Theorem 3 gate then applies to silent-wrongs within the <= n-1 bound.
 //   --multi sweeps are never checkpointed — they rerun on resume.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <tuple>
 
 #include "fault/adversary.h"
 #include "obs/sink.h"
+#include "obs/json.h"
 #include "obs/trace_io.h"
 #include "fault/campaign.h"
 #include "fault/campaign_store.h"
@@ -60,6 +79,10 @@
 #include "sort/sequential.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
+#include "transport/backend.h"
+#include "transport/shm_segment.h"
+#include "util/atomic_file.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/topology.h"
@@ -96,8 +119,15 @@ struct Args {
   int checkpoint_every = 1;    // --checkpoint-every=N
   int stop_after = 0;          // --stop-after=N (kill-point simulation)
   fault::InjectionPolicy injection;  // --mode=scripted|independent:P|runlength:K
+  // transport (docs/PROTOCOL.md §11)
+  transport::Backend backend = transport::Backend::kSim;
+  std::string node_bin;      // --node-bin=PATH (shm exec mode)
+  double shm_timeout = 0.0;  // --timeout=SECONDS (shm watchdog; 0 = default)
+  std::string emit_run;      // --emit-run=PATH (aoft-run-v1 record)
+  std::string trace_links;   // --trace-links=PATH (canonical kLink trace)
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
+  bool has_kill = false;  // --kill: halt escalated to process death
   cube::NodeId fault_node = 0;
   fault::StagePoint fault_point{};
 };
@@ -111,6 +141,29 @@ bool parse_point(const char* s, cube::NodeId& node, fault::StagePoint& p) {
   return true;
 }
 
+// Checked numeric flag values (util/flags.h): the old atoi parsing silently
+// turned "--dim=four" into 0 and "--seed=1e9" into 1 — every typo became a
+// different, valid-looking run.  Any unparseable value now prints the flag
+// and falls through to the usage error (exit 1).
+bool checked_int(const char* flag, const char* v, int& out) {
+  long long n = 0;
+  if (!util::parse_i64(v, n) || n < INT_MIN || n > INT_MAX) {
+    std::fprintf(stderr, "%s: bad value \"%s\" (want an integer)\n", flag, v);
+    return false;
+  }
+  out = static_cast<int>(n);
+  return true;
+}
+
+bool checked_u64(const char* flag, const char* v, std::uint64_t& out) {
+  if (!util::parse_u64(v, out)) {
+    std::fprintf(stderr, "%s: bad value \"%s\" (want a non-negative integer)\n",
+                 flag, v);
+    return false;
+  }
+  return true;
+}
+
 bool parse(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -121,11 +174,13 @@ bool parse(int argc, char** argv, Args& args) {
     if (a.rfind("--algo=", 0) == 0) {
       args.algo = value("--algo=");
     } else if (a.rfind("--dim=", 0) == 0) {
-      args.dim = std::atoi(value("--dim="));
+      if (!checked_int("--dim", value("--dim="), args.dim)) return false;
     } else if (a.rfind("--block=", 0) == 0) {
-      args.block = static_cast<std::size_t>(std::atoll(value("--block=")));
+      std::uint64_t block = 0;
+      if (!checked_u64("--block", value("--block="), block)) return false;
+      args.block = static_cast<std::size_t>(block);
     } else if (a.rfind("--seed=", 0) == 0) {
-      args.seed = static_cast<std::uint64_t>(std::atoll(value("--seed=")));
+      if (!checked_u64("--seed", value("--seed="), args.seed)) return false;
     } else if (a.rfind("--halt=", 0) == 0) {
       args.has_halt = parse_point(value("--halt="), args.fault_node, args.fault_point);
       if (!args.has_halt) return false;
@@ -137,6 +192,40 @@ bool parse(int argc, char** argv, Args& args) {
       args.has_two_faced =
           parse_point(value("--two-faced="), args.fault_node, args.fault_point);
       if (!args.has_two_faced) return false;
+    } else if (a.rfind("--kill=", 0) == 0) {
+      args.has_kill =
+          parse_point(value("--kill="), args.fault_node, args.fault_point);
+      if (!args.has_kill) return false;
+    } else if (a.rfind("--transport=", 0) == 0) {
+      if (!transport::parse_backend(value("--transport="), args.backend)) {
+        std::fprintf(stderr, "--transport must be sim|shm\n");
+        return false;
+      }
+    } else if (a.rfind("--node-bin=", 0) == 0) {
+      args.node_bin = value("--node-bin=");
+      if (args.node_bin.empty()) {
+        std::fprintf(stderr, "--node-bin requires a path\n");
+        return false;
+      }
+    } else if (a.rfind("--timeout=", 0) == 0) {
+      if (!util::parse_f64(value("--timeout="), args.shm_timeout) ||
+          args.shm_timeout <= 0) {
+        std::fprintf(stderr, "--timeout: bad value \"%s\" (want seconds > 0)\n",
+                     value("--timeout="));
+        return false;
+      }
+    } else if (a.rfind("--emit-run=", 0) == 0) {
+      args.emit_run = value("--emit-run=");
+      if (args.emit_run.empty()) {
+        std::fprintf(stderr, "--emit-run requires a path\n");
+        return false;
+      }
+    } else if (a.rfind("--trace-links=", 0) == 0) {
+      args.trace_links = value("--trace-links=");
+      if (args.trace_links.empty()) {
+        std::fprintf(stderr, "--trace-links requires a path\n");
+        return false;
+      }
     } else if (a.rfind("--recover=", 0) == 0) {
       args.recover = value("--recover=");
     } else if (a.rfind("--trace=", 0) == 0) {
@@ -148,11 +237,12 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (a == "--campaign") {
       args.campaign = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
-      args.jobs = std::atoi(value("--jobs="));
+      if (!checked_int("--jobs", value("--jobs="), args.jobs)) return false;
     } else if (a.rfind("--runs=", 0) == 0) {
-      args.runs = std::atoi(value("--runs="));
+      if (!checked_int("--runs", value("--runs="), args.runs)) return false;
     } else if (a.rfind("--multi=", 0) == 0) {
-      args.multi_k = std::atoi(value("--multi="));
+      if (!checked_int("--multi", value("--multi="), args.multi_k))
+        return false;
     } else if (a.rfind("--checkpoint=", 0) == 0) {
       args.checkpoint = value("--checkpoint=");
       if (args.checkpoint.empty()) {
@@ -184,13 +274,17 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
     } else if (a.rfind("--checkpoint-every=", 0) == 0) {
-      args.checkpoint_every = std::atoi(value("--checkpoint-every="));
+      if (!checked_int("--checkpoint-every", value("--checkpoint-every="),
+                       args.checkpoint_every))
+        return false;
       if (args.checkpoint_every < 1) {
         std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
         return false;
       }
     } else if (a.rfind("--stop-after=", 0) == 0) {
-      args.stop_after = std::atoi(value("--stop-after="));
+      if (!checked_int("--stop-after", value("--stop-after="),
+                       args.stop_after))
+        return false;
       if (args.stop_after < 1) {
         std::fprintf(stderr, "--stop-after must be >= 1\n");
         return false;
@@ -201,14 +295,14 @@ bool parse(int argc, char** argv, Args& args) {
         args.injection.mode = fault::InjectionMode::kScripted;
       } else if (mode.rfind("independent:", 0) == 0) {
         args.injection.mode = fault::InjectionMode::kIndependent;
-        args.injection.p = std::atof(mode.c_str() + 12);
-        if (!(args.injection.p > 0.0 && args.injection.p <= 1.0)) {
+        if (!util::parse_f64(mode.c_str() + 12, args.injection.p) ||
+            !(args.injection.p > 0.0 && args.injection.p <= 1.0)) {
           std::fprintf(stderr, "--mode=independent:P needs 0 < P <= 1\n");
           return false;
         }
       } else if (mode.rfind("runlength:", 0) == 0) {
-        const long long k = std::atoll(mode.c_str() + 10);
-        if (k < 1) {
+        long long k = 0;
+        if (!util::parse_i64(mode.c_str() + 10, k) || k < 1) {
           std::fprintf(stderr, "--mode=runlength:K needs K >= 1\n");
           return false;
         }
@@ -293,6 +387,47 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--multi requires --mode=scripted\n");
     return false;
   }
+  const bool shm = args.backend == transport::Backend::kShm;
+  if (shm) {
+    if (args.campaign) {
+      std::fprintf(stderr, "--transport=shm does not support --campaign "
+                           "(campaigns run on the in-process simulator)\n");
+      return false;
+    }
+    if (args.algo != "sft" && args.algo != "snr") {
+      std::fprintf(stderr, "--transport=shm requires --algo=sft|snr\n");
+      return false;
+    }
+    if (args.dim > transport::kMaxShmDim) {
+      std::fprintf(stderr, "--transport=shm supports --dim up to %d\n",
+                   transport::kMaxShmDim);
+      return false;
+    }
+    if (args.has_two_faced && !args.node_bin.empty()) {
+      std::fprintf(stderr, "--two-faced needs the in-process interceptor: "
+                           "use fork mode (drop --node-bin) or "
+                           "--transport=sim\n");
+      return false;
+    }
+  } else if (!args.node_bin.empty() || args.shm_timeout > 0) {
+    std::fprintf(stderr, "--node-bin/--timeout require --transport=shm\n");
+    return false;
+  }
+  if (args.has_kill && args.has_halt) {
+    std::fprintf(stderr, "--kill already escalates --halt; give only one\n");
+    return false;
+  }
+  if (!args.trace_links.empty() &&
+      (args.algo != "sft" || args.campaign || args.recover != "off")) {
+    std::fprintf(stderr,
+                 "--trace-links requires a single (non-campaign, "
+                 "non-recover) --algo=sft run\n");
+    return false;
+  }
+  if (!args.emit_run.empty() && args.campaign) {
+    std::fprintf(stderr, "--emit-run requires a single or supervised run\n");
+    return false;
+  }
   return true;
 }
 
@@ -316,6 +451,103 @@ bool finish_trace(const Args& args, const char* mode,
     std::printf("trace: %zu events -> %s\n", tracer.size(),
                 args.trace.c_str());
     std::fputs(obs::format_metrics(metrics).c_str(), stdout);
+  }
+  return true;
+}
+
+// Write the canonical aoft-run-v1 record (--emit-run): run parameters,
+// outcome, error tuples sorted by (node, stage, iter, source), and — unless
+// the script killed a node, whose block is then intentionally unwritten — an
+// fnv1a64 checksum of the output keys.  bench_check --cross-check compares
+// two of these across transports; everything but "transport" must match.
+bool emit_run_file(const Args& args, const sort::SortRun& run,
+                   sort::Outcome outcome, int attempts, bool recovered) {
+  if (args.emit_run.empty()) return true;
+  auto errs = run.errors;
+  std::sort(errs.begin(), errs.end(), [](const auto& x, const auto& y) {
+    return std::tuple(x.node, x.stage, x.iter,
+                      std::string_view(sim::to_string(x.source))) <
+           std::tuple(y.node, y.stage, y.iter,
+                      std::string_view(sim::to_string(y.source)));
+  });
+  std::string j = "{\"schema\":\"aoft-run-v1\"";
+  j += ",\"transport\":";
+  j += obs::json::escape(transport::to_string(args.backend));
+  j += ",\"algo\":" + obs::json::escape(args.algo);
+  j += ",\"dim\":" + std::to_string(args.dim);
+  j += ",\"block\":" + std::to_string(args.block);
+  j += ",\"seed\":" + std::to_string(args.seed);
+  j += ",\"outcome\":" + obs::json::escape(sort::to_string(outcome));
+  j += ",\"attempts\":" + std::to_string(attempts);
+  j += ",\"recovered\":";
+  j += recovered ? "true" : "false";
+  j += ",\"errors\":[";
+  for (std::size_t i = 0; i < errs.size(); ++i) {
+    if (i > 0) j += ",";
+    j += "{\"node\":" + std::to_string(errs[i].node);
+    j += ",\"stage\":" + std::to_string(errs[i].stage);
+    j += ",\"iter\":" + std::to_string(errs[i].iter);
+    j += ",\"source\":" + obs::json::escape(sim::to_string(errs[i].source));
+    j += "}";
+  }
+  j += "]";
+  if (!args.has_kill) {
+    char fnv[32];
+    std::snprintf(fnv, sizeof(fnv), "0x%016llx",
+                  static_cast<unsigned long long>(util::fnv1a64(
+                      run.output.data(),
+                      run.output.size() * sizeof(sort::Key))));
+    j += ",\"output_fnv\":\"";
+    j += fnv;
+    j += "\"";
+  }
+  j += "}\n";
+  std::string err;
+  if (!util::write_file_atomic(args.emit_run, j, &err)) {
+    std::fprintf(stderr, "emit-run: %s\n", err.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Write the run's link events as a canonically sorted kLink trace
+// (--trace-links).  Both transports record sender-side events; sorting by
+// (stage, iter, from, to, to_host, from_host, kind, words, delivered) makes
+// the file a pure function of the message multiset, so trace_inspect --diff
+// compares sim and shm traces directly.
+bool emit_link_trace(const Args& args, const sort::SortRun& run) {
+  if (args.trace_links.empty()) return true;
+  auto evs = run.link_events;
+  auto key = [](const sim::LinkEvent& e) {
+    return std::tuple(e.stage, e.iter, e.from, e.to, e.to_host, e.from_host,
+                      static_cast<int>(e.kind), e.words, e.delivered);
+  };
+  std::sort(evs.begin(), evs.end(),
+            [&](const auto& x, const auto& y) { return key(x) < key(y); });
+  obs::Tracer t;
+  for (const auto& e : evs) {
+    const std::int64_t b = (static_cast<std::int64_t>(e.words) << 16) |
+                           (static_cast<std::int64_t>(e.kind) << 8) |
+                           (std::int64_t{e.delivered} << 2) |
+                           (std::int64_t{e.to_host} << 1) |
+                           std::int64_t{e.from_host};
+    t.instant(obs::Ev::kLink,
+              e.from_host ? obs::kHostNode
+                          : static_cast<std::int32_t>(e.from),
+              e.stage, e.iter, 0.0,
+              e.to_host ? obs::kHostNode : static_cast<std::int64_t>(e.to),
+              b);
+  }
+  obs::TraceMeta meta;
+  meta.dim = args.dim;
+  meta.block = args.block;
+  meta.seed = args.seed;
+  meta.mode = "links";
+  meta.transport = transport::to_string(args.backend);
+  std::string err;
+  if (!obs::write_trace_file(args.trace_links, meta, t, &err)) {
+    std::fprintf(stderr, "trace-links: %s\n", err.c_str());
+    return false;
   }
   return true;
 }
@@ -461,6 +693,9 @@ int main(int argc, char** argv) {
                  "usage: %s [--algo=sft|snr|host|host-verified] [--dim=N]\n"
                  "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
                  "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
+                 "          [--kill=node@stage:iter] [--transport=sim|shm]\n"
+                 "          [--node-bin=PATH] [--timeout=SECONDS]\n"
+                 "          [--emit-run=PATH] [--trace-links=PATH]\n"
                  "          [--recover=off|restart|rollback|ladder] [--transient]\n"
                  "          [--diagnose] [--quiet] [--trace=PATH]\n"
                  "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
@@ -497,6 +732,10 @@ int main(int argc, char** argv) {
 
   fault::NodeFaultMap node_faults;
   if (args.has_halt) node_faults[args.fault_node].halt_at = args.fault_point;
+  if (args.has_kill) {
+    node_faults[args.fault_node].halt_at = args.fault_point;
+    node_faults[args.fault_node].kill_process = true;
+  }
   if (args.has_invert)
     node_faults[args.fault_node].invert_direction_from = args.fault_point;
   fault::Adversary adversary;
@@ -506,9 +745,22 @@ int main(int argc, char** argv) {
         args.block, [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
   sim::LinkInterceptor* interceptor = args.has_two_faced ? &adversary : nullptr;
 
+  // Shm knobs shared by every path that builds sort options.
+  auto apply_shm = [&](transport::Backend& backend,
+                       transport::ShmOptions& shm) {
+    backend = args.backend;
+    shm.node_binary = args.node_bin;
+    if (args.shm_timeout > 0) {
+      shm.recv_timeout_s = args.shm_timeout;
+      shm.run_deadline_s = std::max(args.shm_timeout * 8.0,
+                                    shm.run_deadline_s);
+    }
+  };
+
   if (args.recover != "off") {
     sort::SftOptions base;
     base.block = args.block;
+    apply_shm(base.backend, base.shm);
     const auto run = fault::run_supervised_sort(
         args.dim, input, base, recovery_policy(args.recover),
         [&](int attempt) -> sim::LinkInterceptor* {
@@ -549,6 +801,8 @@ int main(int argc, char** argv) {
                   run.total_ticks);
     }
     if (!finish_trace(args, "supervised", tracer, metrics)) return 1;
+    if (!emit_run_file(args, run.last, outcome, run.attempts, run.recovered))
+      return 1;
     switch (outcome) {
       case sort::Outcome::kCorrect: return 0;
       case sort::Outcome::kFailStop: return 2;
@@ -563,12 +817,15 @@ int main(int argc, char** argv) {
     opts.block = args.block;
     opts.node_faults = node_faults;
     opts.interceptor = interceptor;
+    opts.record_link_events = !args.trace_links.empty();
+    apply_shm(opts.backend, opts.shm);
     run = sort::run_sft(args.dim, input, opts);
   } else if (args.algo == "snr") {
     sort::SnrOptions opts;
     opts.block = args.block;
     opts.node_faults = node_faults;
     opts.interceptor = interceptor;
+    apply_shm(opts.backend, opts.shm);
     run = sort::run_snr(args.dim, input, opts);
   } else if (args.algo == "host") {
     sort::HostSortOptions opts;
@@ -603,6 +860,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!finish_trace(args, "single", tracer, metrics)) return 1;
+  if (!emit_run_file(args, run, outcome, 1, false)) return 1;
+  if (!emit_link_trace(args, run)) return 1;
   switch (outcome) {
     case sort::Outcome::kCorrect: return 0;
     case sort::Outcome::kFailStop: return 2;

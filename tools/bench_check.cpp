@@ -1,8 +1,17 @@
 // bench_check — CI perf gate over BENCH_campaign.json and the campaign
-// durability artifacts.
+// durability artifacts, plus the transport oracle cross-check.
 //
 //   bench_check FRESH.json REFERENCE.json [--min-pooling-speedup=F]
 //              [--stream=SLOTS.jsonl] [--merge-summary=MERGED.json]
+//   bench_check --cross-check SIM_RUN.json SHM_RUN.json
+//
+// --cross-check compares two aoft-run-v1 records (aoft_sort_cli
+// --emit-run=...) from the *same* fault script on different transports: the
+// run parameters, outcome, canonical error tuples, output checksum (when
+// both runs carry one — kill scripts intentionally omit it), and recovery
+// summary must all agree.  The "transport" field is the one key allowed to
+// differ; anything else failing is a backend divergence, which Theorem 3's
+// oracle contract (docs/PROTOCOL.md §11) forbids.
 //
 // --stream validates a campaign slot stream (aoft_sort_cli --stream=...):
 // a schema header line plus one structurally sound record per slot, global
@@ -44,6 +53,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -306,6 +316,111 @@ void check_merge_summary(const std::string& path) {
     std::printf("merge-summary %s: OK\n", path.c_str());
 }
 
+// ---- transport oracle cross-check ------------------------------------------
+
+// Load an aoft-run-v1 record; false (with failures recorded) when unusable.
+bool load_run(const char* label, const std::string& path, json::Value* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(label, "cannot open " + path);
+    return false;
+  }
+  std::string err;
+  auto parsed = json::parse(text, &err);
+  if (!parsed || !parsed->is_object()) {
+    fail(label, path + ": " + (parsed ? "top level is not an object" : err));
+    return false;
+  }
+  std::string schema;
+  if (!json::get_str(parsed->object(), "schema", schema) ||
+      schema != "aoft-run-v1") {
+    fail(label, path + ": schema is not \"aoft-run-v1\"");
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+// One canonical error tuple as "(node,stage,iter,source)" for diagnostics.
+std::string error_tuple(const json::Object& e) {
+  double node = -1, stage = -1, iter = -1;
+  std::string source;
+  json::get_num(e, "node", node);
+  json::get_num(e, "stage", stage);
+  json::get_num(e, "iter", iter);
+  json::get_str(e, "source", source);
+  return "(" + std::to_string(static_cast<long long>(node)) + "," +
+         std::to_string(static_cast<long long>(stage)) + "," +
+         std::to_string(static_cast<long long>(iter)) + "," + source + ")";
+}
+
+// Compare two aoft-run-v1 records from the same fault script on different
+// transports.  Everything but "transport" must agree.
+void check_cross(const std::string& path_a, const std::string& path_b) {
+  const char* label = "cross-check";
+  json::Value va, vb;
+  if (!load_run(label, path_a, &va) || !load_run(label, path_b, &vb)) return;
+  const auto& a = va.object();
+  const auto& b = vb.object();
+
+  for (const char* key : {"dim", "block", "seed", "attempts"}) {
+    double na = -1, nb = -1;
+    const bool ha = json::get_num(a, key, na);
+    const bool hb = json::get_num(b, key, nb);
+    if (ha != hb || na != nb)
+      fail(label, "\"" + std::string(key) + "\" differs: " +
+                      std::to_string(na) + " vs " + std::to_string(nb));
+  }
+  for (const char* key : {"algo", "outcome", "output_fnv"}) {
+    std::string sa, sb;
+    const bool ha = json::get_str(a, key, sa);
+    const bool hb = json::get_str(b, key, sb);
+    if (ha != hb)
+      fail(label, "\"" + std::string(key) + "\" present in only one run");
+    else if (sa != sb)
+      fail(label, "\"" + std::string(key) + "\" differs: \"" + sa +
+                      "\" vs \"" + sb + "\"");
+  }
+  bool ra = false, rb = false;
+  if (json::get_bool(a, "recovered", ra) != json::get_bool(b, "recovered", rb)
+      || ra != rb)
+    fail(label, "\"recovered\" differs");
+
+  const auto ea = a.find("errors");
+  const auto eb = b.find("errors");
+  if (ea == a.end() || eb == b.end() || !ea->second.is_array() ||
+      !eb->second.is_array()) {
+    fail(label, "missing \"errors\" array");
+  } else {
+    const auto& arr_a = ea->second.array();
+    const auto& arr_b = eb->second.array();
+    if (arr_a.size() != arr_b.size()) {
+      fail(label,
+           "error counts differ: " + std::to_string(arr_a.size()) + " vs " +
+               std::to_string(arr_b.size()));
+    } else {
+      for (std::size_t i = 0; i < arr_a.size(); ++i) {
+        if (!arr_a[i].is_object() || !arr_b[i].is_object()) {
+          fail(label, "malformed errors entry " + std::to_string(i));
+          break;
+        }
+        const std::string ta = error_tuple(arr_a[i].object());
+        const std::string tb = error_tuple(arr_b[i].object());
+        if (ta != tb)
+          fail(label, "error tuple " + std::to_string(i) + " differs: " + ta +
+                          " vs " + tb);
+      }
+    }
+  }
+
+  std::string trans_a = "?", trans_b = "?";
+  json::get_str(a, "transport", trans_a);
+  json::get_str(b, "transport", trans_b);
+  if (failures == 0)
+    std::printf("cross-check: OK (%s [%s] == %s [%s])\n", path_a.c_str(),
+                trans_a.c_str(), path_b.c_str(), trans_b.c_str());
+}
+
 void info_diff(const json::Object& fresh, const json::Object& ref,
                const char* key) {
   double a = 0, b = 0;
@@ -322,11 +437,19 @@ int main(int argc, char** argv) {
   double min_pooling = 1.0;
   std::vector<std::string> stream_paths;
   std::vector<std::string> merge_paths;
+  bool cross_check = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--min-pooling-speedup=", 22) == 0) {
-      min_pooling = std::atof(a + 22);
+      if (!aoft::util::parse_f64(a + 22, min_pooling)) {
+        std::fprintf(stderr, "--min-pooling-speedup: bad value \"%s\"\n",
+                     a + 22);
+        usage_error = true;
+        break;
+      }
+    } else if (std::strcmp(a, "--cross-check") == 0) {
+      cross_check = true;
     } else if (std::strncmp(a, "--stream=", 9) == 0) {
       stream_paths.push_back(a + 9);
     } else if (std::strncmp(a, "--merge-summary=", 16) == 0) {
@@ -352,8 +475,16 @@ int main(int argc, char** argv) {
                  "usage: %s FRESH.json REFERENCE.json "
                  "[--min-pooling-speedup=F]\n"
                  "       [--stream=SLOTS.jsonl]... "
-                 "[--merge-summary=MERGED.json]...\n",
-                 argv[0]);
+                 "[--merge-summary=MERGED.json]...\n"
+                 "       %s --cross-check SIM_RUN.json SHM_RUN.json\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  if (cross_check) {
+    check_cross(fresh_path, ref_path);
+    if (failures == 0) return 0;
+    std::fprintf(stderr, "bench_check: %d failure(s)\n", failures);
     return 1;
   }
 

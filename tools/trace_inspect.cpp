@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "obs/trace_io.h"
 
@@ -67,9 +68,24 @@ bool is_placement_line(const std::string& line) {
 }
 
 // The JSONL header declares the total event count, which includes the
-// skipped placement events — mask it out of the comparison too.
+// skipped placement events — mask it out of the comparison too.  It may also
+// name the transport that carried the run ("sim" vs "shm"); the §11 oracle
+// contract is exactly that the *content* matches across transports, so the
+// label is environment metadata like placement, not run content.
 bool is_header_line(const std::string& line) {
   return line.rfind("{\"schema\":", 0) == 0;
+}
+
+std::string normalize_header(std::string s) {
+  const auto ev = s.rfind(",\"events\":");
+  if (ev != std::string::npos) s.erase(ev);
+  constexpr std::string_view kField = ",\"transport\":\"";
+  const auto tp = s.find(kField);
+  if (tp != std::string::npos) {
+    const auto end = s.find('"', tp + kField.size());  // value's close quote
+    if (end != std::string::npos) s.erase(tp, end - tp + 1);
+  }
+  return s;
 }
 
 int diff(const std::string& a_path, const std::string& b_path) {
@@ -114,14 +130,10 @@ int diff(const std::string& a_path, const std::string& b_path) {
       return 1;
     }
     if (la != lb) {
-      // Header event counts include placement events; tolerate that one
-      // difference when placement lines are being skipped.
+      // Header event counts include placement events, and the transport
+      // label legitimately differs across backends; tolerate exactly those.
       if (lineno == 1 && is_header_line(la) && is_header_line(lb)) {
-        const auto cut = [](const std::string& s) {
-          const auto pos = s.rfind(",\"events\":");
-          return pos == std::string::npos ? s : s.substr(0, pos);
-        };
-        if (cut(la) == cut(lb)) {
+        if (normalize_header(la) == normalize_header(lb)) {
           header_differs = true;
           continue;
         }
