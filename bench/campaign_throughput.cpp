@@ -22,8 +22,14 @@
 // the unpooled and pooled runs; numbers land in BENCH_campaign.json for CI
 // trend tracking.
 //
+//   batched  — jobs=N with scenario_batch > 1: workers claim runs of
+//              consecutive slots so a leased machine stays cache-hot across
+//              a whole batch instead of bouncing through the claim counter
+//              per scenario.
+//
 //   campaign_throughput [--dim=4] [--runs=50] [--jobs=0] [--seed=1989]
-//                       [--pin=compact] [--out=BENCH_campaign.json]
+//                       [--batch=8] [--pin=compact]
+//                       [--out=BENCH_campaign.json]
 //
 // On a single-CPU host a serial-vs-parallel "speedup" is noise, not signal:
 // the JSON then reports "speedup": null plus speedup_skipped_reason instead
@@ -48,8 +54,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/pool.h"
+#include "sort/kernels.h"
 #include "util/alloc_hook.h"
 #include "util/flags.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "util/topology.h"
 
@@ -144,6 +152,11 @@ int main(int argc, char** argv) {
   cfg.dim = util::flag_int(argc, argv, "--dim", 4);
   cfg.runs_per_class = util::flag_int(argc, argv, "--runs", 50);
   cfg.seed = util::flag_u64(argc, argv, "--seed", 1989);
+  const int batch = util::flag_int(argc, argv, "--batch", 8);
+  if (batch < 1) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
+    return 1;
+  }
   const int parallel_jobs =
       util::ThreadPool::resolve(util::flag_int(argc, argv, "--jobs", 0));
   const char* out_arg = util::flag_value(argc, argv, "--out");
@@ -174,8 +187,9 @@ int main(int argc, char** argv) {
 
   std::cout << "campaign throughput: dim=" << cfg.dim << " runs/class="
             << cfg.runs_per_class << " seed=" << cfg.seed
-            << " parallel jobs=" << parallel_jobs
-            << " pin=" << headline.str()
+            << " parallel jobs=" << parallel_jobs << " batch=" << batch
+            << " pin=" << headline.str() << " simd="
+            << util::simd::to_string(aoft::sort::kernels::active_path())
             << " (hardware threads: " << hw << ", cpus: " << cpus_available
             << ", numa nodes: " << topo.nodes
             << ", alloc hook: " << (util::alloc_hook_active() ? "on" : "off")
@@ -215,6 +229,14 @@ int main(int argc, char** argv) {
   for (const auto& e : matrix)
     if (e.policy == headline) parallel = &e.timed;
 
+  // Cache-hot batching: the same parallel campaign, but each worker claims
+  // `batch` consecutive slots per trip to the shared counter, so a leased
+  // machine's pools stay warm across the whole run.  The summary must still
+  // be bit-identical (fault/campaign.h; tests/fault/campaign_determinism).
+  fault::CampaignConfig batched_cfg = cfg;
+  batched_cfg.scenario_batch = batch;
+  const auto batched = timed_campaign(batched_cfg, parallel_jobs, headline);
+
   // Final run with the observability layer attached: same campaign, tracer +
   // metrics collected per slot and merged.  Guards the "zero-cost when
   // disabled / cheap when enabled" contract — the traced summary must still
@@ -227,7 +249,8 @@ int main(int argc, char** argv) {
   const auto traced = timed_campaign(traced_cfg, parallel_jobs, headline);
 
   bool identical = same_summary(serial.summary, unpooled.summary) &&
-                   same_summary(serial.summary, traced.summary);
+                   same_summary(serial.summary, traced.summary) &&
+                   same_summary(serial.summary, batched.summary);
   for (const auto& e : matrix)
     identical = identical && same_summary(serial.summary, e.timed.summary);
   int silent_wrong = 0;
@@ -264,6 +287,8 @@ int main(int argc, char** argv) {
     std::printf("pin=%-8s: %8.3f s  %9.1f scenarios/s  (%d jobs)\n",
                 e.policy.str().c_str(), e.timed.seconds, rate(e.timed),
                 parallel_jobs);
+  std::printf("batch=%-4d: %8.3f s  %9.1f scenarios/s  (%d jobs)\n", batch,
+              batched.seconds, rate(batched), parallel_jobs);
   if (speedup_valid)
     std::printf("parallel speedup (pin=%s): %.2fx vs serial\n",
                 headline.str().c_str(), parallel_speedup);
@@ -285,6 +310,7 @@ int main(int argc, char** argv) {
           "  \"cpus_available\": %d,\n"
           "  \"numa_nodes\": %d,\n"
           "  \"placement\": \"%s\",\n"
+          "  \"simd\": \"%s\",\n"
           "  \"alloc_hook_active\": %s,\n"
           "  \"scenarios_executed\": %lld,\n"
           "  \"unpooled_seconds\": %.6f,\n"
@@ -296,14 +322,19 @@ int main(int argc, char** argv) {
           "  \"pooling_speedup\": %.3f,\n"
           "  \"parallel_jobs\": %d,\n"
           "  \"parallel_seconds\": %.6f,\n"
-          "  \"parallel_scenarios_per_sec\": %.2f,\n",
+          "  \"parallel_scenarios_per_sec\": %.2f,\n"
+          "  \"scenario_batch\": %d,\n"
+          "  \"batched_seconds\": %.6f,\n"
+          "  \"batched_scenarios_per_sec\": %.2f,\n",
           cfg.dim, cfg.runs_per_class,
           static_cast<unsigned long long>(cfg.seed), hw, cpus_available,
           topo.nodes, headline.str().c_str(),
+          util::simd::to_string(aoft::sort::kernels::active_path()),
           util::alloc_hook_active() ? "true" : "false", scenarios,
           unpooled.seconds, rate(unpooled), per_scenario(unpooled),
           serial.seconds, rate(serial), per_scenario(serial), pooling_speedup,
-          parallel_jobs, parallel->seconds, rate(*parallel));
+          parallel_jobs, parallel->seconds, rate(*parallel), batch,
+          batched.seconds, rate(batched));
   if (speedup_valid)
     appendf(json, "  \"speedup\": %.3f,\n", parallel_speedup);
   else

@@ -327,7 +327,8 @@ void for_each_slot(const CampaignConfig& cfg, std::size_t count,
     }
   }
   util::ThreadPool pool(n, std::move(pins));
-  pool.parallel_for(count, body);
+  pool.parallel_for(count, body,
+                    static_cast<std::size_t>(std::max(1, cfg.scenario_batch)));
 }
 
 // ---- durable-session plumbing (campaign_store.h) ----------------------------

@@ -163,6 +163,16 @@ struct CampaignConfig {
   // depend on this flag; it exists so bench/campaign_throughput can measure
   // the unpooled construct-per-scenario baseline from the same binary.
   bool reuse_machines = true;
+  // How many consecutive slots a pool worker claims per grab (>= 1).  Batching
+  // extends reuse_machines: a worker runs `scenario_batch` scenarios back to
+  // back on its leased machine, so machine state, key pools and the kernel
+  // dispatch table stay cache-hot between scenarios instead of being evicted
+  // by another worker's claim bouncing the shared counter line.  Like jobs and
+  // placement this is execution metadata: slots still land in disjoint
+  // pre-sized vectors and aggregate in (class, slot) order, so summaries,
+  // streams and traces are bit-identical for every batch size — it is
+  // deliberately NOT part of the checkpoint identity (campaign_store.h).
+  int scenario_batch = 1;
   // Optional observability sinks (obs/).  Each slot collects into a private
   // per-slot tracer/registry bound to the executing worker thread; after the
   // pool drains, the engine appends/merges them into these in (class, slot)

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "sort/kernels.h"
+
 namespace aoft::sort::blockops {
 
 void sort_dir(std::span<Key> block, bool ascending) {
@@ -21,30 +23,16 @@ void reverse_block(std::span<Key> block) {
   std::reverse(block.begin(), block.end());
 }
 
-std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
-                           bool ascending) {
-  std::vector<Key> out(a.size() + b.size());
-  merge_dir_into(a, b, ascending, out);
-  return out;
-}
-
 void merge_dir_into(std::span<const Key> a, std::span<const Key> b,
                     bool ascending, std::span<Key> out) {
   assert(is_sorted_dir(a, ascending) && is_sorted_dir(b, ascending));
   assert(out.size() == a.size() + b.size());
-  if (ascending)
-    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
-  else
-    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
-               std::greater<Key>{});
+  kernels::merge(a, b, ascending, out);
 }
 
 bool contains_submultiset(std::span<const Key> super, std::span<const Key> sub,
                           bool ascending) {
-  if (ascending)
-    return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
-  return std::includes(super.begin(), super.end(), sub.begin(), sub.end(),
-                       std::greater<Key>{});
+  return kernels::includes(super, sub, ascending);
 }
 
 }  // namespace aoft::sort::blockops

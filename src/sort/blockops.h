@@ -32,14 +32,12 @@ bool is_sorted_dir(std::span<const Key> block, bool ascending);
 // sorted in the opposite direction.
 void reverse_block(std::span<Key> block);
 
-// Merge two blocks sorted in direction `ascending` into one sorted sequence
-// of both, same direction.
-std::vector<Key> merge_dir(std::span<const Key> a, std::span<const Key> b,
-                           bool ascending);
-
-// As merge_dir, but into caller-provided storage (`out.size()` must equal
-// `a.size() + b.size()`, and `out` must not alias the inputs).  The hot loops
-// of S_FT/S_NR reuse one scratch buffer across all log^2 N iterations.
+// Merge two blocks sorted in direction `ascending` into caller-provided
+// storage (`out.size()` must equal `a.size() + b.size()`, and `out` must not
+// alias the inputs).  The hot loops of S_FT/S_NR reuse one scratch buffer
+// across all log^2 N iterations; there is deliberately no allocating variant
+// — callers own their scratch (the former merge_dir was the last allocating
+// call path through the merge).
 void merge_dir_into(std::span<const Key> a, std::span<const Key> b,
                     bool ascending, std::span<Key> out);
 

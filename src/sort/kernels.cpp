@@ -1,0 +1,128 @@
+// Scalar reference kernels and the runtime dispatch table.
+//
+// The scalar implementations below are the semantic ground truth: the SIMD
+// translation units (kernels_avx2.cpp, kernels_neon.cpp) must reproduce their
+// results bit for bit, including first-failure positions.  Keep them boring —
+// every branch here is part of the contract the fuzz suite enforces.
+
+#include "sort/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace aoft::sort::kernels {
+
+namespace {
+
+std::size_t run_break_scalar(const Key* v, std::size_t n, bool non_decreasing) {
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const bool bad = non_decreasing ? v[k + 1] < v[k] : v[k + 1] > v[k];
+    if (bad) return k;
+  }
+  return n;
+}
+
+std::size_t mismatch_scalar(const Key* a, const Key* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) return i;
+  return n;
+}
+
+std::int64_t phi_f_scan_scalar(const Key* llbs, const Key* lbs,
+                               std::size_t size, bool ascending) {
+  const std::size_t half = size / 2;
+  // l walks the non-decreasing run forward, u walks the non-increasing run
+  // backward; both visit values in ascending order.  Iterate the sorted lbs
+  // in ascending order and consume the matching run head, l preferred.
+  std::size_t l = 0;
+  std::size_t u = size;  // one past the element `u-1` under consideration
+  for (std::size_t step = 0; step < size; ++step) {
+    const std::size_t idx = ascending ? step : size - 1 - step;
+    const Key key = lbs[idx];
+    if (l < half && key == llbs[l]) {
+      ++l;
+    } else if (u > half && key == llbs[u - 1]) {
+      --u;
+    } else {
+      return static_cast<std::int64_t>(idx);
+    }
+  }
+  return -1;
+}
+
+void merge_scalar(const Key* a, std::size_t la, const Key* b, std::size_t lb,
+                  bool ascending, Key* out) {
+  if (ascending)
+    std::merge(a, a + la, b, b + lb, out);
+  else
+    std::merge(a, a + la, b, b + lb, out, std::greater<Key>{});
+}
+
+bool includes_scalar(const Key* super, std::size_t ls, const Key* sub,
+                     std::size_t lb, bool ascending) {
+  if (ascending) return std::includes(super, super + ls, sub, sub + lb);
+  return std::includes(super, super + ls, sub, sub + lb, std::greater<Key>{});
+}
+
+constexpr KernelTable kScalarTable{run_break_scalar, mismatch_scalar,
+                                   phi_f_scan_scalar, merge_scalar,
+                                   includes_scalar};
+
+// Published (table, path) pair.  First table() call detects and publishes;
+// force_path republishes.  Concurrent first-use is a benign race (every
+// thread detects the same path); force_path during concurrent kernel use is
+// documented as unsupported.
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<util::simd::Path> g_path{util::simd::Path::kScalar};
+
+}  // namespace
+
+namespace detail {
+const KernelTable& scalar_table() { return kScalarTable; }
+}  // namespace detail
+
+const KernelTable& table_for(util::simd::Path path) {
+  switch (path) {
+    case util::simd::Path::kScalar:
+      return kScalarTable;
+    case util::simd::Path::kAvx2:
+#ifdef AOFT_SIMD_AVX2
+      if (util::simd::supported(path)) return detail::avx2_table();
+#endif
+      break;
+    case util::simd::Path::kNeon:
+#ifdef AOFT_SIMD_NEON
+      if (util::simd::supported(path)) return detail::neon_table();
+#endif
+      break;
+  }
+  throw std::runtime_error(
+      std::string("kernels: dispatch path '") + util::simd::to_string(path) +
+      "' is not available in this build/host (AOFT_SIMD option, architecture, "
+      "or cpuid)");
+}
+
+const KernelTable& table() {
+  if (const KernelTable* t = g_table.load(std::memory_order_acquire)) return *t;
+  const util::simd::Path path = util::simd::detect();
+  const KernelTable& chosen = table_for(path);
+  g_path.store(path, std::memory_order_relaxed);
+  g_table.store(&chosen, std::memory_order_release);
+  return chosen;
+}
+
+util::simd::Path active_path() {
+  (void)table();  // ensure detection ran
+  return g_path.load(std::memory_order_relaxed);
+}
+
+void force_path(util::simd::Path path) {
+  const KernelTable& chosen = table_for(path);  // throws when unavailable
+  g_path.store(path, std::memory_order_relaxed);
+  g_table.store(&chosen, std::memory_order_release);
+}
+
+}  // namespace aoft::sort::kernels

@@ -7,19 +7,21 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "sort/kernels.h"
 
 namespace aoft::sort {
 
 using sim::Key;
 
-// True iff `v` is non-decreasing.
+// True iff `v` is non-decreasing.  Routed through the dispatched run-scan
+// kernel (sort/kernels.h) — same verdict as std::is_sorted on every path.
 inline bool is_non_decreasing(std::span<const Key> v) {
-  return std::is_sorted(v.begin(), v.end());
+  return kernels::is_sorted_run(v, true);
 }
 
 // True iff `v` is non-increasing.
 inline bool is_non_increasing(std::span<const Key> v) {
-  return std::is_sorted(v.begin(), v.end(), std::greater<Key>{});
+  return kernels::is_sorted_run(v, false);
 }
 
 // True iff `v` is bitonic in the restricted sense the sort maintains:

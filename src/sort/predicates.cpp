@@ -1,8 +1,10 @@
 #include "sort/predicates.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "obs/sink.h"
+#include "sort/kernels.h"
 
 namespace aoft::sort {
 
@@ -31,13 +33,11 @@ std::optional<Violation> record_verdict(obs::Ev kind, obs::Counter pass_c,
 std::optional<Violation> check_run(std::span<const Key> v, std::size_t lo,
                                    std::size_t hi, bool non_decreasing,
                                    const char* which) {
-  for (std::size_t k = lo; k + 1 < hi; ++k) {
-    const bool bad = non_decreasing ? v[k + 1] < v[k] : v[k + 1] > v[k];
-    if (bad)
-      return Violation{std::string("phi_P: ") + which + " run broken",
-                       static_cast<std::int64_t>(k)};
-  }
-  return std::nullopt;
+  const std::size_t n = hi - lo;
+  const std::size_t k = kernels::table().run_break(v.data() + lo, n, non_decreasing);
+  if (k == n) return std::nullopt;
+  return Violation{std::string("phi_P: ") + which + " run broken",
+                   static_cast<std::int64_t>(lo + k)};
 }
 
 }  // namespace
@@ -73,25 +73,9 @@ std::optional<Violation> phi_f_eval(std::span<const Key> llbs_inner,
       return Violation{"phi_F: singleton mismatch", 0};
     return std::nullopt;
   }
-  const std::size_t half = size / 2;
-  // l walks the non-decreasing run forward, u walks the non-increasing run
-  // backward; both visit values in ascending order.  Iterate the sorted lbs
-  // in ascending order and consume the matching run head.
-  std::size_t l = 0;
-  std::size_t u = size;  // one past the element `u-1` under consideration
-  for (std::size_t step = 0; step < size; ++step) {
-    const std::size_t idx = ascending ? step : size - 1 - step;
-    const Key key = lbs_inner[idx];
-    if (l < half && key == llbs_inner[l]) {
-      ++l;
-    } else if (u > half && key == llbs_inner[u - 1]) {
-      --u;
-    } else {
-      return Violation{"phi_F: sequence not complete w.r.t. previous stage",
-                       static_cast<std::int64_t>(idx)};
-    }
-  }
-  return std::nullopt;
+  const std::int64_t idx = kernels::phi_f_scan(llbs_inner, lbs_inner, ascending);
+  if (idx < 0) return std::nullopt;
+  return Violation{"phi_F: sequence not complete w.r.t. previous stage", idx};
 }
 
 }  // namespace
@@ -111,23 +95,45 @@ std::optional<Violation> phi_c_merge_eval(std::span<Key> local, BitVec& local_co
                                      const cube::Subcube& window, std::size_t m,
                                      MergeStats* stats) {
   assert(recv_slice.size() == static_cast<std::size_t>(window.size()) * m);
-  for (cube::NodeId p = window.start; p <= window.end; ++p) {
-    if (!sender_cover.test(p)) continue;
+  // Walk maximal runs of consecutive covered-by-sender nodes that agree on
+  // local coverage, so the word compare / absorb copy runs once per run over
+  // run_nodes*m contiguous words (kernels.h) instead of once per node.  The
+  // run decomposition is invisible: nodes are still processed in ascending
+  // order, a disagreement still reports the node that owns the word, and
+  // stats count exactly the nodes fully processed before a violation — the
+  // same partial counts the per-node loop produced.
+  cube::NodeId p = window.start;
+  while (p <= window.end) {
+    if (!sender_cover.test(p)) {
+      ++p;
+      continue;
+    }
+    const bool have = local_cover.test(p);
+    cube::NodeId q = p;
+    while (q < window.end && sender_cover.test(q + 1) &&
+           local_cover.test(q + 1) == have)
+      ++q;
+    const std::size_t run_nodes = static_cast<std::size_t>(q - p) + 1;
+    const std::size_t words = run_nodes * m;
     const std::size_t local_off = static_cast<std::size_t>(p) * m;
     const std::size_t slice_off = static_cast<std::size_t>(p - window.start) * m;
-    if (local_cover.test(p)) {
-      for (std::size_t w = 0; w < m; ++w) {
-        if (local[local_off + w] != recv_slice[slice_off + w])
-          return Violation{"phi_C: redundant copies disagree",
-                           static_cast<std::int64_t>(p)};
+    if (have) {
+      const std::size_t bad = kernels::table().mismatch(
+          local.data() + local_off, recv_slice.data() + slice_off, words);
+      if (bad != words) {
+        if (stats) stats->checked += (bad / m) * m;
+        return Violation{"phi_C: redundant copies disagree",
+                         static_cast<std::int64_t>(p) +
+                             static_cast<std::int64_t>(bad / m)};
       }
-      if (stats) stats->checked += m;
+      if (stats) stats->checked += words;
     } else {
-      for (std::size_t w = 0; w < m; ++w)
-        local[local_off + w] = recv_slice[slice_off + w];
-      local_cover.set(p);
-      if (stats) stats->absorbed += m;
+      std::memcpy(local.data() + local_off, recv_slice.data() + slice_off,
+                  words * sizeof(Key));
+      for (cube::NodeId r = p; r <= q; ++r) local_cover.set(r);
+      if (stats) stats->absorbed += words;
     }
+    p = q + 1;
   }
   return std::nullopt;
 }

@@ -1,0 +1,73 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace aoft::util::simd {
+
+bool compiled(Path p) {
+  switch (p) {
+    case Path::kScalar:
+      return true;
+    case Path::kAvx2:
+#ifdef AOFT_SIMD_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Path::kNeon:
+#ifdef AOFT_SIMD_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool supported(Path p) {
+  if (!compiled(p)) return false;
+  switch (p) {
+    case Path::kScalar:
+      return true;
+    case Path::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Path::kNeon:
+      // Advanced SIMD is architecturally baseline on aarch64; if the NEON
+      // kernels compiled, the host executes them.
+      return true;
+  }
+  return false;
+}
+
+std::optional<Path> parse(std::string_view name) {
+  if (name == "auto") return std::nullopt;
+  if (name == "scalar") return Path::kScalar;
+  if (name == "avx2") return Path::kAvx2;
+  if (name == "neon") return Path::kNeon;
+  throw std::runtime_error("simd: unknown path '" + std::string(name) +
+                           "' (expected scalar|avx2|neon|auto)");
+}
+
+Path detect() {
+  if (const char* env = std::getenv("AOFT_SIMD")) {
+    if (const auto forced = parse(env)) {
+      if (!supported(*forced))
+        throw std::runtime_error(
+            std::string("simd: AOFT_SIMD=") + to_string(*forced) +
+            (compiled(*forced) ? " is not executable on this CPU"
+                               : " was not compiled into this binary"));
+      return *forced;
+    }
+  }
+  if (supported(Path::kAvx2)) return Path::kAvx2;
+  if (supported(Path::kNeon)) return Path::kNeon;
+  return Path::kScalar;
+}
+
+}  // namespace aoft::util::simd

@@ -1,0 +1,53 @@
+// Runtime SIMD path detection for the vectorized kernels (sort/kernels.h).
+//
+// Three dispatch paths exist: a portable scalar reference, AVX2 (x86-64) and
+// NEON (aarch64).  Which paths are *compiled* is decided at configure time by
+// the AOFT_SIMD CMake option plus the target architecture; which path is
+// *active* is decided once at runtime from cpuid/arch detection, overridable
+// with the AOFT_SIMD environment variable (`scalar`, `avx2`, `neon`, `auto`)
+// so CI can force every path through the same binary.  Asking for a path the
+// build lacks or the host cannot execute dies loudly (std::runtime_error)
+// rather than silently degrading — a forced path that quietly fell back to
+// scalar would defeat the differential tests that rely on forcing.
+//
+// Dispatch is environment metadata, never semantics: every kernel returns
+// bit-identical verdicts, violation positions and output bytes on every path
+// (docs/PROTOCOL.md §12, enforced by tests/sort/kernels_fuzz_test.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace aoft::util::simd {
+
+enum class Path : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+constexpr const char* to_string(Path p) {
+  switch (p) {
+    case Path::kAvx2: return "avx2";
+    case Path::kNeon: return "neon";
+    case Path::kScalar: break;
+  }
+  return "scalar";
+}
+
+// True iff the kernels for `p` were compiled into this binary (AOFT_SIMD=ON
+// and the target architecture matches).
+bool compiled(Path p);
+
+// True iff `p` is compiled in AND the host CPU can execute it (cpuid on
+// x86-64; NEON is baseline on aarch64).  kScalar is always supported.
+bool supported(Path p);
+
+// Parse a path name: "scalar" / "avx2" / "neon" return the path, "auto"
+// returns nullopt (meaning: detect).  Anything else throws std::runtime_error
+// — garbage in an override must die loudly, not fall back.
+std::optional<Path> parse(std::string_view name);
+
+// The path a fresh process would select: the AOFT_SIMD env override if set
+// (throwing if the forced path is unsupported), else the best supported path.
+Path detect();
+
+}  // namespace aoft::util::simd

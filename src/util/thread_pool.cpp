@@ -78,20 +78,25 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t batch) {
   if (count == 0) return;
-  // One claiming job per worker; indices come off a shared counter so a slow
-  // item does not stall the others.  `body` outlives the jobs because
-  // wait_idle() below returns only after every job finished.
+  if (batch == 0) batch = 1;
+  // One claiming job per worker; runs of `batch` consecutive indices come off
+  // a shared counter so a slow item does not stall the others for long.
+  // `body` outlives the jobs because wait_idle() below returns only after
+  // every job finished.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   const std::size_t lanes =
-      std::min(count, static_cast<std::size_t>(workers_.size()));
+      std::min((count + batch - 1) / batch,
+               static_cast<std::size_t>(workers_.size()));
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([next, count, &body] {
+    submit([next, count, batch, &body] {
       for (;;) {
-        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        body(i);
+        const std::size_t base = next->fetch_add(batch, std::memory_order_relaxed);
+        if (base >= count) return;
+        const std::size_t end = std::min(base + batch, count);
+        for (std::size_t i = base; i < end; ++i) body(i);
       }
     });
   }

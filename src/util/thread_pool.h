@@ -55,9 +55,15 @@ class ThreadPool {
   // Run body(i) for every i in [0, count) across the pool and block until
   // all complete.  Indices are claimed from a shared counter, so bodies run
   // in a nondeterministic order — callers write into index i of a pre-sized
-  // output and aggregate serially afterwards.
+  // output and aggregate serially afterwards.  `batch` (>= 1) is how many
+  // consecutive indices one claim takes: larger batches amortize the shared
+  // counter and keep per-thread state (leased machines, pools) hot across
+  // consecutive bodies, at the cost of coarser load balancing.  Which worker
+  // runs which index is invisible to callers by the disjoint-slot convention,
+  // so batch size never affects results.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t batch = 1);
 
   // Map a --jobs style argument to a worker count: <= 0 means "use the
   // hardware concurrency", anything else is taken verbatim (min 1).

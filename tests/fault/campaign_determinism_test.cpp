@@ -95,6 +95,45 @@ TEST(CampaignDeterminismTest, HardwareConcurrencyEqualsSerial) {
   expect_same_summary(serial, parallel);
 }
 
+// scenario_batch changes only which worker claims which consecutive slots;
+// results must be bit-identical for every batch size, combined with any job
+// count — same contract as jobs/placement (docs/PROTOCOL.md §12).
+TEST(CampaignDeterminismTest, BatchSizeIsResultInvariant) {
+  const auto serial = run_campaign(small_config(1));
+  for (const int batch : {2, 4, 64}) {
+    for (const int jobs : {1, 3}) {
+      auto cfg = small_config(jobs);
+      cfg.scenario_batch = batch;
+      expect_same_summary(serial, run_campaign(cfg));
+    }
+  }
+}
+
+// Batching composes with trace collection the same way jobs does: per-slot
+// sinks merge in (class, slot) order, so the serialized trace and metrics are
+// byte-identical whether a worker ran one scenario or a whole batch.
+TEST(CampaignDeterminismTest, TraceAndMetricsAreBatchSizeInvariant) {
+  auto traced = [](int jobs, int batch) {
+    obs::Tracer tracer;
+    auto cfg = small_config(jobs);
+    cfg.scenario_batch = batch;
+    cfg.tracer = &tracer;
+    run_campaign(cfg);
+    obs::TraceMeta meta;
+    meta.dim = cfg.dim;
+    meta.seed = cfg.seed;
+    meta.mode = "campaign";
+    std::stringstream ss;
+    obs::write_jsonl(ss, meta, tracer);
+    return ss.str();
+  };
+  const std::string one = traced(1, 1);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, traced(4, 1));
+  EXPECT_EQ(one, traced(4, 8));
+  EXPECT_EQ(one, traced(2, 64));
+}
+
 TEST(CampaignDeterminismTest, DifferentSeedsDiffer) {
   auto a_cfg = small_config(1);
   auto b_cfg = small_config(1);

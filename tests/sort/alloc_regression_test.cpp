@@ -13,12 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "sim/machine.h"
 #include "sim/pool.h"
+#include "sort/kernels.h"
+#include "sort/predicates.h"
 #include "sort/sft.h"
 #include "util/alloc_hook.h"
+#include "util/bitvec.h"
 #include "util/rng.h"
 
 namespace aoft::sort {
@@ -134,6 +139,87 @@ TEST(AllocRegressionTest, PoolingRemovesAlmostAllAllocations) {
 
   EXPECT_LT(pooled * 10, unpooled)
       << "pooled=" << pooled << " unpooled=" << unpooled;
+}
+
+// Every kernel on every executable dispatch path is steady-state
+// allocation-free: the SIMD layer works in registers and caller storage, and
+// a merge that fell back to an allocating path would silently reintroduce the
+// heap traffic PR 4 removed.
+TEST(AllocRegressionTest, KernelsAllocateNothingOnAnyPath) {
+  SKIP_WITHOUT_HOOK();
+  const std::size_t n = 256;
+  std::vector<Key> asc = util::random_keys(5150, n);
+  std::sort(asc.begin(), asc.end());
+  std::vector<Key> bitonic = asc;
+  std::sort(bitonic.begin() + static_cast<std::ptrdiff_t>(n / 2),
+            bitonic.end(), std::greater<Key>{});
+  std::vector<Key> other = util::random_keys(5151, n);
+  std::sort(other.begin(), other.end());
+  std::vector<Key> out(2 * n);
+
+  for (const auto path : {util::simd::Path::kScalar, util::simd::Path::kAvx2,
+                          util::simd::Path::kNeon}) {
+    if (!util::simd::supported(path)) continue;
+    const auto& t = kernels::table_for(path);
+    const std::uint64_t allocs = allocs_during([&] {
+      for (int round = 0; round < 16; ++round) {
+        (void)t.run_break(bitonic.data(), n, true);
+        (void)t.mismatch(asc.data(), other.data(), n);
+        (void)t.phi_f_scan(bitonic.data(), asc.data(), n, true);
+        t.merge(asc.data(), n, other.data(), n, true, out.data());
+        (void)t.includes(out.data(), 2 * n, asc.data(), n, true);
+      }
+    });
+    EXPECT_EQ(allocs, 0u) << "path " << util::simd::to_string(path);
+  }
+}
+
+// The predicate wrappers above the kernels stay allocation-free on the pass
+// path too (a Violation allocates its message string, but passing verdicts —
+// the steady state — must not touch the heap).
+TEST(AllocRegressionTest, PassingPredicatesAllocateNothing) {
+  SKIP_WITHOUT_HOOK();
+  const std::size_t n = 128;
+  std::vector<Key> window = util::random_keys(6060, n);
+  std::sort(window.begin(), window.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  std::sort(window.begin() + static_cast<std::ptrdiff_t>(n / 2), window.end(),
+            std::greater<Key>{});
+  std::vector<Key> sorted = window;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Φ_C fixture: sender covers the whole window, half the nodes already held.
+  cube::Subcube sc;
+  sc.start = 0;
+  sc.end = 7;
+  sc.dim = 3;
+  const std::size_t m = 16;
+  std::vector<Key> local(8 * m, 0);
+  std::vector<Key> recv(8 * m);
+  util::BitVec local_cover(8), sender_cover(8);
+  for (std::size_t p = 0; p < 8; ++p) {
+    sender_cover.set(p);
+    for (std::size_t w = 0; w < m; ++w) recv[p * m + w] = sorted[p * m + w];
+    if (p % 2 == 0) {
+      local_cover.set(p);
+      for (std::size_t w = 0; w < m; ++w) local[p * m + w] = sorted[p * m + w];
+    }
+  }
+
+  // Warm-up absorbs the uncovered half so the measured pass is pure verify.
+  MergeStats stats;
+  ASSERT_FALSE(phi_c_merge(local, local_cover, recv, sender_cover, sc, m,
+                           &stats)
+                   .has_value());
+  const std::uint64_t allocs = allocs_during([&] {
+    for (int round = 0; round < 16; ++round) {
+      EXPECT_FALSE(phi_p(window, false).has_value());
+      EXPECT_FALSE(phi_f(window, sorted, true).has_value());
+      EXPECT_FALSE(phi_c_merge(local, local_cover, recv, sender_cover, sc, m,
+                               &stats)
+                       .has_value());
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
 }
 
 }  // namespace

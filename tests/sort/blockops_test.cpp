@@ -5,6 +5,15 @@
 namespace aoft::sort::blockops {
 namespace {
 
+// Local convenience over the scratch-based API — production code keeps its
+// pooled scratch; only the tests want a fresh vector per call.
+std::vector<Key> merged(std::span<const Key> a, std::span<const Key> b,
+                        bool ascending) {
+  std::vector<Key> out(a.size() + b.size());
+  merge_dir_into(a, b, ascending, out);
+  return out;
+}
+
 TEST(BlockOpsTest, SortDirAscending) {
   std::vector<Key> b{3, 1, 2};
   sort_dir(b, true);
@@ -33,17 +42,17 @@ TEST(BlockOpsTest, ReverseFlipsDirection) {
 
 TEST(BlockOpsTest, MergeAscending) {
   const std::vector<Key> a{1, 4, 6}, b{2, 3, 7};
-  EXPECT_EQ(merge_dir(a, b, true), (std::vector<Key>{1, 2, 3, 4, 6, 7}));
+  EXPECT_EQ(merged(a, b, true), (std::vector<Key>{1, 2, 3, 4, 6, 7}));
 }
 
 TEST(BlockOpsTest, MergeDescending) {
   const std::vector<Key> a{6, 4, 1}, b{7, 3, 2};
-  EXPECT_EQ(merge_dir(a, b, false), (std::vector<Key>{7, 6, 4, 3, 2, 1}));
+  EXPECT_EQ(merged(a, b, false), (std::vector<Key>{7, 6, 4, 3, 2, 1}));
 }
 
 TEST(BlockOpsTest, MergeWithDuplicates) {
   const std::vector<Key> a{2, 2}, b{2, 5};
-  EXPECT_EQ(merge_dir(a, b, true), (std::vector<Key>{2, 2, 2, 5}));
+  EXPECT_EQ(merged(a, b, true), (std::vector<Key>{2, 2, 2, 5}));
 }
 
 TEST(BlockOpsTest, SubMultisetPositive) {

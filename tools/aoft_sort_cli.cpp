@@ -76,6 +76,7 @@
 #include "fault/campaign_store.h"
 #include "fault/localization.h"
 #include "fault/supervisor.h"
+#include "sort/kernels.h"
 #include "sort/sequential.h"
 #include "sort/sft.h"
 #include "sort/snr.h"
@@ -106,7 +107,9 @@ struct Args {
   bool campaign = false;
   int jobs = 1;      // campaign worker threads; 0 = hardware concurrency
   int runs = 25;     // exercised scenarios per fault class
+  int batch = 1;     // consecutive scenarios per worker claim (cache-hot runs)
   int multi_k = 0;   // if > 0, also sweep 1..K simultaneous faults
+  std::string simd;  // force a kernel dispatch path (scalar|avx2|neon|auto)
   bool has_pin = false;
   util::PlacementPolicy pin;  // worker placement (campaign mode only)
   // campaign durability (docs/PROTOCOL.md §10)
@@ -240,6 +243,10 @@ bool parse(int argc, char** argv, Args& args) {
       if (!checked_int("--jobs", value("--jobs="), args.jobs)) return false;
     } else if (a.rfind("--runs=", 0) == 0) {
       if (!checked_int("--runs", value("--runs="), args.runs)) return false;
+    } else if (a.rfind("--batch=", 0) == 0) {
+      if (!checked_int("--batch", value("--batch="), args.batch)) return false;
+    } else if (a.rfind("--simd=", 0) == 0) {
+      args.simd = value("--simd=");
     } else if (a.rfind("--multi=", 0) == 0) {
       if (!checked_int("--multi", value("--multi="), args.multi_k))
         return false;
@@ -361,6 +368,10 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--runs must be >= 1\n");
     return false;
   }
+  if (args.batch < 1) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
+    return false;
+  }
   if (args.multi_k < 0 || args.multi_k > (1 << args.dim)) {
     std::fprintf(stderr, "--multi must be in [0, 2^dim]\n");
     return false;
@@ -473,6 +484,10 @@ bool emit_run_file(const Args& args, const sort::SortRun& run,
   std::string j = "{\"schema\":\"aoft-run-v1\"";
   j += ",\"transport\":";
   j += obs::json::escape(transport::to_string(args.backend));
+  // Provenance like "transport": which kernel table ran.  Never compared by
+  // the cross-check — dispatch is bit-identical by contract (PROTOCOL §12).
+  j += ",\"simd\":";
+  j += obs::json::escape(util::simd::to_string(sort::kernels::active_path()));
   j += ",\"algo\":" + obs::json::escape(args.algo);
   j += ",\"dim\":" + std::to_string(args.dim);
   j += ",\"block\":" + std::to_string(args.block);
@@ -594,6 +609,7 @@ int run_campaign_mode(const Args& args) {
   cfg.runs_per_class = args.runs;
   cfg.seed = args.seed;
   cfg.jobs = args.jobs;
+  cfg.scenario_batch = args.batch;
   cfg.placement = args.pin;
   cfg.injection = args.injection;
   cfg.checkpoint_path = args.checkpoint;
@@ -614,10 +630,11 @@ int run_campaign_mode(const Args& args) {
 
   if (!args.quiet)
     std::printf("fault campaign: dim=%d block=%zu runs/class=%d seed=%llu "
-                "jobs=%d pin=%s mode=%s shard=%d/%d\n\n",
+                "jobs=%d batch=%d pin=%s simd=%s mode=%s shard=%d/%d\n\n",
                 cfg.dim, cfg.block, cfg.runs_per_class,
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
-                cfg.placement.str().c_str(),
+                cfg.scenario_batch, cfg.placement.str().c_str(),
+                util::simd::to_string(sort::kernels::active_path()),
                 fault::to_string(cfg.injection.mode), cfg.shard_index,
                 cfg.shard_count);
 
@@ -699,8 +716,9 @@ int main(int argc, char** argv) {
                  "          [--recover=off|restart|rollback|ladder] [--transient]\n"
                  "          [--diagnose] [--quiet] [--trace=PATH]\n"
                  "       %s --campaign [--dim=N] [--block=M] [--seed=S]\n"
-                 "          [--runs=R] [--jobs=J] [--multi=K] [--quiet]\n"
+                 "          [--runs=R] [--jobs=J] [--batch=B] [--multi=K] [--quiet]\n"
                  "          [--pin=none|compact|scatter|CPULIST]\n"
+                 "          [--simd=scalar|avx2|neon|auto]\n"
                  "          [--mode=scripted|independent:P|runlength:K]\n"
                  "          [--checkpoint=PATH] [--resume[=force-restart]]\n"
                  "          [--stream=PATH] [--shard=i/N]\n"
@@ -708,6 +726,21 @@ int main(int argc, char** argv) {
                  "          [--trace=PATH]  (.json = Chrome trace, else JSONL)\n",
                  argv[0], argv[0]);
     return 1;
+  }
+
+  if (!args.simd.empty()) {
+    // Pin the kernel dispatch path before any sort runs.  Like AOFT_SIMD in
+    // the environment, an unavailable path dies loudly (usage error) rather
+    // than degrading — dispatch is environment metadata and never changes
+    // results (docs/PROTOCOL.md §12), so forcing exists purely for CI and
+    // benchmarking.
+    try {
+      if (const auto p = util::simd::parse(args.simd))
+        sort::kernels::force_path(*p);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--simd: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (args.campaign) {

@@ -3,6 +3,7 @@
 //
 //   bench_check FRESH.json REFERENCE.json [--min-pooling-speedup=F]
 //              [--stream=SLOTS.jsonl] [--merge-summary=MERGED.json]
+//              [--kernels=BENCH_kernels.json] [--min-kernel-speedup=F]
 //   bench_check --cross-check SIM_RUN.json SHM_RUN.json
 //
 // --cross-check compares two aoft-run-v1 records (aoft_sort_cli
@@ -17,8 +18,11 @@
 // a schema header line plus one structurally sound record per slot, global
 // slots ascending within the declared shard.  --merge-summary gates a
 // campaign_merge --summary output: the merge must be complete, byte-match
-// its oracle (summaries_identical) and carry silent_wrong_total == 0.  Both
-// flags also work without the positional FRESH/REFERENCE pair.
+// its oracle (summaries_identical) and carry silent_wrong_total == 0.
+// --kernels gates a BENCH_kernels.json from the bench/micro_predicates SIMD
+// sweep: structural soundness, plus best_speedup >= --min-kernel-speedup on
+// SIMD dispatch paths and best_speedup null (with a reason) on scalar.  All
+// three flags also work without the positional FRESH/REFERENCE pair.
 //
 // FRESH is the file campaign_throughput just wrote on this runner; REFERENCE
 // is the one committed at the repo root.  Both must be structurally sound;
@@ -91,6 +95,9 @@ constexpr const char* kNumKeys[] = {
     "parallel_jobs",
     "parallel_seconds",
     "parallel_scenarios_per_sec",
+    "scenario_batch",
+    "batched_seconds",
+    "batched_scenarios_per_sec",
     "traced_seconds",
     "trace_events",
     "trace_overhead",
@@ -124,6 +131,8 @@ bool check_file(const char* label, const std::string& path, json::Value* out) {
   std::string s;
   if (!json::get_str(o, "placement", s))
     fail(label, "missing or non-string key \"placement\"");
+  if (!json::get_str(o, "simd", s))
+    fail(label, "missing or non-string key \"simd\" (kernel dispatch path)");
   bool b = false;
   if (!json::get_bool(o, "alloc_hook_active", b))
     fail(label, "missing or non-boolean key \"alloc_hook_active\"");
@@ -316,6 +325,88 @@ void check_merge_summary(const std::string& path) {
     std::printf("merge-summary %s: OK\n", path.c_str());
 }
 
+// Gate a BENCH_kernels.json (bench/micro_predicates kernel sweep).
+//
+// Structural: schema aoft-kernels-v1, a dispatch path string, a non-empty
+// entries array with numeric scalar_ns/dispatched_ns/speedup and a boolean
+// delegated flag per entry.  Perf: when the dispatched path is a SIMD one,
+// best_speedup must be a number >= `floor` — the vectorized scans must not
+// silently regress to parity with scalar.  When the dispatched path IS
+// scalar, best_speedup must be null with a stated reason (same honesty rule
+// as the campaign parallel speedup on 1-CPU hosts).
+void check_kernels(const std::string& path, double floor) {
+  const char* label = "kernels";
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(label, "cannot open " + path);
+    return;
+  }
+  std::string err;
+  auto parsed = json::parse(text, &err);
+  if (!parsed || !parsed->is_object()) {
+    fail(label, path + ": " + (parsed ? "top level is not an object" : err));
+    return;
+  }
+  const auto& o = parsed->object();
+  std::string schema;
+  if (!json::get_str(o, "schema", schema) || schema != "aoft-kernels-v1") {
+    fail(label, path + ": schema is not \"aoft-kernels-v1\"");
+    return;
+  }
+  std::string dispatch;
+  if (!json::get_str(o, "dispatch", dispatch)) {
+    fail(label, path + ": missing \"dispatch\" path string");
+    return;
+  }
+
+  auto entries = o.find("entries");
+  if (entries == o.end() || !entries->second.is_array() ||
+      entries->second.array().empty()) {
+    fail(label, path + ": missing or empty \"entries\" array");
+  } else {
+    for (const auto& e : entries->second.array()) {
+      double d = 0;
+      std::string kernel;
+      bool delegated = false;
+      if (!e.is_object() || !json::get_str(e.object(), "kernel", kernel) ||
+          !json::get_num(e.object(), "size", d) ||
+          !json::get_num(e.object(), "scalar_ns", d) || d <= 0 ||
+          !json::get_num(e.object(), "dispatched_ns", d) || d <= 0 ||
+          !json::get_num(e.object(), "speedup", d) || d <= 0 ||
+          !json::get_bool(e.object(), "delegated", delegated)) {
+        fail(label, path + ": malformed entries record");
+        break;
+      }
+    }
+  }
+
+  auto best = o.find("best_speedup");
+  if (best == o.end()) {
+    fail(label, path + ": missing key \"best_speedup\" (number or null)");
+  } else if (dispatch != "scalar") {
+    if (!best->second.is_number())
+      fail(label, path + ": dispatch is \"" + dispatch +
+                      "\" but \"best_speedup\" is not a number");
+    else if (best->second.num() < floor)
+      fail(label, path + ": best_speedup " +
+                      std::to_string(best->second.num()) +
+                      " is below the floor " + std::to_string(floor) +
+                      " — the vectorized kernels regressed to scalar parity");
+  } else {
+    if (!best->second.is_null())
+      fail(label, path + ": dispatch is scalar but \"best_speedup\" is not "
+                      "null — scalar-vs-scalar timing is noise, not a "
+                      "speedup");
+    std::string reason;
+    if (!json::get_str(o, "speedup_null_reason", reason))
+      fail(label, path + ": null \"best_speedup\" needs a "
+                      "\"speedup_null_reason\" string");
+  }
+  if (failures == 0)
+    std::printf("kernels %s: OK (dispatch %s, floor %.2fx)\n", path.c_str(),
+                dispatch.c_str(), floor);
+}
+
 // ---- transport oracle cross-check ------------------------------------------
 
 // Load an aoft-run-v1 record; false (with failures recorded) when unusable.
@@ -435,8 +526,10 @@ int main(int argc, char** argv) {
   const char* fresh_path = nullptr;
   const char* ref_path = nullptr;
   double min_pooling = 1.0;
+  double min_kernel = 1.0;
   std::vector<std::string> stream_paths;
   std::vector<std::string> merge_paths;
+  std::vector<std::string> kernel_paths;
   bool cross_check = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
@@ -448,12 +541,21 @@ int main(int argc, char** argv) {
         usage_error = true;
         break;
       }
+    } else if (std::strncmp(a, "--min-kernel-speedup=", 21) == 0) {
+      if (!aoft::util::parse_f64(a + 21, min_kernel)) {
+        std::fprintf(stderr, "--min-kernel-speedup: bad value \"%s\"\n",
+                     a + 21);
+        usage_error = true;
+        break;
+      }
     } else if (std::strcmp(a, "--cross-check") == 0) {
       cross_check = true;
     } else if (std::strncmp(a, "--stream=", 9) == 0) {
       stream_paths.push_back(a + 9);
     } else if (std::strncmp(a, "--merge-summary=", 16) == 0) {
       merge_paths.push_back(a + 16);
+    } else if (std::strncmp(a, "--kernels=", 10) == 0) {
+      kernel_paths.push_back(a + 10);
     } else if (a[0] == '-') {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       usage_error = true;
@@ -469,13 +571,16 @@ int main(int argc, char** argv) {
   }
   // The positional pair is required unless only artifact checks were asked.
   const bool artifacts_only =
-      !fresh_path && (!stream_paths.empty() || !merge_paths.empty());
+      !fresh_path && (!stream_paths.empty() || !merge_paths.empty() ||
+                      !kernel_paths.empty());
   if (usage_error || (!artifacts_only && (!fresh_path || !ref_path))) {
     std::fprintf(stderr,
                  "usage: %s FRESH.json REFERENCE.json "
                  "[--min-pooling-speedup=F]\n"
                  "       [--stream=SLOTS.jsonl]... "
                  "[--merge-summary=MERGED.json]...\n"
+                 "       [--kernels=BENCH_kernels.json]... "
+                 "[--min-kernel-speedup=F]\n"
                  "       %s --cross-check SIM_RUN.json SHM_RUN.json\n",
                  argv[0], argv[0]);
     return 1;
@@ -490,6 +595,7 @@ int main(int argc, char** argv) {
 
   for (const auto& path : stream_paths) check_stream(path);
   for (const auto& path : merge_paths) check_merge_summary(path);
+  for (const auto& path : kernel_paths) check_kernels(path, min_kernel);
   if (artifacts_only) {
     if (failures == 0) {
       std::printf("bench_check: OK (campaign artifacts)\n");
