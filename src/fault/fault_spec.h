@@ -55,6 +55,15 @@ struct NodeFault {
   // (docs/PROTOCOL.md §11).  Meaningless without halt_at.
   bool kill_process = false;
 
+  // Escalate halt_at to a *wedged* process instead of a dead one: the node
+  // raises SIGSTOP at the halt point, so it neither speaks nor exits.  Only
+  // timeout-based death detection can retire it — on the tcp backend the
+  // heartbeat-loss watchdog (transport/peer_watch.h) marks it kDead; the
+  // simulator degrades it to the graceful halt, and the two must agree on
+  // the fail-stop verdict (docs/PROTOCOL.md §13.4).  Meaningless without
+  // halt_at; mutually exclusive with kill_process.
+  bool wedge_process = false;
+
   // Byzantine computation: perform every compare-exchange from the given
   // point onward with the *inverted* direction, so the node keeps the wrong
   // half.  Produces locally plausible but globally non-bitonic sequences.

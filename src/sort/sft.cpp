@@ -11,8 +11,10 @@
 #include "sort/blockops.h"
 #include "sort/predicates.h"
 #include "sort/shm_detail.h"
+#include "sort/tcp_detail.h"
 #include "transport/process.h"
 #include "transport/shm_transport.h"
+#include "transport/tcp_transport.h"
 
 namespace aoft::sort {
 
@@ -272,6 +274,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
     for (int j = i; j >= 0; --j) {
       if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, i, j)) {
         if (st.fault->kill_process && sh.in_child) transport::kill_self();
+        if (st.fault->wedge_process && sh.in_child) transport::wedge_self();
         write_out();
         co_return;  // fail-silent; peers' watchdogs flag the absence
       }
@@ -436,6 +439,7 @@ sim::SimTask sft_node(sim::Ctx& ctx, SftShared& sh) {
   for (int j = fi; j >= 0; --j) {
     if (st.fault && st.fault->halt_at && fault::reached(*st.fault->halt_at, n, j)) {
       if (st.fault->kill_process && sh.in_child) transport::kill_self();
+      if (st.fault->wedge_process && sh.in_child) transport::wedge_self();
       write_out();
       co_return;
     }
@@ -686,8 +690,139 @@ SortRun run_sft_shm(int dim, SftShared& sh) {
   return run;
 }
 
+// ---- socket backend ---------------------------------------------------------
+
+// The body every tcp node process runs, fork- or exec-spawned: mesh up, run
+// the same sft_node program on a one-node machine wired to the endpoint,
+// publish results via the FINISH frame.  Fork children use the inherited
+// SftShared (keeping in-process interceptors working, as under shm); exec
+// children arrive here through detail::run_sft_tcp_node with one rebuilt
+// from the endpoint's CONFIG.
+int sft_tcp_child_body(transport::TcpNodeEndpoint& ep, cube::NodeId p,
+                       SftShared& sh) {
+  try {
+    ep.connect_peers();
+    sim::Machine mach(cube::Topology{sh.dim}, sh.opts.cost);
+    mach.attach_remote(&ep, static_cast<std::int32_t>(p));
+    mach.set_interceptor(sh.opts.interceptor);
+    mach.record_link_events(sh.opts.record_link_events);
+    mach.run_remote_node(p, [&sh](sim::Ctx& ctx) { return sft_node(ctx, sh); });
+    const std::size_t m = sh.m;
+    tcp_detail::finish_tcp_node(
+        ep, p, mach, std::span<const Key>(sh.output).subspan(p * m, m),
+        sh.opts.record_link_events);
+    return 0;
+  } catch (const std::exception& e) {
+    return tcp_detail::fail_tcp_node(ep, p, e.what());
+  }
+}
+
+SortRun run_sft_tcp(int dim, SftShared& sh) {
+  if (sh.opts.machine != nullptr)
+    throw std::invalid_argument(
+        "SftOptions::machine is a single-process affordance; not available "
+        "on the tcp backend");
+  if (sh.opts.observer)
+    throw std::invalid_argument(
+        "SftOptions::observer runs in the node's process on the tcp backend; "
+        "its snapshots cannot reach the caller — use the sim backend");
+  if (dim > transport::kMaxProcessDim)
+    throw std::invalid_argument("tcp backend supports dim <= " +
+                                std::to_string(transport::kMaxProcessDim));
+
+  const cube::NodeId n = cube::NodeId{1} << dim;
+  const auto& topts = sh.opts.tcp;
+  transport::TcpHostEndpoint host(dim, topts);
+  transport::TcpParent par(dim, topts.run_deadline_s);
+  host.set_host_poll([&par] { par.poll(); });
+
+  const auto pins =
+      topts.hosts_file.empty()
+          ? std::vector<std::optional<transport::HostPin>>(n)
+          : transport::parse_hosts_file(topts.hosts_file,
+                                        static_cast<int>(n));
+
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Ev::kRunBegin, obs::kGlobal, sh.start_stage, -1, 0.0, dim,
+                static_cast<std::int64_t>(sh.m));
+
+  const std::string parent_addr = host.addr();
+  const std::uint16_t parent_port = host.port();
+  sh.in_child = true;  // fork children inherit the flag copy-on-write
+  if (topts.node_binary.empty()) {
+    const double setup_s = topts.run_deadline_s;
+    par.spawn_fork(
+        [&, setup_s](cube::NodeId p) {
+          try {
+            transport::TcpNodeEndpoint ep(
+                p, parent_addr, parent_port,
+                pins[p] ? pins[p]->addr : std::string("127.0.0.1"),
+                pins[p] ? pins[p]->port : std::uint16_t{0}, setup_s);
+            return sft_tcp_child_body(ep, p, sh);
+          } catch (const std::exception&) {
+            return 1;  // setup failed before the endpoint could FINISH
+          }
+        },
+        pins);
+  } else {
+    par.spawn_exec(topts.node_binary, parent_addr, parent_port, pins);
+  }
+  sh.in_child = false;
+
+  host.rendezvous(topts.run_deadline_s);
+
+  transport::TcpConfigHead head;
+  head.block = sh.m;
+  head.start_stage = sh.start_stage;
+  head.algo = 0;
+  head.checkpoint = sh.opts.checkpoint;
+  head.record_events = sh.opts.record_link_events;
+  head.with_resume = sh.start_stage > 0;
+  head.check_progress = sh.opts.check_progress;
+  head.check_feasibility = sh.opts.check_feasibility;
+  head.check_consistency = sh.opts.check_consistency;
+  head.check_exchange = sh.opts.check_exchange;
+  head.cost = sh.opts.cost;
+  const auto wire_faults = tcp_detail::wire_faults_of(sh.opts.node_faults, n);
+  host.broadcast_config(head, wire_faults, sh.input,
+                        sh.start_stage > 0 ? sh.resume_llbs
+                                           : std::span<const Key>{});
+
+  SortRun run;
+  if (sh.opts.checkpoint) {
+    // The parent is the reliable host: same collector coroutine as the sim,
+    // pumping the sockets, reaping children from the idle path.
+    sim::Machine hostm(cube::Topology{dim}, sh.opts.cost);
+    hostm.attach_remote(&host, transport::kHostRole);
+    hostm.run_remote_host(
+        [&sh](sim::HostCtx& h) { return ckpt_collector(h, sh); });
+    host.await_all();
+    run.summary.host_comm = hostm.host_stats().comm_ticks;
+    run.summary.host_comp = hostm.host_stats().comp_ticks;
+    run.summary.elapsed = hostm.host_stats().clock;
+  } else {
+    host.await_all();
+  }
+  par.await_exits();
+
+  tcp_detail::collect_tcp_results(host, dim, run, sh.m,
+                                  sh.opts.record_link_events);
+  if (sh.opts.checkpoint) run.checkpoints = certify_checkpoints(sh);
+  if (auto* tr = obs::tracer()) {
+    for (const auto& ck : run.checkpoints)
+      tr->instant(obs::Ev::kCkptCertify, obs::kHostNode, ck.stage, -1,
+                  run.summary.elapsed, ck.certified ? 1 : 0,
+                  ck.windows_agreed);
+    tr->instant(obs::Ev::kRunEnd, obs::kGlobal, -1, -1, run.summary.elapsed,
+                static_cast<std::int64_t>(run.errors.size()),
+                run.summary.watchdog_rounds);
+  }
+  return run;
+}
+
 SortRun run_sft_impl(int dim, SftShared& sh) {
   if (sh.opts.backend == transport::Backend::kShm) return run_sft_shm(dim, sh);
+  if (sh.opts.backend == transport::Backend::kTcp) return run_sft_tcp(dim, sh);
   // Run on the caller's machine when provided (reset() keeps its pool and
   // channel storage warm across campaign scenarios); construct one otherwise.
   std::optional<sim::Machine> owned;
@@ -781,6 +916,28 @@ int run_sft_shm_node(transport::ShmSegment& seg, cube::NodeId p) {
   if (hd.with_resume) sh.resume_llbs = seg.llbs();
   sh.output.assign(sh.input.size(), 0);
   return sft_child_body(seg, p, sh);
+}
+
+int run_sft_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p) {
+  const transport::TcpConfigHead& hd = ep.config();
+  SftShared sh;
+  sh.dim = static_cast<int>(hd.dim);
+  sh.m = static_cast<std::size_t>(hd.block);
+  sh.start_stage = hd.start_stage;
+  sh.opts.block = sh.m;
+  sh.opts.cost = hd.cost;
+  sh.opts.check_progress = hd.check_progress != 0;
+  sh.opts.check_feasibility = hd.check_feasibility != 0;
+  sh.opts.check_consistency = hd.check_consistency != 0;
+  sh.opts.check_exchange = hd.check_exchange != 0;
+  sh.opts.checkpoint = hd.checkpoint != 0;
+  sh.opts.record_link_events = hd.record_events != 0;
+  sh.opts.node_faults = tcp_detail::faults_from_wire(ep.faults());
+  sh.in_child = true;
+  sh.input = ep.input();
+  if (hd.with_resume) sh.resume_llbs = ep.llbs();
+  sh.output.assign(sh.input.size(), 0);
+  return sft_tcp_child_body(ep, p, sh);
 }
 
 }  // namespace detail

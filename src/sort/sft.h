@@ -44,6 +44,7 @@
 
 namespace aoft::transport {
 class ShmSegment;
+class TcpNodeEndpoint;
 }
 
 namespace aoft::sort {
@@ -102,6 +103,12 @@ struct SftOptions {
   // cannot share back) and is limited to dim <= transport::kMaxShmDim.
   transport::Backend backend = transport::Backend::kSim;
   transport::ShmOptions shm;
+
+  // kTcp options: one OS process per node over framed loopback/LAN sockets,
+  // with heartbeat-based peer-death detection in place of the shm parent's
+  // waitpid authority (docs/PROTOCOL.md §13).  Same rejections and dim cap
+  // as kShm.
+  transport::TcpOptions tcp;
 };
 
 namespace detail {
@@ -109,6 +116,9 @@ namespace detail {
 // against an attached segment, reconstructing the options from its header.
 // Returns the child's exit code.
 int run_sft_shm_node(transport::ShmSegment& seg, cube::NodeId p);
+// Same for the tcp backend: the endpoint has already received its CONFIG
+// (which is how aoft_node knew to dispatch here).
+int run_sft_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p);
 }  // namespace detail
 
 // Sort `input` (flattened, size 2^dim * block) reliably.  The returned run is

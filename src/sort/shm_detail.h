@@ -15,29 +15,52 @@
 
 namespace aoft::sort::shm_detail {
 
+// fault::NodeFault <-> POD conversions, shared with the tcp glue
+// (sort/tcp_detail.h) — the CONFIG broadcast carries the same WireFault rows
+// the shm segment stores.
+inline transport::WireFault wire_fault_of(const fault::NodeFault& f) {
+  transport::WireFault w;
+  if (f.halt_at) {
+    w.has_halt = 1;
+    w.halt_stage = f.halt_at->stage;
+    w.halt_iter = f.halt_at->iter;
+  }
+  if (f.invert_direction_from) {
+    w.has_invert = 1;
+    w.invert_stage = f.invert_direction_from->stage;
+    w.invert_iter = f.invert_direction_from->iter;
+  }
+  if (f.substitute_at) {
+    w.has_subst = 1;
+    w.subst_stage = f.substitute_at->stage;
+    w.subst_iter = f.substitute_at->iter;
+  }
+  w.subst_value = f.substitute_value;
+  w.silent_checker = f.silent_checker ? 1 : 0;
+  w.kill_process = f.kill_process ? 1 : 0;
+  w.wedge_process = f.wedge_process ? 1 : 0;
+  return w;
+}
+
+inline fault::NodeFault node_fault_of(const transport::WireFault& w) {
+  fault::NodeFault f;
+  if (w.has_halt) f.halt_at = fault::StagePoint{w.halt_stage, w.halt_iter};
+  if (w.has_invert)
+    f.invert_direction_from = fault::StagePoint{w.invert_stage, w.invert_iter};
+  if (w.has_subst)
+    f.substitute_at = fault::StagePoint{w.subst_stage, w.subst_iter};
+  f.substitute_value = w.subst_value;
+  f.silent_checker = w.silent_checker != 0;
+  f.kill_process = w.kill_process != 0;
+  f.wedge_process = w.wedge_process != 0;
+  return f;
+}
+
 inline void fill_wire_faults(transport::ShmSegment& seg,
                              const fault::NodeFaultMap& faults) {
   for (const auto& [p, f] : faults) {
     if (p >= seg.num_nodes()) continue;
-    transport::WireFault& w = seg.fault(p);
-    if (f.halt_at) {
-      w.has_halt = 1;
-      w.halt_stage = f.halt_at->stage;
-      w.halt_iter = f.halt_at->iter;
-    }
-    if (f.invert_direction_from) {
-      w.has_invert = 1;
-      w.invert_stage = f.invert_direction_from->stage;
-      w.invert_iter = f.invert_direction_from->iter;
-    }
-    if (f.substitute_at) {
-      w.has_subst = 1;
-      w.subst_stage = f.substitute_at->stage;
-      w.subst_iter = f.substitute_at->iter;
-    }
-    w.subst_value = f.substitute_value;
-    w.silent_checker = f.silent_checker ? 1 : 0;
-    w.kill_process = f.kill_process ? 1 : 0;
+    seg.fault(p) = wire_fault_of(f);
   }
 }
 
@@ -46,20 +69,25 @@ inline void fill_wire_faults(transport::ShmSegment& seg,
 inline fault::NodeFaultMap faults_from_segment(transport::ShmSegment& seg) {
   fault::NodeFaultMap out;
   for (cube::NodeId p = 0; p < seg.num_nodes(); ++p) {
-    const transport::WireFault& w = seg.fault(p);
-    fault::NodeFault f;
-    if (w.has_halt) f.halt_at = fault::StagePoint{w.halt_stage, w.halt_iter};
-    if (w.has_invert)
-      f.invert_direction_from =
-          fault::StagePoint{w.invert_stage, w.invert_iter};
-    if (w.has_subst)
-      f.substitute_at = fault::StagePoint{w.subst_stage, w.subst_iter};
-    f.substitute_value = w.subst_value;
-    f.silent_checker = w.silent_checker != 0;
-    f.kill_process = w.kill_process != 0;
+    fault::NodeFault f = node_fault_of(seg.fault(p));
     if (f.any()) out.emplace(p, f);
   }
   return out;
+}
+
+// Children publish link events in whatever order they finish; canonicalize
+// so the merged log is a deterministic function of the event multiset.
+// Shared by both multi-process collectors.
+inline void canonicalize_link_events(std::vector<sim::LinkEvent>& events) {
+  const auto key = [](const sim::LinkEvent& e) {
+    return std::make_tuple(e.stage, e.iter, e.from, e.to, e.to_host,
+                           e.from_host, static_cast<int>(e.kind), e.words,
+                           e.delivered);
+  };
+  std::sort(events.begin(), events.end(),
+            [&](const sim::LinkEvent& a, const sim::LinkEvent& b) {
+              return key(a) < key(b);
+            });
 }
 
 // Child-side terminal failure: record why and publish kFailed so peers and
@@ -123,19 +151,7 @@ inline void collect_shm_results(transport::ShmSegment& seg, SortRun& run,
       }
     }
   }
-  // Children publish in whatever order they finish; canonicalize so the
-  // merged log is a deterministic function of the event multiset.
-  if (record_events) {
-    const auto key = [](const sim::LinkEvent& e) {
-      return std::make_tuple(e.stage, e.iter, e.from, e.to, e.to_host,
-                             e.from_host, static_cast<int>(e.kind), e.words,
-                             e.delivered);
-    };
-    std::sort(run.link_events.begin(), run.link_events.end(),
-              [&](const sim::LinkEvent& a, const sim::LinkEvent& b) {
-                return key(a) < key(b);
-              });
-  }
+  if (record_events) canonicalize_link_events(run.link_events);
 }
 
 }  // namespace aoft::sort::shm_detail

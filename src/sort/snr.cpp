@@ -14,8 +14,10 @@
 #include "sort/blockops.h"
 #include "sort/sequential.h"
 #include "sort/shm_detail.h"
+#include "sort/tcp_detail.h"
 #include "transport/process.h"
 #include "transport/shm_transport.h"
+#include "transport/tcp_transport.h"
 
 namespace aoft::sort {
 
@@ -92,6 +94,7 @@ sim::SimTask snr_node(sim::Ctx& ctx, SnrShared& sh) {
     for (int j = i; j >= 0; --j) {
       if (fault && fault->halt_at && fault::reached(*fault->halt_at, i, j)) {
         if (fault->kill_process && sh.in_child) transport::kill_self();
+        if (fault->wedge_process && sh.in_child) transport::wedge_self();
         write_out();
         co_return;  // fail-silent: peers see message absence
       }
@@ -279,6 +282,87 @@ SortRun run_snr_shm(int dim, SnrShared& sh, const SnrOptions& opts) {
   return run;
 }
 
+// ---- socket backend ---------------------------------------------------------
+
+int snr_tcp_child_body(transport::TcpNodeEndpoint& ep, cube::NodeId p,
+                       SnrShared& sh) {
+  try {
+    ep.connect_peers();
+    sim::Machine mach(cube::Topology{sh.dim}, sh.cost);
+    mach.attach_remote(&ep, static_cast<std::int32_t>(p));
+    mach.set_interceptor(sh.interceptor);
+    mach.run_remote_node(p, [&sh](sim::Ctx& ctx) { return snr_node(ctx, sh); });
+    const std::size_t m = sh.m;
+    tcp_detail::finish_tcp_node(
+        ep, p, mach, std::span<const Key>(sh.output).subspan(p * m, m),
+        /*record_events=*/false);
+    return 0;
+  } catch (const std::exception& e) {
+    return tcp_detail::fail_tcp_node(ep, p, e.what());
+  }
+}
+
+SortRun run_snr_tcp(int dim, SnrShared& sh, const SnrOptions& opts) {
+  if (opts.machine != nullptr)
+    throw std::invalid_argument(
+        "SnrOptions::machine is a single-process affordance; not available "
+        "on the tcp backend");
+  if (dim > transport::kMaxProcessDim)
+    throw std::invalid_argument("tcp backend supports dim <= " +
+                                std::to_string(transport::kMaxProcessDim));
+
+  const cube::NodeId n = cube::NodeId{1} << dim;
+  const auto& topts = opts.tcp;
+  transport::TcpHostEndpoint host(dim, topts);
+  transport::TcpParent par(dim, topts.run_deadline_s);
+  host.set_host_poll([&par] { par.poll(); });
+  const auto pins =
+      topts.hosts_file.empty()
+          ? std::vector<std::optional<transport::HostPin>>(n)
+          : transport::parse_hosts_file(topts.hosts_file,
+                                        static_cast<int>(n));
+
+  const std::string parent_addr = host.addr();
+  const std::uint16_t parent_port = host.port();
+  sh.in_child = true;
+  if (topts.node_binary.empty()) {
+    const double setup_s = topts.run_deadline_s;
+    par.spawn_fork(
+        [&, setup_s](cube::NodeId p) {
+          try {
+            transport::TcpNodeEndpoint ep(
+                p, parent_addr, parent_port,
+                pins[p] ? pins[p]->addr : std::string("127.0.0.1"),
+                pins[p] ? pins[p]->port : std::uint16_t{0}, setup_s);
+            return snr_tcp_child_body(ep, p, sh);
+          } catch (const std::exception&) {
+            return 1;
+          }
+        },
+        pins);
+  } else {
+    par.spawn_exec(topts.node_binary, parent_addr, parent_port, pins);
+  }
+  sh.in_child = false;
+
+  host.rendezvous(topts.run_deadline_s);
+
+  transport::TcpConfigHead head;
+  head.block = sh.m;
+  head.algo = 1;
+  head.cost = sh.cost;
+  const auto wire_faults = tcp_detail::wire_faults_of(sh.node_faults, n);
+  host.broadcast_config(head, wire_faults, sh.input, {});
+
+  host.await_all();
+  par.await_exits();
+
+  SortRun run;
+  tcp_detail::collect_tcp_results(host, dim, run, sh.m,
+                                  /*record_events=*/false);
+  return run;
+}
+
 }  // namespace
 
 SortRun run_snr(int dim, std::span<const Key> input, const SnrOptions& opts) {
@@ -294,6 +378,8 @@ SortRun run_snr(int dim, std::span<const Key> input, const SnrOptions& opts) {
 
   if (opts.backend == transport::Backend::kShm)
     return run_snr_shm(dim, sh, opts);
+  if (opts.backend == transport::Backend::kTcp)
+    return run_snr_tcp(dim, sh, opts);
 
   std::optional<sim::Machine> owned;
   sim::Machine* machine = opts.machine;
@@ -343,6 +429,19 @@ int run_snr_shm_node(transport::ShmSegment& seg, cube::NodeId p) {
   sh.input = seg.input();
   sh.output.assign(sh.input.size(), 0);
   return snr_child_body(seg, p, sh);
+}
+
+int run_snr_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p) {
+  const transport::TcpConfigHead& hd = ep.config();
+  SnrShared sh;
+  sh.dim = static_cast<int>(hd.dim);
+  sh.m = static_cast<std::size_t>(hd.block);
+  sh.cost = hd.cost;
+  sh.node_faults = tcp_detail::faults_from_wire(ep.faults());
+  sh.in_child = true;
+  sh.input = ep.input();
+  sh.output.assign(sh.input.size(), 0);
+  return snr_tcp_child_body(ep, p, sh);
 }
 
 }  // namespace detail

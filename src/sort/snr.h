@@ -24,6 +24,7 @@
 
 namespace aoft::transport {
 class ShmSegment;
+class TcpNodeEndpoint;
 }
 
 namespace aoft::sort {
@@ -38,15 +39,17 @@ struct SnrOptions {
   // first; dimension must match).  See SftOptions::machine.
   sim::Machine* machine = nullptr;
 
-  // Transport selection, as in SftOptions: kShm rejects `machine` and runs
-  // one process per node.  The host-verified variant stays sim-only.
+  // Transport selection, as in SftOptions: kShm/kTcp reject `machine` and
+  // run one process per node.  The host-verified variant stays sim-only.
   transport::Backend backend = transport::Backend::kSim;
   transport::ShmOptions shm;
+  transport::TcpOptions tcp;
 };
 
 namespace detail {
 // Exec-mode child entry (tools/aoft_node) for the S_NR node program.
 int run_snr_shm_node(transport::ShmSegment& seg, cube::NodeId p);
+int run_snr_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p);
 }  // namespace detail
 
 // Sort `input` (flattened, size 2^dim * block) on a simulated dim-cube.

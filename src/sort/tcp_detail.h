@@ -1,0 +1,147 @@
+// Internal glue between the sort drivers and the socket backend: FINISH
+// publication from the node side, result assembly on the host side.  Used by
+// sft.cpp and snr.cpp only; shares the WireFault conversions and the
+// canonical link-event order with the shm glue (sort/shm_detail.h), which is
+// what makes the three backends' SortRuns byte-comparable.
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sort/shm_detail.h"
+#include "transport/tcp_transport.h"
+
+namespace aoft::sort::tcp_detail {
+
+inline std::vector<transport::WireFault> wire_faults_of(
+    const fault::NodeFaultMap& faults, cube::NodeId num_nodes) {
+  std::vector<transport::WireFault> out(num_nodes);
+  for (const auto& [p, f] : faults)
+    if (p < num_nodes) out[p] = shm_detail::wire_fault_of(f);
+  return out;
+}
+
+inline fault::NodeFaultMap faults_from_wire(
+    std::span<const transport::WireFault> wire) {
+  fault::NodeFaultMap out;
+  for (cube::NodeId p = 0; p < wire.size(); ++p) {
+    fault::NodeFault f = shm_detail::node_fault_of(wire[p]);
+    if (f.any()) out.emplace(p, f);
+  }
+  return out;
+}
+
+// Node-side terminal publication: stats, error reports, link events and the
+// output block ride the FINISH frame (the tcp analogue of finish_shm_node +
+// the output copy + the kDone store, in one shot — a FINISH is only ever
+// sent complete).
+inline void finish_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p,
+                            const sim::Machine& mach,
+                            std::span<const sim::Key> out_block,
+                            bool record_events) {
+  transport::FinishHead head;
+  const sim::NodeStats& st = mach.node_stats(p);
+  head.clock = st.clock;
+  head.comp_ticks = st.comp_ticks;
+  head.comm_ticks = st.comm_ticks;
+  head.msgs_sent = st.msgs_sent;
+  head.words_sent = st.words_sent;
+  head.watchdog_rounds =
+      static_cast<std::uint32_t>(mach.summary().watchdog_rounds);
+
+  std::vector<transport::WireError> errors;
+  for (const sim::ErrorReport& e : mach.errors()) {
+    if (errors.size() >= transport::kMaxSlotErrors) {
+      ++head.error_overflow;
+      continue;
+    }
+    transport::WireError w;
+    w.stage = e.stage;
+    w.iter = e.iter;
+    w.source = static_cast<std::uint8_t>(e.source);
+    std::snprintf(w.detail, sizeof w.detail, "%s", e.detail.c_str());
+    errors.push_back(w);
+  }
+
+  std::vector<transport::WireLinkEvent> events;
+  if (record_events) {
+    events.reserve(mach.link_events().size());
+    for (const sim::LinkEvent& e : mach.link_events()) {
+      transport::WireLinkEvent w;
+      w.from = static_cast<std::int32_t>(e.from);
+      w.to = static_cast<std::int32_t>(e.to);
+      w.kind = static_cast<std::uint8_t>(e.kind);
+      w.delivered = e.delivered ? 1 : 0;
+      w.to_host = e.to_host ? 1 : 0;
+      w.from_host = e.from_host ? 1 : 0;
+      w.stage = e.stage;
+      w.iter = e.iter;
+      w.words = e.words;
+      events.push_back(w);
+    }
+  }
+
+  ep.finish(transport::SlotState::kDone, head, errors, events, out_block);
+}
+
+// Node-side terminal failure: the tcp analogue of shm_detail::fail_child.
+inline int fail_tcp_node(transport::TcpNodeEndpoint& ep, cube::NodeId p,
+                         const char* what) {
+  transport::FinishHead head;
+  std::snprintf(head.fail_reason, sizeof head.fail_reason, "%s", what);
+  (void)p;
+  ep.finish(transport::SlotState::kFailed, head, {}, {}, {});
+  return 1;
+}
+
+// Host-side assembly after every node is terminal: mirrors
+// shm_detail::collect_shm_results field for field — a node the watchdog had
+// to declare dead published nothing, and the fault stays visible through its
+// peers' kTimeout reports, like a sim halt.
+inline void collect_tcp_results(transport::TcpHostEndpoint& host, int dim,
+                                SortRun& run, std::size_t m,
+                                bool record_events) {
+  const cube::NodeId n = cube::NodeId{1} << dim;
+  run.output.assign(static_cast<std::size_t>(n) * m, 0);
+  for (cube::NodeId p = 0; p < n; ++p) {
+    const transport::TcpSlot& slot = host.slot(p);
+    if (slot.output.size() == m)
+      std::copy(slot.output.begin(), slot.output.end(),
+                run.output.begin() + static_cast<std::ptrdiff_t>(p * m));
+    for (const transport::WireError& w : slot.errors) {
+      sim::ErrorReport r;
+      r.node = p;
+      r.stage = w.stage;
+      r.iter = w.iter;
+      r.source = static_cast<sim::ErrorSource>(w.source);
+      r.detail = w.detail;
+      run.errors.push_back(std::move(r));
+    }
+    run.summary.elapsed = std::max(run.summary.elapsed, slot.head.clock);
+    run.summary.max_comm = std::max(run.summary.max_comm, slot.head.comm_ticks);
+    run.summary.max_comp = std::max(run.summary.max_comp, slot.head.comp_ticks);
+    run.summary.total_msgs += slot.head.msgs_sent;
+    run.summary.total_words += slot.head.words_sent;
+    run.summary.watchdog_rounds +=
+        static_cast<int>(slot.head.watchdog_rounds);
+    if (record_events) {
+      for (const transport::WireLinkEvent& w : slot.events) {
+        sim::LinkEvent ev;
+        ev.from = static_cast<cube::NodeId>(w.from);
+        ev.to = static_cast<cube::NodeId>(w.to);
+        ev.kind = static_cast<sim::MsgKind>(w.kind);
+        ev.stage = w.stage;
+        ev.iter = w.iter;
+        ev.words = w.words;
+        ev.delivered = w.delivered != 0;
+        ev.to_host = w.to_host != 0;
+        ev.from_host = w.from_host != 0;
+        run.link_events.push_back(ev);
+      }
+    }
+  }
+  if (record_events) shm_detail::canonicalize_link_events(run.link_events);
+}
+
+}  // namespace aoft::sort::tcp_detail

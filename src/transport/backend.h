@@ -4,7 +4,9 @@
 // every protocol claim is first established there.  The shared-memory
 // backend (transport/shm_segment.h) runs the same node programs as one OS
 // process per hypercube node over lock-free SPSC rings in an mmap'd segment;
-// its sorted output and fail-stop verdicts must match the simulator's for
+// the socket backend (transport/tcp_transport.h) runs them over
+// WireMsgHdr-framed TCP streams so an n-cube can span hosts.  Both must
+// reproduce the simulator's sorted output and fail-stop verdicts for
 // identical fault scripts (docs/PROTOCOL.md §11 — the oracle contract).
 
 #pragma once
@@ -18,12 +20,14 @@ namespace aoft::transport {
 enum class Backend : std::uint8_t {
   kSim = 0,  // single-process deterministic coroutine simulator (the oracle)
   kShm = 1,  // one OS process per node over shared-memory SPSC rings
+  kTcp = 2,  // one OS process per node over framed TCP streams (may span hosts)
 };
 
 inline const char* to_string(Backend b) {
   switch (b) {
     case Backend::kSim: return "sim";
     case Backend::kShm: return "shm";
+    case Backend::kTcp: return "tcp";
   }
   return "?";
 }
@@ -37,21 +41,36 @@ inline bool parse_backend(std::string_view s, Backend& out) {
     out = Backend::kShm;
     return true;
   }
+  if (s == "tcp") {
+    out = Backend::kTcp;
+    return true;
+  }
   return false;
 }
 
+// Multi-process backends cap the cube so a fleet stays within sane process
+// and file-descriptor budgets (256 node processes; the parent holds one
+// socket per node under tcp).
+inline constexpr int kMaxProcessDim = 8;
+
+// Real-time bound a blocked receiver waits for link activity before its
+// watchdog declares message absence (Environmental Assumption 4 needs an
+// actual clock on a real transport).  One documented constant shared by the
+// shm and tcp backends — ShmOptions, ShmSegment::Config, SegmentHeader and
+// TcpOptions must all agree on it, which historically they did not.
+inline constexpr double kDefaultRecvTimeoutS = 15.0;
+
+// Parent-side bound on the whole run: on expiry every spawned child is
+// SIGKILLed, after which the surviving receivers fail over normally.
+inline constexpr double kDefaultRunDeadlineS = 120.0;
+
 // Knobs for the shared-memory backend (ignored under kSim).
 struct ShmOptions {
-  // Real-time bound a blocked receiver waits for link activity before its
-  // watchdog declares message absence.  Environmental Assumption 4 needs an
-  // actual clock on a real transport; peer death is detected much faster via
-  // the per-node status slots, so the timeout is only the backstop for a
-  // peer that wedges without dying.
-  double recv_timeout_s = 15.0;
+  // Backstop for a peer that wedges without dying; peer *death* is detected
+  // much faster via the per-node status slots.
+  double recv_timeout_s = kDefaultRecvTimeoutS;
 
-  // Parent-side bound on the whole run: on expiry every child is SIGKILLed,
-  // after which the surviving receivers fail over normally.
-  double run_deadline_s = 120.0;
+  double run_deadline_s = kDefaultRunDeadlineS;
 
   // Non-empty: spawn each node by exec'ing this launcher binary
   // (tools/aoft_node) so every node gets a fresh address space.  Empty: fork
@@ -59,6 +78,40 @@ struct ShmOptions {
   // copy-on-write, which is what lets the fault-injection test rigs run
   // unchanged over real processes.
   std::string node_binary;
+};
+
+// Knobs for the socket backend (ignored under kSim/kShm).  Defaults run the
+// whole cube over loopback with ephemeral rendezvous ports; a hosts file
+// (docs/PROTOCOL.md §13.2) pins addresses so nodes can live on other
+// machines, launched there as `aoft_node --connect=HOST:PORT --node=P`.
+struct TcpOptions {
+  // Same watchdog backstop the shm backend uses (shared constant above).
+  double recv_timeout_s = kDefaultRecvTimeoutS;
+
+  double run_deadline_s = kDefaultRunDeadlineS;
+
+  // Heartbeat cadence: every endpoint emits a heartbeat frame on each link
+  // that has been transmit-idle for `heartbeat_interval_s`; a peer whose
+  // link has been receive-silent for `heartbeat_loss_s` transitions to the
+  // terminal kDead slot state (docs/PROTOCOL.md §13.4).  The loss bound must
+  // exceed the longest compute burst a node performs between waits — the
+  // sorts here compute for microseconds, so the default leaves ~4 missed
+  // beats of margin.
+  double heartbeat_interval_s = 0.25;
+  double heartbeat_loss_s = 2.0;
+
+  // Non-empty: spawn each local node by exec'ing this launcher binary
+  // (tools/aoft_node --connect=...).  Empty: fork directly, as under shm.
+  std::string node_binary;
+
+  // Parent rendezvous endpoint.  Port 0 binds an ephemeral port (spawned
+  // children are told the real one on their command line / closure).
+  std::string listen_addr = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  // Parsed hosts file (aoft_sort_cli --hosts=FILE).  Empty: every node is
+  // local, binds 127.0.0.1:ephemeral, and is spawned by the parent.
+  std::string hosts_file;
 };
 
 }  // namespace aoft::transport

@@ -1,0 +1,78 @@
+// Timeout-based peer-death detection for the socket backend
+// (docs/PROTOCOL.md §13.4).
+//
+// The shm backend gets death detection for free: the parent waitpid()s and
+// flips the victim's segment slot to kDead.  Over sockets there is no shared
+// parent authority — each endpoint must decide for itself when a silent peer
+// is gone.  PeerWatch is that decision, as a pure state machine over
+// caller-supplied time points (so tests drive it with fake clocks):
+//
+//   kIdle --connect--> kRunning --FINISH--> kDone | kFailed
+//                         |
+//                         +------EOF/ECONNRESET--------------> kDead
+//                         +------silence > heartbeat_loss_s--> kDead
+//
+// kDead may later upgrade to kDone/kFailed if a FINISH frame was already in
+// flight when the watchdog fired — results beat timeouts.  All other
+// terminal states are sticky.  `terminal()` uses the shared slot_terminal()
+// predicate, so the supervisor ladder retires a heartbeat-lost tcp peer into
+// the subcube rung by exactly the rule it applies to a SIGKILLed shm child.
+
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "transport/slot_state.h"
+
+namespace aoft::transport {
+
+class PeerWatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Time = Clock::time_point;
+
+  // `n` peers, all kIdle.  heartbeat_loss_s <= 0 disables the silence rule
+  // (EOF and FINISH still apply).
+  PeerWatch(int n, double heartbeat_loss_s);
+
+  // Peer connected (or was first heard from): kIdle -> kRunning, stamps
+  // last_rx.  No-op on a terminal peer.
+  void mark_up(int peer, Time now);
+
+  // Any bytes arrived from the peer (data or heartbeat): refresh last_rx.
+  void note_activity(int peer, Time now);
+
+  // FINISH frame processed: terminal result state.  Upgrades kDead (result
+  // already in flight when the watchdog fired); ignored if already
+  // kDone/kFailed.
+  void mark_finished(int peer, SlotState result);
+
+  // Connection EOF / reset without FINISH: kDead unless already kDone or
+  // kFailed.
+  void mark_dead(int peer);
+
+  // Apply the silence rule to every kRunning peer; returns true if any peer
+  // transitioned to kDead.
+  bool sweep(Time now);
+
+  // Earliest deadline at which sweep() could change state, or Time::max()
+  // when no peer is subject to the silence rule.  Lets the poll loop sleep
+  // exactly long enough.
+  Time next_deadline() const;
+
+  SlotState state(int peer) const { return peers_[peer].state; }
+  bool terminal(int peer) const { return slot_terminal(peers_[peer].state); }
+  bool all_terminal() const;
+
+ private:
+  struct Peer {
+    SlotState state = SlotState::kIdle;
+    Time last_rx{};
+  };
+  std::vector<Peer> peers_;
+  std::chrono::duration<double> loss_;
+  bool silence_rule_;
+};
+
+}  // namespace aoft::transport

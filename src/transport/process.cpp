@@ -172,4 +172,13 @@ void kill_self() {
   for (;;) pause();  // unreachable; SIGKILL cannot be caught
 }
 
+void wedge_self() {
+  // A stopped process holds its sockets open and beats no heartbeat: only
+  // timeout-based detection can retire it.  If anything ever SIGCONTs us,
+  // die rather than resume a protocol the cube has long since given up on.
+  raise(SIGSTOP);
+  raise(SIGKILL);
+  for (;;) pause();
+}
+
 }  // namespace aoft::transport

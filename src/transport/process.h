@@ -69,4 +69,9 @@ void finish_shm_node(ShmSegment& seg, cube::NodeId p, const sim::Machine& mach);
 // to a graceful halt; that equivalence is part of the oracle contract.)
 [[noreturn]] void kill_self();
 
+// The wedge injection for the tcp backend: SIGSTOP mid-protocol, so the
+// process neither speaks nor exits and only the heartbeat-loss watchdog can
+// declare it dead (fault::NodeFault::wedge_process).
+[[noreturn]] void wedge_self();
+
 }  // namespace aoft::transport

@@ -32,11 +32,13 @@
 #include "hypercube/topology.h"
 #include "sim/cost_model.h"
 #include "sim/pool.h"
+#include "transport/backend.h"
 #include "transport/shm_ring.h"
+#include "transport/slot_state.h"
 
 namespace aoft::transport {
 
-inline constexpr int kMaxShmDim = 8;  // 256 node processes is plenty
+inline constexpr int kMaxShmDim = kMaxProcessDim;  // shared multi-process cap
 inline constexpr char kSegmentMagic[8] = {'A', 'O', 'F', 'T',
                                           'S', 'H', 'M', '1'};
 inline constexpr std::uint32_t kSegmentVersion = 1;
@@ -51,7 +53,7 @@ inline constexpr std::int32_t kHostRole = -1;
 // inherit the parent's NodeFaultMap).
 struct WireFault {
   std::uint8_t has_halt = 0, has_invert = 0, has_subst = 0;
-  std::uint8_t silent_checker = 0, kill_process = 0;
+  std::uint8_t silent_checker = 0, kill_process = 0, wedge_process = 0;
   std::int32_t halt_stage = 0, halt_iter = 0;
   std::int32_t invert_stage = 0, invert_iter = 0;
   std::int32_t subst_stage = 0, subst_iter = 0;
@@ -71,20 +73,8 @@ struct WireLinkEvent {
   std::uint32_t words = 0;
 };
 
-enum class SlotState : std::uint32_t {
-  kIdle = 0,     // spawned, child not yet running
-  kRunning = 1,  // child entered its node program
-  kDone = 2,     // child completed and published its results
-  kFailed = 3,   // child caught an exception (harness bug; fail_reason set)
-  kDead = 4,     // parent reaped a crash/SIGKILL without a kDone slot
-};
-
-// Terminal from a waiting peer's point of view: no further message can ever
-// originate from this node.
-inline bool slot_terminal(SlotState s) {
-  return s == SlotState::kDone || s == SlotState::kFailed ||
-         s == SlotState::kDead;
-}
+// SlotState and slot_terminal() live in transport/slot_state.h — the tcp
+// backend's PeerWatch shares them.
 
 struct NodeSlot {
   std::atomic<std::uint32_t> state;  // SlotState; child-written, parent-reaped
@@ -111,8 +101,8 @@ struct SegmentHeader {
   std::uint8_t check_progress = 1, check_feasibility = 1;
   std::uint8_t check_consistency = 1, check_exchange = 1;
   std::int32_t host_pid = 0;
-  double recv_timeout_s = 0.0;
-  double run_deadline_s = 0.0;
+  double recv_timeout_s = kDefaultRecvTimeoutS;
+  double run_deadline_s = kDefaultRunDeadlineS;
   sim::CostModel cost{};
   std::uint64_t link_ring_bytes = 0, up_ring_bytes = 0, down_ring_bytes = 0;
   std::uint32_t event_cap = 0;
@@ -135,8 +125,8 @@ class ShmSegment {
     bool check_progress = true, check_feasibility = true;
     bool check_consistency = true, check_exchange = true;
     sim::CostModel cost{};
-    double recv_timeout_s = 15.0;
-    double run_deadline_s = 120.0;
+    double recv_timeout_s = kDefaultRecvTimeoutS;
+    double run_deadline_s = kDefaultRunDeadlineS;
   };
 
   // Parent side: create, size and zero-init a fresh segment.  Throws

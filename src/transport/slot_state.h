@@ -1,0 +1,42 @@
+// Per-node lifecycle state shared by the multi-process backends.
+//
+// The shm backend stores a SlotState in each NodeSlot of the mmap'd segment;
+// the tcp backend tracks the same states per peer in PeerWatch.  Keeping the
+// enum in one header means "terminal" means exactly one thing everywhere:
+// the supervisor ladder retires a kDead tcp peer into the subcube rung by
+// the same rule it uses for a SIGKILLed shm child.
+
+#pragma once
+
+#include <cstdint>
+
+namespace aoft::transport {
+
+enum class SlotState : std::uint32_t {
+  kIdle = 0,     // spawned/known, node not yet running
+  kRunning = 1,  // node entered its node program
+  kDone = 2,     // node completed and published its results
+  kFailed = 3,   // node caught an exception (harness bug; fail_reason set)
+  kDead = 4,     // death observed without a kDone slot: shm — parent reaped a
+                 // crash/SIGKILL; tcp — connection EOF or heartbeat loss
+};
+
+inline const char* to_string(SlotState s) {
+  switch (s) {
+    case SlotState::kIdle: return "idle";
+    case SlotState::kRunning: return "running";
+    case SlotState::kDone: return "done";
+    case SlotState::kFailed: return "failed";
+    case SlotState::kDead: return "dead";
+  }
+  return "?";
+}
+
+// Terminal from a waiting peer's point of view: no further message can ever
+// originate from this node.
+inline bool slot_terminal(SlotState s) {
+  return s == SlotState::kDone || s == SlotState::kFailed ||
+         s == SlotState::kDead;
+}
+
+}  // namespace aoft::transport

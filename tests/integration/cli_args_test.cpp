@@ -85,20 +85,34 @@ TEST(CliArgs, GarbageNumericValuesAreUsageErrors) {
 }
 
 TEST(CliArgs, TransportSurfaceValidation) {
-  EXPECT_EQ(run_cli({"--transport=tcp"}), 1);
+  EXPECT_EQ(run_cli({"--transport=carrier-pigeon"}), 1);
   EXPECT_EQ(run_cli({"--transport=shm", "--algo=host", "--dim=2"}), 1);
+  EXPECT_EQ(run_cli({"--transport=tcp", "--algo=host", "--dim=2"}), 1);
   EXPECT_EQ(run_cli({"--transport=shm", "--campaign"}), 1);
+  EXPECT_EQ(run_cli({"--transport=tcp", "--campaign"}), 1);
   EXPECT_EQ(run_cli({"--transport=shm", "--dim=9"}), 1);
+  EXPECT_EQ(run_cli({"--transport=tcp", "--dim=9"}), 1);
   EXPECT_EQ(run_cli({"--node-bin=/bin/true", "--dim=2"}), 1)
-      << "--node-bin without --transport=shm";
+      << "--node-bin without a multi-process transport";
   EXPECT_EQ(run_cli({"--transport=shm", "--dim=2", "--timeout=soon"}), 1);
+  EXPECT_EQ(run_cli({"--hosts=hosts.txt", "--dim=2"}), 1)
+      << "--hosts without --transport=tcp";
+  EXPECT_EQ(run_cli({"--transport=shm", "--hosts=hosts.txt", "--dim=2"}), 1);
   EXPECT_EQ(run_cli({"--kill=1@1:0", "--halt=1@1:0", "--dim=2"}), 1)
       << "--kill and --halt are mutually exclusive";
+  EXPECT_EQ(run_cli({"--wedge=1@1:0", "--halt=1@1:0", "--dim=2"}), 1)
+      << "--wedge and --halt are mutually exclusive";
+  EXPECT_EQ(run_cli({"--wedge=1@1:0", "--kill=1@1:0", "--dim=2"}), 1)
+      << "--wedge and --kill are mutually exclusive";
+  EXPECT_EQ(run_cli({"--transport=shm", "--wedge=1@1:0", "--dim=2"}), 1)
+      << "a stopped child is invisible to waitpid: --wedge rejects shm";
 }
 
 TEST(CliArgs, CleanRunsStillExitZero) {
   EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--quiet"}), 0);
   EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--transport=shm", "--quiet"}),
+            0);
+  EXPECT_EQ(run_cli({"--algo=sft", "--dim=2", "--transport=tcp", "--quiet"}),
             0);
 }
 
@@ -154,6 +168,21 @@ TEST(CliArgs, SimAndShmEmitRunsAgree) {
   ASSERT_TRUE(obs::json::get_str(b, "transport", tb));
   EXPECT_EQ(ta, "sim");
   EXPECT_EQ(tb, "shm");
+
+  // Same agreement over sockets: only the transport label may move.
+  const auto tcp_path = fresh_path("tcp.json");
+  ASSERT_EQ(run_cli(with({"--transport=tcp", "--emit-run=" + tcp_path})), 2);
+  const auto tcp_v = parse_run_file(tcp_path);
+  const auto& c = tcp_v.object();
+  for (const char* key : {"outcome", "algo", "output_fnv"}) {
+    std::string sa, sc;
+    ASSERT_TRUE(obs::json::get_str(a, key, sa)) << key;
+    ASSERT_TRUE(obs::json::get_str(c, key, sc)) << key;
+    EXPECT_EQ(sa, sc) << key;
+  }
+  std::string tc;
+  ASSERT_TRUE(obs::json::get_str(c, "transport", tc));
+  EXPECT_EQ(tc, "tcp");
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Stream framing for the socket backend (docs/PROTOCOL.md §13.1): the
+// FrameReader must reassemble frames from arbitrary byte-stream fragmentation
+// — TCP guarantees order and completeness but nothing about boundaries, so a
+// header can arrive split across two reads and a payload across ten.  Also
+// covered: the malformed-stream latch (garbage lengths/types stop the reader
+// instead of desynchronizing it) and TcpConn's nonblocking short-write /
+// partial-read handling over a socketpair.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <vector>
+
+#include "transport/frame.h"
+#include "transport/tcp_transport.h"
+
+namespace aoft::transport {
+namespace {
+
+std::vector<unsigned char> bytes_of(std::initializer_list<int> v) {
+  std::vector<unsigned char> out;
+  for (int b : v) out.push_back(static_cast<unsigned char>(b));
+  return out;
+}
+
+std::vector<unsigned char> payload_bytes(std::size_t n, unsigned seed) {
+  std::vector<unsigned char> p(n);
+  for (std::size_t i = 0; i < n; ++i)
+    p[i] = static_cast<unsigned char>((seed + i * 131) & 0xff);
+  return p;
+}
+
+TEST(FrameReader, RoundTripsFramesFedByteAtATime) {
+  std::vector<unsigned char> stream;
+  const auto p1 = payload_bytes(5, 1);
+  const auto p2 = payload_bytes(0, 2);  // heartbeat: empty payload
+  const auto p3 = payload_bytes(300, 3);
+  append_frame(stream, FrameType::kData, p1);
+  append_frame(stream, FrameType::kHeartbeat, p2);
+  append_frame(stream, FrameType::kFinish, p3);
+
+  FrameReader r;
+  std::vector<std::pair<FrameType, std::vector<unsigned char>>> got;
+  for (unsigned char b : stream) {
+    r.feed({&b, 1});
+    while (auto f = r.next())
+      got.emplace_back(f->type, std::vector<unsigned char>(f->payload.begin(),
+                                                           f->payload.end()));
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, FrameType::kData);
+  EXPECT_EQ(got[0].second, p1);
+  EXPECT_EQ(got[1].first, FrameType::kHeartbeat);
+  EXPECT_TRUE(got[1].second.empty());
+  EXPECT_EQ(got[2].first, FrameType::kFinish);
+  EXPECT_EQ(got[2].second, p3);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.malformed());
+}
+
+TEST(FrameReader, SplitMidHeaderStaysPending) {
+  std::vector<unsigned char> stream;
+  const auto p = payload_bytes(16, 9);
+  append_frame(stream, FrameType::kConfig, p);
+
+  FrameReader r;
+  // First fragment ends 3 bytes into the 8-byte header.
+  r.feed({stream.data(), 3});
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.malformed());
+  // Second fragment completes the header but not the payload.
+  r.feed({stream.data() + 3, sizeof(FrameHdr)});
+  EXPECT_FALSE(r.next().has_value());
+  // Rest of the payload: the frame pops out whole.
+  r.feed({stream.data() + 3 + sizeof(FrameHdr),
+          stream.size() - 3 - sizeof(FrameHdr)});
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kConfig);
+  EXPECT_EQ(std::vector<unsigned char>(f->payload.begin(), f->payload.end()),
+            p);
+}
+
+TEST(FrameReader, ManyFramesAcrossUnevenFragments) {
+  std::vector<unsigned char> stream;
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i)
+    append_frame(stream, FrameType::kData,
+                 payload_bytes(static_cast<std::size_t>(i % 37), i));
+  FrameReader r;
+  int got = 0;
+  std::size_t at = 0;
+  std::size_t chunk = 1;
+  while (at < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - at);
+    r.feed({stream.data() + at, n});
+    at += n;
+    chunk = chunk * 3 % 101 + 1;  // uneven, deterministic fragment sizes
+    while (auto f = r.next()) {
+      EXPECT_EQ(f->payload.size(), static_cast<std::size_t>(got % 37));
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, kFrames);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(FrameReader, ImpossibleLengthLatchesMalformed) {
+  FrameHdr h;
+  h.len = kMaxFrameBytes + 1;
+  h.type = static_cast<std::uint8_t>(FrameType::kData);
+  FrameReader r;
+  r.feed({reinterpret_cast<const unsigned char*>(&h), sizeof h});
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.malformed());
+  // Latched: even a valid follow-up frame yields nothing.
+  std::vector<unsigned char> good;
+  append_frame(good, FrameType::kHeartbeat, {});
+  r.feed(good);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(FrameReader, UnknownTypeLatchesMalformed) {
+  auto junk = bytes_of({0, 0, 0, 0, 99, 0, 0, 0});  // len=0, type=99
+  FrameReader r;
+  r.feed(junk);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.malformed());
+
+  auto zero = bytes_of({0, 0, 0, 0, 0, 0, 0, 0});  // type=0 is also invalid
+  FrameReader r2;
+  r2.feed(zero);
+  EXPECT_FALSE(r2.next().has_value());
+  EXPECT_TRUE(r2.malformed());
+}
+
+TEST(Frame, TakeCursorReadsPodsAndRejectsShortPayloads) {
+  WireHello hello;
+  std::memcpy(hello.magic, kTcpMagic, sizeof kTcpMagic);
+  hello.role = 3;
+  hello.listen_port = 4242;
+  std::vector<unsigned char> buf(as_bytes_of(hello).begin(),
+                                 as_bytes_of(hello).end());
+  std::span<const unsigned char> cursor(buf);
+  WireHello out;
+  ASSERT_TRUE(take(cursor, out));
+  EXPECT_EQ(out.role, 3);
+  EXPECT_EQ(out.listen_port, 4242);
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_FALSE(take(cursor, out)) << "empty cursor must refuse";
+}
+
+// ---- TcpConn over a socketpair ---------------------------------------------
+
+struct ConnPair {
+  TcpConn a, b;
+  ConnPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    for (int fd : fds) {
+      const int fl = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    }
+    a = TcpConn(fds[0]);
+    b = TcpConn(fds[1]);
+  }
+};
+
+TEST(TcpConn, FramesSurvivePartialReadsAndShortWrites) {
+  ConnPair pair;
+  // Big enough to overflow the socketpair's buffer: flush() must report
+  // "not drained" and finish over multiple calls while the peer reads.
+  const auto big = payload_bytes(1 << 20, 7);
+  pair.a.queue_frame(FrameType::kData, big);
+
+  std::vector<unsigned char> got;
+  bool done = false;
+  for (int spin = 0; spin < 100000 && !done; ++spin) {
+    pair.a.flush();
+    pair.b.read_some();
+    while (auto f = pair.b.reader().next()) {
+      got.assign(f->payload.begin(), f->payload.end());
+      done = true;
+    }
+  }
+  ASSERT_TRUE(done) << "1 MiB frame never reassembled";
+  EXPECT_EQ(got, big);
+  EXPECT_FALSE(pair.a.want_write());
+}
+
+TEST(TcpConn, InterleavedSmallFramesKeepOrder) {
+  ConnPair pair;
+  for (int i = 0; i < 64; ++i)
+    pair.a.queue_frame(i % 2 ? FrameType::kHeartbeat : FrameType::kData,
+                       payload_bytes(static_cast<std::size_t>(i), i));
+  int seen = 0;
+  for (int spin = 0; spin < 1000 && seen < 64; ++spin) {
+    pair.a.flush();
+    pair.b.read_some();
+    while (auto f = pair.b.reader().next()) {
+      EXPECT_EQ(f->payload.size(), static_cast<std::size_t>(seen));
+      EXPECT_EQ(f->type,
+                seen % 2 ? FrameType::kHeartbeat : FrameType::kData);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 64);
+}
+
+TEST(TcpConn, PeerCloseReadsAsEof) {
+  ConnPair pair;
+  pair.a.queue_frame(FrameType::kFinish, payload_bytes(8, 1));
+  pair.a.flush();
+  pair.a.close_fd();
+
+  // The queued frame still arrives (kernel buffered), then EOF.
+  bool got_finish = false;
+  for (int spin = 0; spin < 1000 && !pair.b.eof(); ++spin) {
+    pair.b.read_some();
+    while (auto f = pair.b.reader().next())
+      got_finish = f->type == FrameType::kFinish;
+  }
+  EXPECT_TRUE(got_finish) << "in-flight FINISH must beat the EOF";
+  EXPECT_TRUE(pair.b.eof());
+  EXPECT_EQ(pair.b.read_some(), 0u);
+}
+
+TEST(TcpConn, WritingToAClosedPeerAbsorbsSilently) {
+  ConnPair pair;
+  pair.b.close_fd();
+  // MSG_NOSIGNAL + broken-connection absorption: no signal, no throw, and
+  // the writer keeps draining its buffer as if the receiver halted.
+  for (int i = 0; i < 100; ++i)
+    pair.a.queue_frame(FrameType::kData, payload_bytes(1000, i));
+  EXPECT_TRUE(pair.a.flush());
+  EXPECT_FALSE(pair.a.want_write());
+}
+
+}  // namespace
+}  // namespace aoft::transport

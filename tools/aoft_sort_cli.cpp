@@ -11,18 +11,26 @@
 //   aoft_sort_cli --algo=sft --dim=4 --halt=9@2:0 --transient --recover=rollback
 //   aoft_sort_cli --algo=sft --dim=3 --transport=shm
 //   aoft_sort_cli --algo=sft --dim=3 --transport=shm --kill=2@1:0 --recover=ladder
+//   aoft_sort_cli --algo=sft --dim=3 --transport=tcp --wedge=2@1:0 --recover=ladder
 //   aoft_sort_cli --campaign --dim=4 --runs=40 --jobs=0 --seed=1989
 //   aoft_sort_cli --campaign --multi=3 --jobs=2
 //   aoft_sort_cli --campaign --jobs=0 --pin=compact
 //
 // --transport picks the fabric (docs/PROTOCOL.md §11): sim (default) is the
 // deterministic in-process simulator, shm runs one OS process per node over
-// shared-memory rings (sft/snr only, dim <= 8, no --campaign).  --node-bin
-// spawns nodes by exec'ing tools/aoft_node instead of forking; --timeout
-// overrides the shm watchdog's receive timeout.  --kill=node@stage:iter
-// escalates a halt fault to real process death (SIGKILL under shm, graceful
-// halt under sim — identical fail-stop verdicts either way, which is the
-// oracle contract).  --emit-run writes a canonical aoft-run-v1 JSON record
+// shared-memory rings, tcp runs one OS process per node over framed loopback
+// or LAN sockets (docs/PROTOCOL.md §13; both multi-process fabrics are
+// sft/snr only, dim <= 8, no --campaign).  --node-bin spawns nodes by
+// exec'ing tools/aoft_node instead of forking; --timeout overrides the
+// receive-timeout backstop; --hosts=FILE (tcp only) pins nodes to machines
+// the operator launches aoft_node on by hand.  --kill=node@stage:iter
+// escalates a halt fault to real process death (SIGKILL under shm/tcp,
+// graceful halt under sim — identical fail-stop verdicts either way, which
+// is the oracle contract).  --wedge=node@stage:iter instead SIGSTOPs the
+// node: it neither speaks nor exits, which only the tcp heartbeat watchdog
+// (or the sim, degrading it to a graceful halt) can tell apart from a slow
+// peer — the shm parent's waitpid authority cannot, so --wedge rejects
+// --transport=shm.  --emit-run writes a canonical aoft-run-v1 JSON record
 // of the run (parameters, outcome, sorted error tuples, output checksum);
 // bench_check --cross-check compares two of them across transports.
 // --trace-links writes the run's per-message link events as a canonically
@@ -122,15 +130,17 @@ struct Args {
   int checkpoint_every = 1;    // --checkpoint-every=N
   int stop_after = 0;          // --stop-after=N (kill-point simulation)
   fault::InjectionPolicy injection;  // --mode=scripted|independent:P|runlength:K
-  // transport (docs/PROTOCOL.md §11)
+  // transport (docs/PROTOCOL.md §11, §13)
   transport::Backend backend = transport::Backend::kSim;
-  std::string node_bin;      // --node-bin=PATH (shm exec mode)
-  double shm_timeout = 0.0;  // --timeout=SECONDS (shm watchdog; 0 = default)
+  std::string node_bin;      // --node-bin=PATH (shm/tcp exec mode)
+  double shm_timeout = 0.0;  // --timeout=SECONDS (recv backstop; 0 = default)
+  std::string hosts_file;    // --hosts=FILE (tcp: pin nodes to machines)
   std::string emit_run;      // --emit-run=PATH (aoft-run-v1 record)
   std::string trace_links;   // --trace-links=PATH (canonical kLink trace)
   // fault specs "node@stage:iter"
   bool has_halt = false, has_invert = false, has_two_faced = false;
-  bool has_kill = false;  // --kill: halt escalated to process death
+  bool has_kill = false;   // --kill: halt escalated to process death
+  bool has_wedge = false;  // --wedge: halt escalated to SIGSTOP (wedged peer)
   cube::NodeId fault_node = 0;
   fault::StagePoint fault_point{};
 };
@@ -199,9 +209,19 @@ bool parse(int argc, char** argv, Args& args) {
       args.has_kill =
           parse_point(value("--kill="), args.fault_node, args.fault_point);
       if (!args.has_kill) return false;
+    } else if (a.rfind("--wedge=", 0) == 0) {
+      args.has_wedge =
+          parse_point(value("--wedge="), args.fault_node, args.fault_point);
+      if (!args.has_wedge) return false;
     } else if (a.rfind("--transport=", 0) == 0) {
       if (!transport::parse_backend(value("--transport="), args.backend)) {
-        std::fprintf(stderr, "--transport must be sim|shm\n");
+        std::fprintf(stderr, "--transport must be sim|shm|tcp\n");
+        return false;
+      }
+    } else if (a.rfind("--hosts=", 0) == 0) {
+      args.hosts_file = value("--hosts=");
+      if (args.hosts_file.empty()) {
+        std::fprintf(stderr, "--hosts requires a path\n");
         return false;
       }
     } else if (a.rfind("--node-bin=", 0) == 0) {
@@ -399,19 +419,21 @@ bool parse(int argc, char** argv, Args& args) {
     return false;
   }
   const bool shm = args.backend == transport::Backend::kShm;
-  if (shm) {
+  const bool tcp = args.backend == transport::Backend::kTcp;
+  if (shm || tcp) {
+    const char* t = shm ? "shm" : "tcp";
     if (args.campaign) {
-      std::fprintf(stderr, "--transport=shm does not support --campaign "
-                           "(campaigns run on the in-process simulator)\n");
+      std::fprintf(stderr, "--transport=%s does not support --campaign "
+                           "(campaigns run on the in-process simulator)\n", t);
       return false;
     }
     if (args.algo != "sft" && args.algo != "snr") {
-      std::fprintf(stderr, "--transport=shm requires --algo=sft|snr\n");
+      std::fprintf(stderr, "--transport=%s requires --algo=sft|snr\n", t);
       return false;
     }
-    if (args.dim > transport::kMaxShmDim) {
-      std::fprintf(stderr, "--transport=shm supports --dim up to %d\n",
-                   transport::kMaxShmDim);
+    if (args.dim > transport::kMaxProcessDim) {
+      std::fprintf(stderr, "--transport=%s supports --dim up to %d\n", t,
+                   transport::kMaxProcessDim);
       return false;
     }
     if (args.has_two_faced && !args.node_bin.empty()) {
@@ -421,11 +443,27 @@ bool parse(int argc, char** argv, Args& args) {
       return false;
     }
   } else if (!args.node_bin.empty() || args.shm_timeout > 0) {
-    std::fprintf(stderr, "--node-bin/--timeout require --transport=shm\n");
+    std::fprintf(stderr, "--node-bin/--timeout require --transport=shm|tcp\n");
+    return false;
+  }
+  if (!args.hosts_file.empty() && !tcp) {
+    std::fprintf(stderr, "--hosts requires --transport=tcp\n");
+    return false;
+  }
+  if (args.has_wedge && shm) {
+    std::fprintf(stderr, "--wedge needs socket death detection: a stopped "
+                         "child never exits, so the shm parent's waitpid "
+                         "authority cannot see it — use --transport=tcp "
+                         "(heartbeat watchdog) or sim (graceful halt)\n");
     return false;
   }
   if (args.has_kill && args.has_halt) {
     std::fprintf(stderr, "--kill already escalates --halt; give only one\n");
+    return false;
+  }
+  if (args.has_wedge && (args.has_halt || args.has_kill)) {
+    std::fprintf(stderr, "--wedge already escalates --halt and excludes "
+                         "--kill; give only one\n");
     return false;
   }
   if (!args.trace_links.empty() &&
@@ -506,7 +544,7 @@ bool emit_run_file(const Args& args, const sort::SortRun& run,
     j += "}";
   }
   j += "]";
-  if (!args.has_kill) {
+  if (!args.has_kill && !args.has_wedge) {
     char fnv[32];
     std::snprintf(fnv, sizeof(fnv), "0x%016llx",
                   static_cast<unsigned long long>(util::fnv1a64(
@@ -710,7 +748,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--algo=sft|snr|host|host-verified] [--dim=N]\n"
                  "          [--block=M] [--seed=S] [--halt=node@stage:iter]\n"
                  "          [--invert=node@stage:iter] [--two-faced=node@stage:iter]\n"
-                 "          [--kill=node@stage:iter] [--transport=sim|shm]\n"
+                 "          [--kill=node@stage:iter] [--wedge=node@stage:iter]\n"
+                 "          [--transport=sim|shm|tcp] [--hosts=FILE]\n"
                  "          [--node-bin=PATH] [--timeout=SECONDS]\n"
                  "          [--emit-run=PATH] [--trace-links=PATH]\n"
                  "          [--recover=off|restart|rollback|ladder] [--transient]\n"
@@ -769,6 +808,10 @@ int main(int argc, char** argv) {
     node_faults[args.fault_node].halt_at = args.fault_point;
     node_faults[args.fault_node].kill_process = true;
   }
+  if (args.has_wedge) {
+    node_faults[args.fault_node].halt_at = args.fault_point;
+    node_faults[args.fault_node].wedge_process = true;
+  }
   if (args.has_invert)
     node_faults[args.fault_node].invert_direction_from = args.fault_point;
   fault::Adversary adversary;
@@ -778,22 +821,34 @@ int main(int argc, char** argv) {
         args.block, [](cube::NodeId dest) { return (dest & 1u) == 1u; }));
   sim::LinkInterceptor* interceptor = args.has_two_faced ? &adversary : nullptr;
 
-  // Shm knobs shared by every path that builds sort options.
-  auto apply_shm = [&](transport::Backend& backend,
-                       transport::ShmOptions& shm) {
-    backend = args.backend;
-    shm.node_binary = args.node_bin;
+  // Transport knobs shared by every path that builds sort options (SftOptions
+  // and SnrOptions both carry backend/shm/tcp).  --timeout scales the tcp
+  // heartbeat thresholds down with it so a wedged peer is still declared
+  // dead by the watchdog before the recv backstop fires.
+  auto apply_transport = [&](auto& opts) {
+    opts.backend = args.backend;
+    opts.shm.node_binary = args.node_bin;
+    opts.tcp.node_binary = args.node_bin;
+    opts.tcp.hosts_file = args.hosts_file;
     if (args.shm_timeout > 0) {
-      shm.recv_timeout_s = args.shm_timeout;
-      shm.run_deadline_s = std::max(args.shm_timeout * 8.0,
-                                    shm.run_deadline_s);
+      opts.shm.recv_timeout_s = args.shm_timeout;
+      opts.shm.run_deadline_s = std::max(args.shm_timeout * 8.0,
+                                         opts.shm.run_deadline_s);
+      opts.tcp.recv_timeout_s = args.shm_timeout;
+      opts.tcp.run_deadline_s = std::max(args.shm_timeout * 8.0,
+                                         opts.tcp.run_deadline_s);
+      opts.tcp.heartbeat_loss_s =
+          std::min(opts.tcp.heartbeat_loss_s, args.shm_timeout * 0.5);
+      opts.tcp.heartbeat_interval_s =
+          std::min(opts.tcp.heartbeat_interval_s,
+                   opts.tcp.heartbeat_loss_s * 0.25);
     }
   };
 
   if (args.recover != "off") {
     sort::SftOptions base;
     base.block = args.block;
-    apply_shm(base.backend, base.shm);
+    apply_transport(base);
     const auto run = fault::run_supervised_sort(
         args.dim, input, base, recovery_policy(args.recover),
         [&](int attempt) -> sim::LinkInterceptor* {
@@ -851,14 +906,14 @@ int main(int argc, char** argv) {
     opts.node_faults = node_faults;
     opts.interceptor = interceptor;
     opts.record_link_events = !args.trace_links.empty();
-    apply_shm(opts.backend, opts.shm);
+    apply_transport(opts);
     run = sort::run_sft(args.dim, input, opts);
   } else if (args.algo == "snr") {
     sort::SnrOptions opts;
     opts.block = args.block;
     opts.node_faults = node_faults;
     opts.interceptor = interceptor;
-    apply_shm(opts.backend, opts.shm);
+    apply_transport(opts);
     run = sort::run_snr(args.dim, input, opts);
   } else if (args.algo == "host") {
     sort::HostSortOptions opts;
