@@ -729,6 +729,13 @@ SortRun run_sft_tcp(int dim, SftShared& sh) {
   if (dim > transport::kMaxProcessDim)
     throw std::invalid_argument("tcp backend supports dim <= " +
                                 std::to_string(transport::kMaxProcessDim));
+  if (const std::size_t cb =
+          transport::config_frame_bytes(dim, sh.m, sh.start_stage > 0);
+      cb > transport::kMaxFrameBytes)
+    throw std::invalid_argument(
+        "tcp: CONFIG for this job would be " + std::to_string(cb) +
+        " bytes, beyond the " + std::to_string(transport::kMaxFrameBytes) +
+        "-byte frame limit — shrink block or dim for the tcp backend");
 
   const cube::NodeId n = cube::NodeId{1} << dim;
   const auto& topts = sh.opts.tcp;

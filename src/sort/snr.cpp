@@ -310,6 +310,13 @@ SortRun run_snr_tcp(int dim, SnrShared& sh, const SnrOptions& opts) {
   if (dim > transport::kMaxProcessDim)
     throw std::invalid_argument("tcp backend supports dim <= " +
                                 std::to_string(transport::kMaxProcessDim));
+  if (const std::size_t cb =
+          transport::config_frame_bytes(dim, sh.m, /*with_resume=*/false);
+      cb > transport::kMaxFrameBytes)
+    throw std::invalid_argument(
+        "tcp: CONFIG for this job would be " + std::to_string(cb) +
+        " bytes, beyond the " + std::to_string(transport::kMaxFrameBytes) +
+        "-byte frame limit — shrink block or dim for the tcp backend");
 
   const cube::NodeId n = cube::NodeId{1} << dim;
   const auto& topts = opts.tcp;

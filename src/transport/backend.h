@@ -64,6 +64,21 @@ inline constexpr double kDefaultRecvTimeoutS = 15.0;
 // SIGKILLed, after which the surviving receivers fail over normally.
 inline constexpr double kDefaultRunDeadlineS = 120.0;
 
+// A node heartbeats only from its pump loop, so a compute burst (the
+// block-local sorts and merges between exchanges) sends no beats for time
+// proportional to its block.  The silence bound must grow with the job or
+// big blocks get live nodes declared dead: 1 µs of allowed silence per
+// block key is ~2 orders of magnitude above the measured per-key sort
+// cost, so the scaled bound stays a wedge detector, not a false-positive
+// generator.  broadcast_config stamps the scaled value into the CONFIG
+// head, so host and nodes always sweep with the same bound.
+inline constexpr double kHeartbeatSlackPerKeyS = 1e-6;
+
+inline double scaled_heartbeat_loss(double loss_s, std::uint64_t block_keys) {
+  if (loss_s <= 0) return loss_s;  // <= 0 disables the silence rule
+  return loss_s + kHeartbeatSlackPerKeyS * static_cast<double>(block_keys);
+}
+
 // Knobs for the shared-memory backend (ignored under kSim).
 struct ShmOptions {
   // Backstop for a peer that wedges without dying; peer *death* is detected
@@ -93,10 +108,14 @@ struct TcpOptions {
   // Heartbeat cadence: every endpoint emits a heartbeat frame on each link
   // that has been transmit-idle for `heartbeat_interval_s`; a peer whose
   // link has been receive-silent for `heartbeat_loss_s` transitions to the
-  // terminal kDead slot state (docs/PROTOCOL.md §13.4).  The loss bound must
-  // exceed the longest compute burst a node performs between waits — the
-  // sorts here compute for microseconds, so the default leaves ~4 missed
-  // beats of margin.
+  // terminal kDead slot state (docs/PROTOCOL.md §13.4).  Two guards keep
+  // the silence rule from killing live nodes: `heartbeat_loss_s` is the
+  // *base* bound — broadcast_config stamps
+  // scaled_heartbeat_loss(heartbeat_loss_s, block) into the CONFIG so the
+  // swept bound grows with the longest compute burst a node performs
+  // between waits — and the rule only arms per link once the peer has
+  // actually been heard from (peer_watch.h), so the fleet's staggered
+  // rendezvous/CONFIG/mesh window can never read as death.
   double heartbeat_interval_s = 0.25;
   double heartbeat_loss_s = 2.0;
 

@@ -20,6 +20,8 @@
 #include <cstring>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "transport/shm_segment.h"
@@ -50,6 +52,15 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
 
 inline void append_frame(std::vector<unsigned char>& out, FrameType type,
                          std::span<const unsigned char> payload) {
+  // Silent u32 truncation here would desynchronize the stream; a payload
+  // this large is a sender bug (drivers bound CONFIG, the biggest frame,
+  // via config_frame_bytes below), so refuse loudly before any copy.
+  if (payload.size() > kMaxFrameBytes)
+    throw std::length_error("tcp: frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxFrameBytes) +
+                            "-byte frame limit");
   FrameHdr h;
   h.len = static_cast<std::uint32_t>(payload.size());
   h.type = static_cast<std::uint8_t>(type);
@@ -67,19 +78,21 @@ struct Frame {
 
 class FrameReader {
  public:
-  // Append raw bytes from the socket.
+  // Append raw bytes from the socket.  This is the ONLY call that moves the
+  // buffer (compaction and reallocation both happen here), so every payload
+  // span handed out by next() since the previous feed() stays valid.
   void feed(std::span<const unsigned char> bytes) {
+    compact();
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
   // Next complete frame, or nullopt if the buffer holds only a partial one.
-  // The payload span aliases the internal buffer: consume it before the next
-  // feed().  Sets malformed() (and yields nothing further) on an impossible
-  // length or unknown type — stream corruption is a harness bug, callers
-  // throw.
+  // The payload span aliases the internal buffer and is valid until the
+  // next feed(); next() itself never invalidates previously returned spans.
+  // Sets malformed() (and yields nothing further) on an impossible length
+  // or unknown type — stream corruption is a harness bug, callers throw.
   std::optional<Frame> next() {
     if (malformed_) return std::nullopt;
-    compact();
     if (buf_.size() - pos_ < sizeof(FrameHdr)) return std::nullopt;
     FrameHdr h;
     std::memcpy(&h, buf_.data() + pos_, sizeof h);
@@ -163,6 +176,21 @@ struct TcpConfigHead {
   std::uint32_t pad_ = 0;
 };
 static_assert(std::is_trivially_copyable_v<TcpConfigHead>);
+
+// Exact CONFIG payload size for a job: head + WireFault[N] + WirePortEntry[N]
+// + the input key image (+ the LLBS image on a resume).  CONFIG is the
+// largest frame of the protocol, so the drivers use this to reject a job
+// that cannot fit one frame *before* spawning any process, with a message
+// naming the real limit instead of a downstream "stream ended before
+// CONFIG" mystery; broadcast_config re-checks the same bound at send time.
+inline std::size_t config_frame_bytes(int dim, std::uint64_t block,
+                                      bool with_resume) {
+  const std::size_t n = std::size_t{1} << dim;
+  return sizeof(TcpConfigHead) +
+         n * (sizeof(WireFault) + sizeof(WirePortEntry)) +
+         n * static_cast<std::size_t>(block) * sizeof(sim::Key) *
+             (with_resume ? 2 : 1);
+}
 
 // kFinish payload: this fixed head, then WireError[error_count],
 // WireLinkEvent[event_count], Key[out_count] (the node's output block).

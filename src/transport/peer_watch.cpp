@@ -18,6 +18,12 @@ void PeerWatch::note_activity(int peer, Time now) {
   Peer& p = peers_[static_cast<std::size_t>(peer)];
   if (p.state == SlotState::kIdle) p.state = SlotState::kRunning;
   p.last_rx = now;
+  p.armed = true;
+}
+
+void PeerWatch::set_loss(double heartbeat_loss_s) {
+  loss_ = std::chrono::duration<double>(heartbeat_loss_s);
+  silence_rule_ = heartbeat_loss_s > 0.0;
 }
 
 void PeerWatch::mark_finished(int peer, SlotState result) {
@@ -36,7 +42,7 @@ bool PeerWatch::sweep(Time now) {
   if (!silence_rule_) return false;
   bool changed = false;
   for (Peer& p : peers_) {
-    if (p.state != SlotState::kRunning) continue;
+    if (p.state != SlotState::kRunning || !p.armed) continue;
     if (now - p.last_rx >
         std::chrono::duration_cast<Clock::duration>(loss_)) {
       p.state = SlotState::kDead;
@@ -50,7 +56,7 @@ PeerWatch::Time PeerWatch::next_deadline() const {
   Time best = Time::max();
   if (!silence_rule_) return best;
   for (const Peer& p : peers_) {
-    if (p.state != SlotState::kRunning) continue;
+    if (p.state != SlotState::kRunning || !p.armed) continue;
     const Time t =
         p.last_rx + std::chrono::duration_cast<Clock::duration>(loss_);
     if (t < best) best = t;

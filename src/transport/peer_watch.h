@@ -17,6 +17,17 @@
 // terminal states are sticky.  `terminal()` uses the shared slot_terminal()
 // predicate, so the supervisor ladder retires a heartbeat-lost tcp peer into
 // the subcube rung by exactly the rule it applies to a SIGKILLed shm child.
+//
+// The silence rule ARMS per peer only at the first inbound activity
+// (note_activity); mark_up alone never starts the countdown.  A peer is
+// necessarily silent through the whole setup window — fleet rendezvous,
+// CONFIG transfer, peer mesh — which takes minutes under the --hosts
+// manual-launch workflow, and it cannot heartbeat before CONFIG even tells
+// it the cadence.  Counting that silence as death would falsely kill live
+// fleets; instead an unheard peer is covered by the EOF rule (a crashed
+// process FINs instantly) and the parent's run-deadline backstop.  Nodes
+// emit an immediate heartbeat the moment their mesh completes, so arming
+// happens promptly and wedge detection is live from the first stage.
 
 #pragma once
 
@@ -36,12 +47,18 @@ class PeerWatch {
   // (EOF and FINISH still apply).
   PeerWatch(int n, double heartbeat_loss_s);
 
-  // Peer connected (or was first heard from): kIdle -> kRunning, stamps
-  // last_rx.  No-op on a terminal peer.
+  // Peer connected: kIdle -> kRunning, stamps last_rx.  Does NOT arm the
+  // silence rule — the peer may legitimately stay quiet through the rest of
+  // setup.  No-op on a terminal peer.
   void mark_up(int peer, Time now);
 
-  // Any bytes arrived from the peer (data or heartbeat): refresh last_rx.
+  // Any bytes arrived from the peer (data or heartbeat): refresh last_rx
+  // and arm the silence rule for this peer.
   void note_activity(int peer, Time now);
+
+  // Rescale the silence bound (e.g. broadcast_config growing it with the
+  // block size once the job is known); <= 0 disables the rule.
+  void set_loss(double heartbeat_loss_s);
 
   // FINISH frame processed: terminal result state.  Upgrades kDead (result
   // already in flight when the watchdog fired); ignored if already
@@ -52,8 +69,8 @@ class PeerWatch {
   // kFailed.
   void mark_dead(int peer);
 
-  // Apply the silence rule to every kRunning peer; returns true if any peer
-  // transitioned to kDead.
+  // Apply the silence rule to every armed kRunning peer; returns true if
+  // any peer transitioned to kDead.
   bool sweep(Time now);
 
   // Earliest deadline at which sweep() could change state, or Time::max()
@@ -69,6 +86,7 @@ class PeerWatch {
   struct Peer {
     SlotState state = SlotState::kIdle;
     Time last_rx{};
+    bool armed = false;  // first inbound activity seen; gates the silence rule
   };
   std::vector<Peer> peers_;
   std::chrono::duration<double> loss_;

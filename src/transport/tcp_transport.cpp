@@ -106,6 +106,7 @@ bool TcpConn::flush() {
       last_tx = Clock::now();
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // signal, not a dead peer
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     broken_ = true;  // peer gone mid-write: absorb the rest
     wbuf_.clear();
@@ -134,6 +135,7 @@ std::size_t TcpConn::read_some() {
       if (static_cast<std::size_t>(n) < sizeof buf) break;
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // signal, not a dead peer
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     eof_ = true;  // orderly close or reset: either way the peer is gone
     break;
@@ -374,7 +376,16 @@ void TcpNodeEndpoint::connect_peers() {
     if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   listener_.close_fd();
+  // kRunning, but each peer's silence rule stays un-armed until it is first
+  // heard from — a neighbor may still be meshing with ITS other neighbors.
   for (int k = 0; k < dim_; ++k) watch_.mark_up(k, Clock::now());
+  // Announce liveness right away: the regular cadence only starts once the
+  // machine reaches its pump loop, which is an entire block-local sort from
+  // here, and peers / the host arm their watchdogs on this first beat.
+  if (cfg_.heartbeat_interval_s > 0) {
+    parent_.queue_frame(FrameType::kHeartbeat, {});
+    for (auto& c : peers_) c.queue_frame(FrameType::kHeartbeat, {});
+  }
 }
 
 void TcpNodeEndpoint::send_node(cube::NodeId from, cube::NodeId to,
@@ -573,6 +584,9 @@ void TcpHostEndpoint::rendezvous(double setup_timeout_s) {
                       hello.listen_addr);
         port_map_[p].port = hello.listen_port;
         conns_[p] = std::move(c);
+        // kRunning, silence rule un-armed: the node is rightfully quiet
+        // until CONFIG reaches it and its mesh completes (minutes, under
+        // --hosts); its first post-mesh heartbeat arms the watchdog.
         watch_.mark_up(static_cast<int>(p), Clock::now());
         ++helloed;
       } else if (c.eof() || c.reader().malformed()) {
@@ -592,7 +606,23 @@ void TcpHostEndpoint::broadcast_config(TcpConfigHead head,
   head.dim = static_cast<std::uint32_t>(dim_);
   head.recv_timeout_s = opts_.recv_timeout_s;
   head.heartbeat_interval_s = opts_.heartbeat_interval_s;
-  head.heartbeat_loss_s = opts_.heartbeat_loss_s;
+  // Grow the silence bound with the block (the longest compute burst a node
+  // performs without touching its sockets) and hold the host's own watchdog
+  // to the same scaled value the nodes will sweep with.
+  head.heartbeat_loss_s = scaled_heartbeat_loss(opts_.heartbeat_loss_s,
+                                                head.block);
+  watch_.set_loss(head.heartbeat_loss_s);
+  // Same bound the drivers checked before spawning; re-checked here so no
+  // caller can push an unframeable CONFIG into append_frame's truncation
+  // guard with a less helpful message.
+  const std::size_t config_bytes = sizeof head + faults.size_bytes() +
+                                   port_map_.size() * sizeof(WirePortEntry) +
+                                   input.size_bytes() + llbs.size_bytes();
+  if (config_bytes > kMaxFrameBytes)
+    throw std::runtime_error(
+        "tcp: CONFIG payload of " + std::to_string(config_bytes) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame limit — shrink block or dim for the tcp backend");
   std::vector<unsigned char> payload;
   for (cube::NodeId p = 0; p < n_; ++p) {
     head.for_node = static_cast<std::int32_t>(p);

@@ -108,6 +108,44 @@ TEST(FrameReader, ManyFramesAcrossUnevenFragments) {
   EXPECT_TRUE(r.empty());
 }
 
+TEST(FrameReader, PayloadSpansStayValidUntilTheNextFeed) {
+  // next() hands out spans aliasing the reader's buffer; only feed() may
+  // move it (compaction / reallocation).  Make the consumed prefix large
+  // enough that eager compaction inside next() would have shifted the
+  // bytes under an earlier span.
+  std::vector<unsigned char> stream;
+  const auto p1 = payload_bytes(6000, 21);
+  const auto p2 = payload_bytes(6000, 22);
+  const auto p3 = payload_bytes(64, 23);
+  append_frame(stream, FrameType::kData, p1);
+  append_frame(stream, FrameType::kData, p2);
+  append_frame(stream, FrameType::kData, p3);
+
+  FrameReader r;
+  r.feed(stream);
+  const auto f1 = r.next();
+  const auto f2 = r.next();
+  const auto f3 = r.next();
+  ASSERT_TRUE(f1 && f2 && f3);
+  EXPECT_EQ(std::vector<unsigned char>(f1->payload.begin(), f1->payload.end()),
+            p1)
+      << "the first span must survive the later next() calls";
+  EXPECT_EQ(std::vector<unsigned char>(f2->payload.begin(), f2->payload.end()),
+            p2);
+  EXPECT_EQ(std::vector<unsigned char>(f3->payload.begin(), f3->payload.end()),
+            p3);
+}
+
+TEST(Frame, AppendFrameRejectsAPayloadBeyondTheFrameLimit) {
+  // A payload over kMaxFrameBytes would silently truncate the u32 length
+  // and desynchronize the stream; the sender must refuse loudly instead.
+  std::vector<unsigned char> huge(std::size_t{kMaxFrameBytes} + 1);
+  std::vector<unsigned char> out;
+  EXPECT_THROW(append_frame(out, FrameType::kConfig, huge),
+               std::length_error);
+  EXPECT_TRUE(out.empty()) << "the guard must fire before any copy";
+}
+
 TEST(FrameReader, ImpossibleLengthLatchesMalformed) {
   FrameHdr h;
   h.len = kMaxFrameBytes + 1;

@@ -32,6 +32,9 @@ TEST(PeerWatch, ConnectRunsAndSilenceKills) {
   w.mark_up(0, t0());
   w.mark_up(1, t0());
   EXPECT_EQ(w.state(0), SlotState::kRunning);
+  // First beats arm the silence rule for both peers.
+  w.note_activity(0, t0());
+  w.note_activity(1, t0());
 
   // Heartbeats keep peer 0 alive; peer 1 goes silent.
   EXPECT_FALSE(w.sweep(t0() + milliseconds(900)));
@@ -43,9 +46,44 @@ TEST(PeerWatch, ConnectRunsAndSilenceKills) {
   EXPECT_FALSE(w.all_terminal());
 }
 
+TEST(PeerWatch, SetupSilenceNeverKillsAnUnheardPeer) {
+  PeerWatch w(1, /*heartbeat_loss_s=*/1.0);
+  // Connected (HELLO taken / mesh built) but never heard from since: the
+  // peer is rightfully quiet through CONFIG transfer and its own mesh —
+  // minutes, under the --hosts manual-launch workflow.  Only EOF or the
+  // run-deadline backstop may kill it here, never the silence sweep.
+  w.mark_up(0, t0());
+  EXPECT_FALSE(w.sweep(t0() + std::chrono::hours(1)));
+  EXPECT_EQ(w.state(0), SlotState::kRunning);
+  EXPECT_EQ(w.next_deadline(), Time::max())
+      << "an un-armed peer must not contribute a sweep deadline";
+  // The first post-mesh heartbeat arms the rule; silence counts from there.
+  const Time armed = t0() + std::chrono::hours(1);
+  w.note_activity(0, armed);
+  EXPECT_EQ(w.next_deadline(), armed + milliseconds(1000));
+  EXPECT_FALSE(w.sweep(armed + milliseconds(900)));
+  EXPECT_TRUE(w.sweep(armed + milliseconds(1500)));
+  EXPECT_EQ(w.state(0), SlotState::kDead);
+}
+
+TEST(PeerWatch, SetLossRescalesTheSilenceBound) {
+  PeerWatch w(1, /*heartbeat_loss_s=*/1.0);
+  w.mark_up(0, t0());
+  w.note_activity(0, t0());
+  // broadcast_config grows the bound with the block so a long compute
+  // burst (which sends no beats) is not read as death.
+  w.set_loss(10.0);
+  EXPECT_FALSE(w.sweep(t0() + milliseconds(5000)));
+  EXPECT_EQ(w.state(0), SlotState::kRunning);
+  EXPECT_EQ(w.next_deadline(), t0() + milliseconds(10000));
+  EXPECT_TRUE(w.sweep(t0() + milliseconds(10001)));
+  EXPECT_EQ(w.state(0), SlotState::kDead);
+}
+
 TEST(PeerWatch, FinishBeatsTheWatchdog) {
   PeerWatch w(1, 1.0);
   w.mark_up(0, t0());
+  w.note_activity(0, t0());
   EXPECT_TRUE(w.sweep(t0() + milliseconds(2000)));
   EXPECT_EQ(w.state(0), SlotState::kDead);
   // A FINISH already in flight when the sweep fired upgrades the verdict:
@@ -71,6 +109,7 @@ TEST(PeerWatch, EofKillsWithoutWaitingForTheDeadline) {
 TEST(PeerWatch, DisabledSilenceRuleNeverSweeps) {
   PeerWatch w(1, /*heartbeat_loss_s=*/0.0);
   w.mark_up(0, t0());
+  w.note_activity(0, t0());  // armed, but the rule itself is off
   EXPECT_FALSE(w.sweep(t0() + std::chrono::hours(24)));
   EXPECT_EQ(w.state(0), SlotState::kRunning);
   EXPECT_EQ(w.next_deadline(), Time::max());
@@ -81,7 +120,9 @@ TEST(PeerWatch, DisabledSilenceRuleNeverSweeps) {
 TEST(PeerWatch, NextDeadlineTracksTheQuietestRunningPeer) {
   PeerWatch w(3, 1.0);
   w.mark_up(0, t0());
+  w.note_activity(0, t0());
   w.mark_up(1, t0() + milliseconds(500));
+  w.note_activity(1, t0() + milliseconds(500));
   // Peer 2 stays kIdle: never subject to the silence rule.
   EXPECT_EQ(w.next_deadline(), t0() + milliseconds(1000));
   w.note_activity(0, t0() + milliseconds(800));
@@ -94,6 +135,7 @@ TEST(PeerWatch, NextDeadlineTracksTheQuietestRunningPeer) {
 TEST(PeerWatch, IdlePeersAreNeitherSweptNorTerminal) {
   PeerWatch w(2, 0.5);
   w.mark_up(0, t0());
+  w.note_activity(0, t0());
   EXPECT_FALSE(w.sweep(t0() + milliseconds(100)));
   EXPECT_TRUE(w.sweep(t0() + milliseconds(10000)));
   EXPECT_EQ(w.state(0), SlotState::kDead);
